@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 15 reproduction: energy breakdown of the engines on OPT-6.7B
+ * across weight precisions Q1..Q4 and Q8, normalized to FPE at each
+ * precision. Fixed-precision engines pad sub-4-bit weights to Q4;
+ * Q8 uses the widened FPE/FIGNA datapaths.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "figlut/figlut.h"
+
+using namespace figlut;
+
+int
+main()
+{
+    bench::banner("Fig. 15",
+                  "Energy breakdown on OPT-6.7B, Q1..Q8, "
+                  "normalized to FPE");
+
+    const auto &model = optByName("OPT-6.7B");
+    auto csv = bench::openCsv(
+        "fig15.csv", {"q", "engine", "compute_rel", "sram_rel",
+                      "dram_rel", "total_rel"});
+
+    for (const int q : {1, 2, 3, 4, 8}) {
+        std::cout << "\n--- Q" << q << " ---\n";
+        const int fixed = q <= 4 ? 4 : 8;
+
+        auto energy_for = [&](EngineKind e) {
+            HwConfig hw;
+            hw.engine = e;
+            hw.fixedWeightBits = fixed;
+            EnergyBreakdown total;
+            for (const auto &shape : decodeStepGemms(model, 32, q))
+                total.merge(simulateGemm(hw, shape).energy);
+            return total;
+        };
+
+        const auto base = energy_for(EngineKind::FPE).totalFj();
+        TextTable table({"engine", "compute", "sram", "dram", "total"});
+        for (const auto e : kAllEngines) {
+            const auto en = energy_for(e);
+            table.addRow({engineName(e),
+                          TextTable::num(en.computeFj() / base, 3),
+                          TextTable::num(en.sramFj / base, 3),
+                          TextTable::num(en.dramFj / base, 3),
+                          TextTable::num(en.totalFj() / base, 3)});
+            csv->addRow({std::to_string(q), engineName(e),
+                         TextTable::num(en.computeFj() / base, 5),
+                         TextTable::num(en.sramFj / base, 5),
+                         TextTable::num(en.dramFj / base, 5),
+                         TextTable::num(en.totalFj() / base, 5)});
+        }
+        std::cout << table.render();
+    }
+    std::cout <<
+        "\nshape checks (paper): bit-serial engines (iFPU/FIGLUT) "
+        "shrink with q — fewer plane passes and\nless weight traffic "
+        "— while FPE/FIGNA are flat below Q4 (padding); FIGLUT-I has "
+        "the lowest total\nat every precision; iFPU pays a flip-flop "
+        "energy penalty over FIGNA.\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 6 reproduction: read power of RFLUT and FFLUT relative to an
+ * FP-adder baseline at equal throughput, across mu in {2, 4, 8}.
+ * (The RFLUT mu=2 macro is below the compiler's minimum size in the
+ * paper and is reported as n/a here too.)
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "figlut/figlut.h"
+
+using namespace figlut;
+
+int
+main()
+{
+    bench::banner("Fig. 6",
+                  "RFLUT/FFLUT power vs FP adder baseline across mu");
+
+    const auto &tech = TechParams::default28nm();
+    TextTable table({"mu", "RFLUT (rel)", "FFLUT (rel)"});
+    auto csv = bench::openCsv("fig6.csv", {"mu", "rflut", "fflut"});
+
+    for (const int mu : {2, 4, 8}) {
+        LutConfig cfg;
+        cfg.mu = mu;
+        cfg.valueBits = 32;
+        cfg.fanout = 1;
+        const double fflut =
+            relativeReadPower(LutImpl::FFLUT, cfg, 24, tech);
+        std::string rflut = "n/a (macro too small)";
+        std::string rflut_csv = "";
+        if (mu >= 4) {
+            const double v =
+                relativeReadPower(LutImpl::RFLUT, cfg, 24, tech);
+            rflut = TextTable::ratio(v, 2);
+            rflut_csv = TextTable::num(v, 4);
+        }
+        table.addRow({std::to_string(mu), rflut,
+                      TextTable::ratio(fflut, 2)});
+        csv->addRow({std::to_string(mu), rflut_csv,
+                     TextTable::num(fflut, 4)});
+    }
+    std::cout << table.render();
+
+    std::cout <<
+        "\nshape checks (paper):\n"
+        "  - RFLUT > 1.0 baseline everywhere (unsuitable)\n"
+        "  - RFLUT mu=4 total > mu=8 total (2x reads, fixed periphery)\n"
+        "  - FFLUT < 1.0 for mu in {2,4}; mu=8 blows up (excluded)\n";
+    return 0;
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Host-side microbenchmarks (google-benchmark): functional kernel
+ * costs of the library itself — LUT construction (direct vs tree
+ * generator), hFFLUT decode, LUT-GEMM vs the dequantize+FP reference,
+ * and the quantizers. These measure the *simulator's* software speed,
+ * not modeled hardware.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "figlut/figlut.h"
+
+using namespace figlut;
+
+namespace {
+
+BcqTensor
+benchTensor(std::size_t m, std::size_t n, int bits)
+{
+    Rng rng(Rng::kDefaultSeed);
+    const auto w = syntheticWeights(m, n, rng);
+    BcqConfig cfg;
+    cfg.bits = bits;
+    cfg.useOffset = true;
+    cfg.iterations = 2;
+    return quantizeBcq(w, cfg);
+}
+
+void
+BM_LutBuildDirect(benchmark::State &state)
+{
+    const int mu = static_cast<int>(state.range(0));
+    Rng rng(1);
+    const auto xs = rng.normalVector(static_cast<std::size_t>(mu));
+    for (auto _ : state) {
+        auto lut = LutD::buildDirect(xs, FpArith::Fp32);
+        benchmark::DoNotOptimize(lut.raw().data());
+    }
+    state.SetItemsProcessed(state.iterations() << mu);
+}
+BENCHMARK(BM_LutBuildDirect)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_LutBuildGenerator(benchmark::State &state)
+{
+    const int mu = static_cast<int>(state.range(0));
+    Rng rng(2);
+    const auto xs = rng.normalVector(static_cast<std::size_t>(mu));
+    const LutGenerator gen(mu, FpArith::Fp32);
+    for (auto _ : state) {
+        auto half = gen.generateHalf(xs);
+        benchmark::DoNotOptimize(half.stored(0));
+    }
+    state.SetItemsProcessed(state.iterations() << (mu - 1));
+}
+BENCHMARK(BM_LutBuildGenerator)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_HalfLutDecode(benchmark::State &state)
+{
+    Rng rng(3);
+    const auto xs = rng.normalVector(4);
+    const auto half = HalfLutD::buildDirect(xs, FpArith::Fp32);
+    uint32_t key = 0;
+    double acc = 0.0;
+    for (auto _ : state) {
+        acc += half.value(key);
+        key = (key + 7) & 15u;
+    }
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HalfLutDecode);
+
+void
+BM_LutGemm(benchmark::State &state)
+{
+    const auto bits = static_cast<int>(state.range(0));
+    const auto tensor = benchTensor(128, 256, bits);
+    Rng rng(4);
+    const auto x = syntheticActivations(256, 4, rng);
+    LutGemmConfig cfg;
+    cfg.preAligned = true;
+    for (auto _ : state) {
+        auto y = lutGemm(tensor, x, cfg);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 128 * 256 * 4 * bits);
+}
+BENCHMARK(BM_LutGemm)->Arg(2)->Arg(4);
+
+void
+BM_ReferenceGemm(benchmark::State &state)
+{
+    const auto tensor = benchTensor(128, 256, 4);
+    const auto dequant = tensor.dequantAll();
+    Rng rng(5);
+    const auto x = syntheticActivations(256, 4, rng);
+    NumericsConfig nc;
+    for (auto _ : state) {
+        auto y = fpReferenceGemm(dequant, x, nc);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 128 * 256 * 4);
+}
+BENCHMARK(BM_ReferenceGemm);
+
+void
+BM_QuantizeBcq(benchmark::State &state)
+{
+    Rng rng(6);
+    const auto w = syntheticWeights(64, 256, rng);
+    BcqConfig cfg;
+    cfg.bits = static_cast<int>(state.range(0));
+    cfg.useOffset = true;
+    cfg.iterations = 4;
+    for (auto _ : state) {
+        auto t = quantizeBcq(w, cfg);
+        benchmark::DoNotOptimize(t.planes.front().data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 256);
+}
+BENCHMARK(BM_QuantizeBcq)->Arg(2)->Arg(4);
+
+void
+BM_SimulateGemm(benchmark::State &state)
+{
+    HwConfig hw;
+    hw.engine = EngineKind::FIGLUT_I;
+    GemmShape s;
+    s.m = 16384;
+    s.n = 4096;
+    s.batch = 32;
+    s.weightBits = 4;
+    for (auto _ : state) {
+        auto r = simulateGemm(hw, s);
+        benchmark::DoNotOptimize(r.topsPerWatt);
+    }
+}
+BENCHMARK(BM_SimulateGemm);
+
+void
+BM_DetailedSystolicTile(benchmark::State &state)
+{
+    Rng rng(7);
+    SystolicSim sim({16, 16});
+    Matrix<int32_t> w(16, 16), x(16, 8);
+    for (auto &v : w)
+        v = static_cast<int32_t>(rng.uniformInt(-8, 7));
+    for (auto &v : x)
+        v = static_cast<int32_t>(rng.uniformInt(-100, 100));
+    for (auto _ : state) {
+        auto run = sim.runTile(w, x);
+        benchmark::DoNotOptimize(run.outputs.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 16 * 16 * 8);
+}
+BENCHMARK(BM_DetailedSystolicTile);
+
+} // namespace
+
+BENCHMARK_MAIN();

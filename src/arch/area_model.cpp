@@ -1,0 +1,189 @@
+#include "arch/area_model.h"
+
+#include <algorithm>
+
+#include "arch/memory_model.h"
+#include "common/logging.h"
+#include "core/lut_generator.h"
+
+namespace figlut {
+
+ArrayGeometry
+engineArray(EngineKind engine)
+{
+    switch (engine) {
+      case EngineKind::FPE:
+      case EngineKind::FIGNA:
+        return {64, 64, 1};
+      case EngineKind::IFPU:
+        return {64, 64, 4};
+      case EngineKind::FIGLUT_F:
+      case EngineKind::FIGLUT_I:
+        return {2, 16, 4};
+    }
+    panic("unknown engine kind");
+}
+
+int
+alignedWidth(ActFormat fmt)
+{
+    // Mantissa (hidden bit included) plus guard bits covering the
+    // alignment range; iFPU-style near-lossless datapath.
+    return significandBits(fmt) + 13;
+}
+
+int
+skewStages(EngineKind engine)
+{
+    switch (engine) {
+      case EngineKind::FPE:
+      case EngineKind::FIGNA:
+      case EngineKind::IFPU:
+        return 63; // 64-wide systolic diagonal
+      case EngineKind::FIGLUT_F:
+      case EngineKind::FIGLUT_I:
+        return 15; // 16-wide column dimension (paper Section IV-B)
+    }
+    panic("unknown engine kind");
+}
+
+namespace {
+
+/** Triangular skew-buffer flip-flop count times width. */
+double
+skewFfBits(int stages, int lanes, int bits_per_lane)
+{
+    // Lane i needs i delay registers: sum_{i=0}^{stages} i, spread over
+    // the array's input lanes (capped by lanes).
+    const int n = std::min(stages, lanes);
+    const double tri = 0.5 * static_cast<double>(n) * (n + 1);
+    return tri * bits_per_lane;
+}
+
+} // namespace
+
+MpuAreaBreakdown
+mpuArea(const MpuConfig &config, const TechParams &tech)
+{
+    const auto geo = engineArray(config.engine);
+    const int mant = significandBits(config.actFormat);
+    const int store = storageBits(config.actFormat);
+    const int aligned = alignedWidth(config.actFormat);
+    const int wbits = config.weightBits;
+
+    MpuAreaBreakdown area;
+    double arith_per_pe = 0.0; // um^2
+    double ff_per_pe = 0.0;    // um^2
+
+    switch (config.engine) {
+      case EngineKind::FPE: {
+        // Dequantizer + FP multiplier (input precision) + FP32 adder.
+        arith_per_pe = tech.dequantGePerBit * wbits * tech.geUm2 +
+                       tech.fpMulArea(mant) + tech.fpAddArea(24);
+        // Weight, input, psum and control registers.
+        ff_per_pe = tech.ffArea(wbits + store + 32 + 2);
+        break;
+      }
+      case EngineKind::FIGNA: {
+        // Aligned-mantissa x weight multiplier + wide integer adder.
+        const int acc = aligned + wbits + 8;
+        arith_per_pe = tech.intMulArea(aligned, wbits) +
+                       tech.intAddArea(acc);
+        ff_per_pe = tech.ffArea(wbits + aligned + acc + 2);
+        break;
+      }
+      case EngineKind::IFPU: {
+        // Binary PE: add/sub of the aligned mantissa into the psum.
+        const int acc = aligned + 8;
+        arith_per_pe = tech.intAddArea(acc);
+        ff_per_pe = tech.ffArea(1 + aligned + acc + 1);
+        break;
+      }
+      case EngineKind::FIGLUT_F:
+      case EngineKind::FIGLUT_I: {
+        const bool integer = config.engine == EngineKind::FIGLUT_I;
+        // LUT value width: FP32 words (F) or aligned sums (I).
+        const int w = integer ? aligned + config.mu / 2 : 32;
+        const int half_entries = 1 << (config.mu - 1);
+        const int acc = integer ? w + 8 : 32;
+
+        // hFFLUT storage counts as flip-flop area.
+        ff_per_pe += tech.ffArea(half_entries * w);
+        // Read muxes + decoders per RAC are arithmetic/logic area.
+        arith_per_pe += config.k *
+                        ((half_entries - 1) * w * tech.muxGePerLeafBit +
+                         w * tech.decoderGePerBit) *
+                        tech.geUm2;
+        // RAC accumulators.
+        arith_per_pe += config.k * (integer
+                                        ? tech.intAddArea(acc)
+                                        : tech.fpAddArea(24));
+        // Key registers + psum registers per RAC.
+        ff_per_pe += config.k * tech.ffArea(config.mu + acc);
+        break;
+      }
+    }
+
+    area.arithmeticUm2 = arith_per_pe * static_cast<double>(geo.pes());
+    area.flipFlopUm2 = ff_per_pe * static_cast<double>(geo.pes());
+
+    // Array-edge units.
+    if (config.engine == EngineKind::FIGNA ||
+        config.engine == EngineKind::IFPU ||
+        config.engine == EngineKind::FIGLUT_I) {
+        // Pre-alignment units, one per input lane, plus INT->FP
+        // recovery per output lane.
+        const int lanes = geo.cols * geo.planes;
+        const int out_lanes = geo.rows *
+                              (config.engine == EngineKind::FIGLUT_I
+                                   ? config.k : 1);
+        area.arithmeticUm2 +=
+            lanes * tech.prealignGePerBit * aligned * tech.geUm2;
+        area.arithmeticUm2 +=
+            out_lanes * tech.i2fGePerBit * (aligned + 16) * tech.geUm2;
+    }
+    if (config.engine == EngineKind::FIGLUT_F ||
+        config.engine == EngineKind::FIGLUT_I) {
+        // LUT generators: one per (column, plane), each a 14-adder tree
+        // for mu=4 (tree size from the generator accounting).
+        const bool integer = config.engine == EngineKind::FIGLUT_I;
+        const auto stats = lutGeneratorAdderCount(config.mu);
+        const double adder = integer
+                                 ? tech.intAddArea(
+                                       alignedWidth(config.actFormat) +
+                                       config.mu / 2)
+                                 : tech.fpAddArea(24);
+        area.arithmeticUm2 += static_cast<double>(geo.cols) *
+                              geo.planes *
+                              static_cast<double>(stats.treeAdds) * adder;
+    }
+
+    // Input skew buffers (triangular delay registers).
+    const int lane_bits =
+        config.engine == EngineKind::FPE ? store : alignedWidth(
+            config.actFormat);
+    area.flipFlopUm2 += tech.ffArea(1) * skewFfBits(
+        skewStages(config.engine), engineArray(config.engine).cols *
+                                       engineArray(config.engine).planes,
+        lane_bits);
+
+    return area;
+}
+
+double
+bufferCapacityBits()
+{
+    // 1 MiB unified on-chip buffering (input + weight + psum + output),
+    // identical across engines (Section III-F system assumption).
+    return 8.0 * 1024.0 * 1024.0;
+}
+
+double
+engineTotalAreaMm2(const MpuConfig &config, const TechParams &tech)
+{
+    const auto mpu = mpuArea(config, tech);
+    const SramModel sram(tech);
+    return mpu.totalMm2() + sram.areaUm2(bufferCapacityBits()) * 1e-6;
+}
+
+} // namespace figlut

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * MPU area model for the five hardware engines (paper Figs. 13/14).
+ *
+ * Every engine is normalized to the same peak Q4 throughput
+ * (Section IV-B): FPE/FIGNA use 64x64 PE arrays, iFPU a 64x64x4
+ * binary-PE array, and FIGLUT a 2x16x4 array of PEs with one shared
+ * hFFLUT and k=32 RACs each (2*16*4*32 RACs * mu=4 = 16384 binary
+ * lanes = iFPU's). The model composes each PE from the TechParams
+ * component library and splits the result into the paper's two Fig. 14
+ * categories: arithmetic logic vs flip-flops.
+ */
+
+#ifndef FIGLUT_ARCH_AREA_MODEL_H
+#define FIGLUT_ARCH_AREA_MODEL_H
+
+#include "arch/tech_params.h"
+#include "core/engine_numerics.h"
+#include "numerics/fp_format.h"
+
+namespace figlut {
+
+/** PE-array geometry (rows x cols x planes). */
+struct ArrayGeometry
+{
+    int rows = 0;
+    int cols = 0;
+    int planes = 1;
+
+    long pes() const { return static_cast<long>(rows) * cols * planes; }
+};
+
+/** Hardware configuration that determines MPU area. */
+struct MpuConfig
+{
+    EngineKind engine = EngineKind::FPE;
+    ActFormat actFormat = ActFormat::FP16;
+    /**
+     * Weight datapath width. For the fixed-precision engines
+     * (FPE/FIGNA) this is the physical width (4 or 8); bit-serial
+     * engines (iFPU/FIGLUT) always process 1-bit planes and ignore it
+     * for area purposes.
+     */
+    int weightBits = 4;
+    int mu = 4; ///< FIGLUT LUT group size
+    int k = 32; ///< FIGLUT RACs per LUT
+};
+
+/** Area split used by Fig. 14. */
+struct MpuAreaBreakdown
+{
+    double arithmeticUm2 = 0.0; ///< adders/multipliers/dequant/mux/...
+    double flipFlopUm2 = 0.0;   ///< pipeline, psum, LUT and skew FFs
+
+    double totalUm2() const { return arithmeticUm2 + flipFlopUm2; }
+    double totalMm2() const { return totalUm2() * 1e-6; }
+};
+
+/** Array geometry each engine uses at the common Q4 throughput. */
+ArrayGeometry engineArray(EngineKind engine);
+
+/** Pre-aligned integer datapath width for a format (mantissa+guard). */
+int alignedWidth(ActFormat fmt);
+
+/** Number of input-skew pipeline stages the engine needs (Fig. 14). */
+int skewStages(EngineKind engine);
+
+/** MPU area breakdown for a configuration. */
+MpuAreaBreakdown mpuArea(const MpuConfig &config, const TechParams &tech);
+
+/** Total on-chip buffer capacity (bits) assumed for every engine. */
+double bufferCapacityBits();
+
+/** MPU + buffer area in mm^2 (used for TOPS/mm^2, Fig. 13). */
+double engineTotalAreaMm2(const MpuConfig &config, const TechParams &tech);
+
+} // namespace figlut
+
+#endif // FIGLUT_ARCH_AREA_MODEL_H

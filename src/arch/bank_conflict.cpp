@@ -1,0 +1,99 @@
+#include "arch/bank_conflict.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+uint32_t
+conflictCycles(const std::vector<uint32_t> &keys, int banks)
+{
+    if (banks < 1)
+        fatal("banked memory needs at least one bank, got ", banks);
+    if (keys.empty())
+        return 0;
+
+    // Distinct words per bank; identical words broadcast.
+    std::vector<std::set<uint32_t>> words(
+        static_cast<std::size_t>(banks));
+    for (const auto key : keys)
+        words[key % static_cast<uint32_t>(banks)].insert(key);
+
+    uint32_t worst = 1;
+    for (const auto &w : words)
+        worst = std::max(worst, static_cast<uint32_t>(w.size()));
+    return worst;
+}
+
+double
+BankConflictStats::slowdown() const
+{
+    return batches ? static_cast<double>(totalCycles) /
+                         static_cast<double>(batches)
+                   : 0.0;
+}
+
+BankConflictStats
+simulateRandomReads(Rng &rng, const BankedLutConfig &config,
+                    std::size_t batches)
+{
+    if (config.threads < 1 || config.mu < 1 || config.mu > 16)
+        fatal("invalid banked-LUT config: threads=", config.threads,
+              " mu=", config.mu);
+
+    BankConflictStats stats;
+    const uint32_t table = 1u << config.mu;
+    std::vector<uint32_t> addrs(
+        static_cast<std::size_t>(config.threads));
+    for (std::size_t b = 0; b < batches; ++b) {
+        // LUT-GEMM keeps one table per mu-chunk in shared memory, laid
+        // out contiguously; thread t reads its own chunk's table at a
+        // key given by its (random) weight pattern. Different tables
+        // alias onto the same banks, which is where the read-phase
+        // conflicts come from.
+        for (std::size_t t = 0; t < addrs.size(); ++t) {
+            const auto key = static_cast<uint32_t>(rng.next() % table);
+            addrs[t] = static_cast<uint32_t>(t) * table + key;
+        }
+        const auto cycles = conflictCycles(addrs, config.banks);
+        ++stats.batches;
+        stats.totalCycles += cycles;
+        stats.worstBatch = std::max(stats.worstBatch, cycles);
+    }
+    return stats;
+}
+
+BankConflictStats
+simulateConstructionWrites(const BankedLutConfig &config,
+                           std::size_t batches)
+{
+    if (config.threads < 1)
+        fatal("invalid banked-LUT config: threads=", config.threads);
+
+    BankConflictStats stats;
+    std::vector<uint32_t> keys(static_cast<std::size_t>(config.threads));
+    for (std::size_t b = 0; b < batches; ++b) {
+        // Thread t writes entry base + t: consecutive words, one per
+        // bank (modulo wrap), conflict-free when threads <= banks.
+        const auto base = static_cast<uint32_t>(b * config.threads);
+        for (std::size_t t = 0; t < keys.size(); ++t)
+            keys[t] = base + static_cast<uint32_t>(t);
+        const auto cycles = conflictCycles(keys, config.banks);
+        ++stats.batches;
+        stats.totalCycles += cycles;
+        stats.worstBatch = std::max(stats.worstBatch, cycles);
+    }
+    return stats;
+}
+
+double
+expectedRandomSlowdown(Rng &rng, const BankedLutConfig &config,
+                       std::size_t trials)
+{
+    const auto stats = simulateRandomReads(rng, config, trials);
+    return stats.slowdown();
+}
+
+} // namespace figlut

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Banked shared-memory LUT model (paper Section II-C, Fig. 2).
+ *
+ * GPU LUT-GEMM keeps its tables in banked shared memory: when several
+ * threads' weight keys map to the same bank in one cycle, the accesses
+ * serialize. This module reproduces that behaviour so the motivation
+ * for the conflict-free FFLUT is measurable: random weight patterns
+ * cause a predictable serialization factor, while the FFLUT's
+ * per-reader mux trees always complete in one cycle.
+ */
+
+#ifndef FIGLUT_ARCH_BANK_CONFLICT_H
+#define FIGLUT_ARCH_BANK_CONFLICT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace figlut {
+
+/** Banked memory geometry. */
+struct BankedLutConfig
+{
+    int banks = 32;    ///< shared-memory banks (GPU warp width)
+    int threads = 32;  ///< concurrent readers per cycle
+    int mu = 4;        ///< key width; table has 2^mu words
+};
+
+/**
+ * Cycles needed to service one batch of reads: the maximum number of
+ * *distinct word* requests landing in any single bank (GPU semantics:
+ * identical addresses broadcast for free; distinct addresses in one
+ * bank serialize).
+ */
+uint32_t conflictCycles(const std::vector<uint32_t> &keys, int banks);
+
+/** Aggregate statistics over many read batches. */
+struct BankConflictStats
+{
+    uint64_t batches = 0;      ///< read cycles issued
+    uint64_t totalCycles = 0;  ///< cycles actually consumed
+    uint32_t worstBatch = 0;   ///< worst single-batch serialization
+
+    /** Mean serialization factor (1.0 = conflict-free). */
+    double slowdown() const;
+};
+
+/**
+ * Simulate the LUT *query* phase: every batch, each thread reads its
+ * own chunk's table (tables are laid out contiguously in shared
+ * memory, LUT-GEMM style) at an independently random mu-bit weight key
+ * (the paper's "randomness of the weight pattern"). Distinct tables
+ * alias onto the same banks, producing the read-phase conflicts.
+ */
+BankConflictStats simulateRandomReads(Rng &rng,
+                                      const BankedLutConfig &config,
+                                      std::size_t batches);
+
+/**
+ * Simulate the LUT *construction* phase: threads write consecutive
+ * table entries, which LUT-GEMM lays out to hit distinct banks — this
+ * phase is conflict-free by design and the simulation confirms it.
+ */
+BankConflictStats simulateConstructionWrites(
+    const BankedLutConfig &config, std::size_t batches);
+
+/**
+ * Expected slowdown of random reads from the balls-into-bins model
+ * (E[max load] for t keys over b banks, distinct-word collisions),
+ * evaluated by Monte Carlo with the library RNG; used to sanity-check
+ * the simulator.
+ */
+double expectedRandomSlowdown(Rng &rng, const BankedLutConfig &config,
+                              std::size_t trials);
+
+} // namespace figlut
+
+#endif // FIGLUT_ARCH_BANK_CONFLICT_H

@@ -1,0 +1,57 @@
+#include "arch/energy_model.h"
+
+#include "common/logging.h"
+
+namespace figlut {
+
+double
+EnergyBreakdown::totalFj() const
+{
+    return mpuArithFj + lutFj + generatorFj + registersFj + vpuFj +
+           sramFj + dramFj;
+}
+
+double
+EnergyBreakdown::computeFj() const
+{
+    return mpuArithFj + lutFj + generatorFj + registersFj + vpuFj;
+}
+
+void
+EnergyBreakdown::merge(const EnergyBreakdown &other)
+{
+    mpuArithFj += other.mpuArithFj;
+    lutFj += other.lutFj;
+    generatorFj += other.generatorFj;
+    registersFj += other.registersFj;
+    vpuFj += other.vpuFj;
+    sramFj += other.sramFj;
+    dramFj += other.dramFj;
+}
+
+const std::vector<std::string> &
+EnergyBreakdown::categoryNames()
+{
+    static const std::vector<std::string> names = {
+        "mpu_arith", "lut", "generator", "registers",
+        "vpu", "sram", "dram"};
+    return names;
+}
+
+std::vector<double>
+EnergyBreakdown::toVector() const
+{
+    return {mpuArithFj, lutFj, generatorFj, registersFj,
+            vpuFj, sramFj, dramFj};
+}
+
+double
+averagePowerW(const EnergyBreakdown &energy, double cycles,
+              double freq_mhz)
+{
+    FIGLUT_ASSERT(cycles > 0.0, "power needs a positive cycle count");
+    const double seconds = cycles / (freq_mhz * 1e6);
+    return energy.totalJoules() / seconds;
+}
+
+} // namespace figlut

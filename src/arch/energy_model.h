@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Energy bookkeeping: the per-category breakdown every simulation run
+ * produces (paper Fig. 15) and unit conversions to Joules/Watts.
+ *
+ * Category filling is done by the engine simulator (sim/engine_sim),
+ * which knows each engine's op mix; this header defines the common
+ * currency.
+ */
+
+#ifndef FIGLUT_ARCH_ENERGY_MODEL_H
+#define FIGLUT_ARCH_ENERGY_MODEL_H
+
+#include <string>
+#include <vector>
+
+namespace figlut {
+
+/** Energy per category in femtojoules. */
+struct EnergyBreakdown
+{
+    double mpuArithFj = 0.0;  ///< multipliers/adders/dequant/prealign
+    double lutFj = 0.0;       ///< FFLUT hold + mux reads + decoders
+    double generatorFj = 0.0; ///< LUT generator adds + table writes
+    double registersFj = 0.0; ///< pipeline/psum/weight/key flip-flops
+    double vpuFj = 0.0;       ///< vector unit (offsets, scaling, misc)
+    double sramFj = 0.0;      ///< on-chip buffer traffic
+    double dramFj = 0.0;      ///< off-chip traffic
+
+    double totalFj() const;
+    double totalJoules() const { return totalFj() * 1e-15; }
+
+    /** Compute-side share (everything but SRAM+DRAM). */
+    double computeFj() const;
+
+    void merge(const EnergyBreakdown &other);
+
+    /** Category labels, aligned with toVector(). */
+    static const std::vector<std::string> &categoryNames();
+
+    /** Values in category order (fJ). */
+    std::vector<double> toVector() const;
+};
+
+/** Average power in watts for energy spent over cycles at freq_mhz. */
+double averagePowerW(const EnergyBreakdown &energy, double cycles,
+                     double freq_mhz);
+
+} // namespace figlut
+
+#endif // FIGLUT_ARCH_ENERGY_MODEL_H

@@ -1,0 +1,107 @@
+#include "arch/lut_power.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+namespace {
+
+double
+ffArrayHold(int entries, int value_bits, const TechParams &tech)
+{
+    return tech.ffHoldPerBitFj * entries * value_bits;
+}
+
+double
+muxReadEnergy(int entries, int value_bits, const TechParams &tech)
+{
+    // A value_bits-wide tree of (entries - 1) 2:1 muxes.
+    return tech.muxPerLeafBitFj * (entries - 1) * value_bits;
+}
+
+} // namespace
+
+LutPowerBreakdown
+lutPower(LutImpl impl, const LutConfig &config, const TechParams &tech)
+{
+    FIGLUT_ASSERT(config.mu >= 2 && config.mu <= 10,
+                  "LUT power model needs mu in [2, 10], got ", config.mu);
+    FIGLUT_ASSERT(config.fanout >= 1, "fanout must be >= 1");
+    FIGLUT_ASSERT(config.valueBits > 0, "value width must be positive");
+
+    const int full_entries = 1 << config.mu;
+    const int k = config.fanout;
+    LutPowerBreakdown power;
+
+    switch (impl) {
+      case LutImpl::RFLUT: {
+        // Compiled macro: no held FF array, but each of the k readers
+        // pays a full read (limited ports make sharing serial anyway;
+        // we charge the energy as-if ported for a fair comparison).
+        const double per_read =
+            tech.rfReadFixedFj +
+            tech.rfReadPerBitSqrtEntriesFj * config.valueBits *
+                std::sqrt(static_cast<double>(full_entries));
+        power.readFj = per_read * k;
+        break;
+      }
+      case LutImpl::FFLUT: {
+        power.holdFj = ffArrayHold(full_entries, config.valueBits, tech) *
+                       tech.fanoutMultiplier(k);
+        power.readFj =
+            muxReadEnergy(full_entries, config.valueBits, tech) * k;
+        break;
+      }
+      case LutImpl::HFFLUT: {
+        const int half_entries = full_entries / 2;
+        power.holdFj = ffArrayHold(half_entries, config.valueBits, tech) *
+                       tech.fanoutMultiplier(k);
+        power.readFj =
+            muxReadEnergy(half_entries, config.valueBits, tech) * k;
+        // Complement-select + conditional sign flip per reader.
+        power.decoderFj = tech.decoderPerBitFj * config.valueBits * k;
+        break;
+      }
+    }
+    return power;
+}
+
+double
+racAccumulateEnergy(bool integer_path, int datapath_bits,
+                    const TechParams &tech)
+{
+    return integer_path ? tech.intAddEnergy(datapath_bits)
+                        : tech.fpAddEnergy(datapath_bits);
+}
+
+PePower
+pePower(LutImpl impl, const LutConfig &config, bool integer_path,
+        int rac_bits, const TechParams &tech)
+{
+    const auto lut = lutPower(impl, config, tech);
+    PePower pe;
+    pe.lutFj = lut.total();
+    pe.racsFj = racAccumulateEnergy(integer_path, rac_bits, tech) *
+                config.fanout;
+    pe.totalFj = pe.lutFj + pe.racsFj;
+    pe.perRacFj = pe.totalFj / config.fanout;
+    return pe;
+}
+
+double
+relativeReadPower(LutImpl impl, const LutConfig &config, int fp_sig_bits,
+                  const TechParams &tech)
+{
+    // One LUT read retires mu binary MACs per RAC; the baseline FP
+    // adder retires one per cycle. Work units per cycle for this PE:
+    const double work_units =
+        static_cast<double>(config.mu) * config.fanout;
+    const auto pe = pePower(impl, config, /*integer_path=*/false,
+                            /*rac_bits=*/fp_sig_bits, tech);
+    const double baseline = tech.fpAddEnergy(fp_sig_bits);
+    return pe.totalFj / (work_units * baseline);
+}
+
+} // namespace figlut

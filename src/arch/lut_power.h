@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Power models for the three LUT implementations (paper Section III-C
+ * and III-D): register-file LUT (RFLUT), flip-flop LUT (FFLUT), and
+ * half-size flip-flop LUT (hFFLUT), plus the PE-level sharing analysis
+ * across the LUT fan-out k.
+ *
+ * All quantities are energies per cycle (equivalently, power at the
+ * fixed clock) in fJ. "Per work unit" quantities are normalized to one
+ * binary-weight MAC equivalent, i.e. the work one FP adder performs per
+ * cycle in the baseline — this is the paper's "equivalent throughput"
+ * normalization in Figs. 6 and 8.
+ */
+
+#ifndef FIGLUT_ARCH_LUT_POWER_H
+#define FIGLUT_ARCH_LUT_POWER_H
+
+#include "arch/tech_params.h"
+
+namespace figlut {
+
+/** Which LUT hardware implementation. */
+enum class LutImpl
+{
+    RFLUT,  ///< compiled register-file macro
+    FFLUT,  ///< flip-flop array + per-reader mux tree
+    HFFLUT, ///< half-size flip-flop array + sign decoder
+};
+
+/** Datapath configuration of one LUT instance. */
+struct LutConfig
+{
+    int mu = 4;         ///< table key width (2^mu entries)
+    int valueBits = 32; ///< stored entry width
+    int fanout = 1;     ///< k: RACs sharing this LUT
+};
+
+/** Per-cycle energy breakdown of one LUT instance serving k readers. */
+struct LutPowerBreakdown
+{
+    double holdFj = 0.0;    ///< FF array hold/clock (0 for RFLUT)
+    double readFj = 0.0;    ///< k mux-tree reads (or k RF reads)
+    double decoderFj = 0.0; ///< hFFLUT sign decoders (k instances)
+
+    double total() const { return holdFj + readFj + decoderFj; }
+};
+
+/** Energy breakdown of one LUT instance per cycle. */
+LutPowerBreakdown lutPower(LutImpl impl, const LutConfig &config,
+                           const TechParams &tech);
+
+/**
+ * RAC accumulate energy (the add that folds a LUT read into the
+ * partial sum): FP add for FIGLUT-F, integer add for FIGLUT-I.
+ */
+double racAccumulateEnergy(bool integer_path, int datapath_bits,
+                           const TechParams &tech);
+
+/** PE-level power analysis (one LUT shared by k RACs). */
+struct PePower
+{
+    double lutFj = 0.0;     ///< LUT (hold + reads + decode), fan-out incl.
+    double racsFj = 0.0;    ///< k RAC accumulators
+    double totalFj = 0.0;   ///< P_PE
+    double perRacFj = 0.0;  ///< P_RAC = P_PE / k
+};
+
+/**
+ * Power of one PE with the given LUT implementation and k RACs.
+ * Fan-out inflates the FF-array drive power via
+ * TechParams::fanoutMultiplier.
+ */
+PePower pePower(LutImpl impl, const LutConfig &config, bool integer_path,
+                int rac_bits, const TechParams &tech);
+
+/**
+ * Fig. 6 quantity: LUT-based read power per work unit relative to one
+ * FP adder doing the same work. Includes the RAC accumulate and the
+ * LUT share; excludes generation (amortized, reported separately).
+ *
+ * @param fp_sig_bits  significand width of the baseline FP adder
+ */
+double relativeReadPower(LutImpl impl, const LutConfig &config,
+                         int fp_sig_bits, const TechParams &tech);
+
+} // namespace figlut
+
+#endif // FIGLUT_ARCH_LUT_POWER_H

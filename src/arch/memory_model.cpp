@@ -1,0 +1,42 @@
+#include "arch/memory_model.h"
+
+#include "common/logging.h"
+
+namespace figlut {
+
+double
+SramModel::readEnergyFj(double bits) const
+{
+    FIGLUT_ASSERT(bits >= 0.0, "negative SRAM read size");
+    return tech_.sramReadPerBitFj * bits;
+}
+
+double
+SramModel::writeEnergyFj(double bits) const
+{
+    FIGLUT_ASSERT(bits >= 0.0, "negative SRAM write size");
+    return tech_.sramWritePerBitFj * bits;
+}
+
+double
+SramModel::areaUm2(double capacity_bits) const
+{
+    FIGLUT_ASSERT(capacity_bits >= 0.0, "negative SRAM capacity");
+    return 0.45 * capacity_bits;
+}
+
+double
+DramModel::accessEnergyFj(double bits) const
+{
+    FIGLUT_ASSERT(bits >= 0.0, "negative DRAM access size");
+    return tech_.dramPerBitFj * bits;
+}
+
+double
+DramModel::transferCycles(double bytes) const
+{
+    FIGLUT_ASSERT(bytes >= 0.0, "negative DRAM transfer size");
+    return bytes / tech_.dramBytesPerCycle;
+}
+
+} // namespace figlut

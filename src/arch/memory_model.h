@@ -1,0 +1,72 @@
+/**
+ * @file
+ * On-chip SRAM and off-chip DRAM models.
+ *
+ * The paper composes its buffers from 28 nm SRAM macros and takes DRAM
+ * energy/latency from CACTI. We model both at transaction granularity:
+ * energy per bit moved plus a bandwidth constraint used by the timing
+ * model's double-buffered overlap (compute vs transfer).
+ */
+
+#ifndef FIGLUT_ARCH_MEMORY_MODEL_H
+#define FIGLUT_ARCH_MEMORY_MODEL_H
+
+#include <cstdint>
+
+#include "arch/tech_params.h"
+
+namespace figlut {
+
+/** Traffic tally in bits, kept per run. */
+struct MemTraffic
+{
+    double sramReadBits = 0.0;
+    double sramWriteBits = 0.0;
+    double dramBits = 0.0;
+
+    void
+    merge(const MemTraffic &other)
+    {
+        sramReadBits += other.sramReadBits;
+        sramWriteBits += other.sramWriteBits;
+        dramBits += other.dramBits;
+    }
+};
+
+/** On-chip SRAM model (input/weight/psum/unified buffers). */
+class SramModel
+{
+  public:
+    explicit SramModel(const TechParams &tech) : tech_(tech) {}
+
+    double readEnergyFj(double bits) const;
+    double writeEnergyFj(double bits) const;
+
+    /** Area of a buffer of the given capacity (um^2), ~0.45 um^2/bit
+     *  macro density at 28 nm including periphery. */
+    double areaUm2(double capacity_bits) const;
+
+  private:
+    const TechParams &tech_;
+};
+
+/** Off-chip DRAM model (CACTI-style energy + simple bandwidth). */
+class DramModel
+{
+  public:
+    explicit DramModel(const TechParams &tech) : tech_(tech) {}
+
+    double accessEnergyFj(double bits) const;
+
+    /** Core-clock cycles to transfer the given bytes at full BW. */
+    double transferCycles(double bytes) const;
+
+    double bytesPerCycle() const { return tech_.dramBytesPerCycle; }
+
+  private:
+    const TechParams &tech_;
+};
+
+} // namespace figlut
+
+#endif // FIGLUT_ARCH_MEMORY_MODEL_H

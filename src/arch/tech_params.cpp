@@ -1,0 +1,103 @@
+#include "arch/tech_params.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+double
+TechParams::intAddEnergy(int bits) const
+{
+    FIGLUT_ASSERT(bits > 0, "adder width must be positive");
+    return intAddPerBitFj * bits;
+}
+
+double
+TechParams::intMulEnergy(int bits_a, int bits_b) const
+{
+    FIGLUT_ASSERT(bits_a > 0 && bits_b > 0,
+                  "multiplier widths must be positive");
+    return intMulPerBitPairFj * bits_a * bits_b;
+}
+
+double
+TechParams::fpAddEnergy(int sig_bits) const
+{
+    FIGLUT_ASSERT(sig_bits > 0, "significand width must be positive");
+    return fpAddBaseFj + fpAddPerSigBitFj * sig_bits;
+}
+
+double
+TechParams::fpMulEnergy(int sig_bits) const
+{
+    FIGLUT_ASSERT(sig_bits > 0, "significand width must be positive");
+    return fpMulBaseFj + fpMulPerSigSqFj * sig_bits * sig_bits;
+}
+
+double
+TechParams::fanoutMultiplier(int k) const
+{
+    FIGLUT_ASSERT(k >= 1, "fan-out requires at least one reader");
+    const double km1 = static_cast<double>(k - 1);
+    return 1.0 + fanoutLinear * km1 + fanoutQuadratic * km1 * km1;
+}
+
+double
+TechParams::dequantEnergyFj(int weight_bits, int sig_bits) const
+{
+    // Code-to-mantissa placement plus exponent fix-up.
+    return dequantPerBitFj * weight_bits + 0.5 * intAddPerBitFj *
+                                               sig_bits;
+}
+
+double
+TechParams::prealignEnergyFj(int width) const
+{
+    return prealignPerBitFj * width;
+}
+
+double
+TechParams::i2fEnergyFj(int width) const
+{
+    return i2fPerBitFj * width;
+}
+
+double
+TechParams::intAddArea(int bits) const
+{
+    return intAddGePerBit * bits * geUm2;
+}
+
+double
+TechParams::intMulArea(int bits_a, int bits_b) const
+{
+    return intMulGePerBitPair * bits_a * bits_b * geUm2;
+}
+
+double
+TechParams::fpAddArea(int sig_bits) const
+{
+    return (fpAddGeBase + fpAddGePerSigBit * sig_bits) * geUm2;
+}
+
+double
+TechParams::fpMulArea(int sig_bits) const
+{
+    return (fpMulGeBase + fpMulGePerSigSq * sig_bits * sig_bits) * geUm2;
+}
+
+double
+TechParams::ffArea(int bits) const
+{
+    return ffGePerBit * bits * geUm2;
+}
+
+const TechParams &
+TechParams::default28nm()
+{
+    static const TechParams params{};
+    return params;
+}
+
+} // namespace figlut

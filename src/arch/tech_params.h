@@ -1,0 +1,135 @@
+/**
+ * @file
+ * 28 nm technology model: per-component energy and area constants.
+ *
+ * The paper evaluates synthesized netlists (Synopsys DC + ICC2 P&R,
+ * 28 nm, 100 MHz) which we cannot run offline. This model substitutes
+ * an analytic component library whose constants are:
+ *
+ *  - anchored to published energy-per-operation data (Horowitz,
+ *    "Computing's energy problem", ISSCC 2014; 45 nm values scaled to
+ *    28 nm by ~0.55x), and
+ *  - calibrated so the paper's *relative* results reproduce: FP/INT
+ *    energy ratios, FFLUT-vs-FP-adder shapes across mu (Fig. 6),
+ *    LUT-sharing behaviour with the k* = 32 optimum (Figs. 8/9), and
+ *    the engine-level TOPS/W ordering (Table V, Fig. 16).
+ *
+ * Energies are in femtojoules (fJ) per operation at nominal voltage;
+ * areas are in NAND2 gate equivalents (GE) converted to um^2. The
+ * calibration targets are unit-tested in tests/arch/.
+ */
+
+#ifndef FIGLUT_ARCH_TECH_PARAMS_H
+#define FIGLUT_ARCH_TECH_PARAMS_H
+
+namespace figlut {
+
+/** Technology constants for the 28 nm design point. */
+struct TechParams
+{
+    // ---- Clocking ----
+    double freqMhz = 100.0; ///< paper synthesis frequency
+
+    // ---- Integer arithmetic (dynamic energy, fJ) ----
+    /** Ripple/CLA adder energy per result bit. */
+    double intAddPerBitFj = 1.1;
+    /** Array multiplier energy per partial-product bit pair. */
+    double intMulPerBitPairFj = 1.8;
+
+    // ---- Floating-point arithmetic (fJ) ----
+    /**
+     * FP adder energy as affine in significand bits s (hidden bit
+     * included): fpAdd = fpAddBaseFj + fpAddPerSigBitFj * s.
+     * Anchors: FP16 (s=11) ~ 240 fJ, FP32 (s=24) ~ 540 fJ at 28 nm.
+     */
+    double fpAddBaseFj = -14.0;
+    double fpAddPerSigBitFj = 23.0;
+    /**
+     * FP multiplier energy: mantissa array + exponent/normalize:
+     * fpMul = fpMulBaseFj + fpMulPerSigSqFj * s^2.
+     * Anchors: FP16 ~ 660 fJ, FP32 ~ 2200 fJ at 28 nm.
+     */
+    double fpMulBaseFj = 250.0;
+    double fpMulPerSigSqFj = 3.4;
+
+    // ---- Storage cells (fJ) ----
+    /** Flip-flop hold energy per bit per cycle (clock + leak share). */
+    double ffHoldPerBitFj = 2.5;
+    /** Flip-flop write (data toggle) energy per bit. */
+    double ffWritePerBitFj = 1.0;
+    /** Mux-tree read energy per (leaf, bit). */
+    double muxPerLeafBitFj = 0.008;
+    /** hFFLUT decoder energy per output bit (complement + sign flip). */
+    double decoderPerBitFj = 0.12;
+
+    // ---- Register-file LUT (compiled macro model, fJ) ----
+    /** Fixed peripheral cost per read (decoders, precharge, sensing). */
+    double rfReadFixedFj = 4360.0;
+    /** Bitline cost per (bit, sqrt(entries)). */
+    double rfReadPerBitSqrtEntriesFj = 3.93;
+
+    // ---- Fan-out model ----
+    /**
+     * Driving k readers multiplies LUT read/hold power by
+     * 1 + a*(k-1) + b*(k-1)^2. With b = (1-a)/1023 the per-RAC power
+     * minimum falls exactly at k = 32 (paper Fig. 9).
+     */
+    double fanoutLinear = 0.01;
+    double fanoutQuadratic = (1.0 - 0.01) / 1023.0;
+
+    // ---- Conversion units (fJ) ----
+    /** INT->FP weight dequantizer, per weight bit (FPE). */
+    double dequantPerBitFj = 30.0;
+    /** Pre-alignment barrel shift + exponent compare, per datapath bit. */
+    double prealignPerBitFj = 1.3;
+    /** INT->FP output recovery, per datapath bit. */
+    double i2fPerBitFj = 1.5;
+
+    // ---- Memories ----
+    double sramReadPerBitFj = 35.0;   ///< on-chip SRAM read, per bit
+    double sramWritePerBitFj = 40.0;  ///< on-chip SRAM write, per bit
+    double dramPerBitFj = 650.0;      ///< off-chip DRAM access, per bit
+    double dramBytesPerCycle = 128.0; ///< DRAM bandwidth at core clock
+
+    // ---- Area (NAND2 gate equivalents; 1 GE = 0.49 um^2 at 28 nm) ----
+    double geUm2 = 0.49;
+    double intAddGePerBit = 12.0;
+    double intMulGePerBitPair = 7.0;
+    double fpAddGeBase = 350.0;
+    double fpAddGePerSigBit = 240.0;
+    double fpMulGeBase = 500.0;
+    double fpMulGePerSigSq = 9.0;
+    double ffGePerBit = 6.0;
+    double muxGePerLeafBit = 0.45;
+    double decoderGePerBit = 3.0;
+    /** INT->FP dequantizer (FPE) in GE, per weight bit of input. */
+    double dequantGePerBit = 160.0;
+    /** Pre-alignment unit (max-exponent + shifter) GE per datapath bit. */
+    double prealignGePerBit = 40.0;
+    /** Integer-to-FP output converter GE per datapath bit. */
+    double i2fGePerBit = 30.0;
+
+    // ---- Derived helpers (energies in fJ) ----
+    double intAddEnergy(int bits) const;
+    double intMulEnergy(int bits_a, int bits_b) const;
+    double fpAddEnergy(int sig_bits) const;
+    double fpMulEnergy(int sig_bits) const;
+    double fanoutMultiplier(int k) const;
+    double dequantEnergyFj(int weight_bits, int sig_bits) const;
+    double prealignEnergyFj(int width) const;
+    double i2fEnergyFj(int width) const;
+
+    // ---- Derived helpers (areas in um^2) ----
+    double intAddArea(int bits) const;
+    double intMulArea(int bits_a, int bits_b) const;
+    double fpAddArea(int sig_bits) const;
+    double fpMulArea(int sig_bits) const;
+    double ffArea(int bits) const;
+
+    /** The default calibrated 28 nm design point. */
+    static const TechParams &default28nm();
+};
+
+} // namespace figlut
+
+#endif // FIGLUT_ARCH_TECH_PARAMS_H

@@ -1,0 +1,55 @@
+#include "common/csv.h"
+
+#include "common/logging.h"
+
+namespace figlut {
+
+CsvWriter::CsvWriter(const std::string &path,
+                     std::vector<std::string> header)
+    : out_(path), width_(header.size())
+{
+    if (!out_)
+        fatal("cannot open CSV output file '", path, "'");
+    if (header.empty())
+        fatal("CSV header must not be empty");
+    writeRow(header);
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &row)
+{
+    if (row.size() != width_)
+        fatal("CSV row width ", row.size(), " != header width ", width_);
+    writeRow(row);
+    ++rows_;
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    const bool needs_quote =
+        field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &row)
+{
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(row[i]);
+    }
+    out_ << '\n';
+}
+
+} // namespace figlut

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small CSV writer so every bench can dump machine-readable series
+ * alongside its console table.
+ */
+
+#ifndef FIGLUT_COMMON_CSV_H
+#define FIGLUT_COMMON_CSV_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace figlut {
+
+/** Append-only CSV file writer with RFC-4180 style quoting. */
+class CsvWriter
+{
+  public:
+    /** Open (truncate) path and emit the header row. */
+    CsvWriter(const std::string &path, std::vector<std::string> header);
+
+    /** Append one row; width must match the header. */
+    void addRow(const std::vector<std::string> &row);
+
+    /** Number of data rows written. */
+    std::size_t rowCount() const { return rows_; }
+
+    /** Quote one field if needed. */
+    static std::string escape(const std::string &field);
+
+  private:
+    void writeRow(const std::vector<std::string> &row);
+
+    std::ofstream out_;
+    std::size_t width_;
+    std::size_t rows_ = 0;
+};
+
+} // namespace figlut
+
+#endif // FIGLUT_COMMON_CSV_H

@@ -1,0 +1,21 @@
+#include "common/logging.h"
+
+#include <iostream>
+#include <mutex>
+
+namespace figlut {
+namespace detail {
+
+namespace {
+std::mutex emitMutex;
+} // namespace
+
+void
+emitMessage(const char *tag, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(emitMutex);
+    std::cerr << tag << ": " << msg << '\n';
+}
+
+} // namespace detail
+} // namespace figlut

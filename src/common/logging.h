@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Status reporting and error handling for the FIGLUT library.
+ *
+ * Follows the gem5 fatal/panic split:
+ *  - fatal():  the *user* supplied an impossible configuration; throws
+ *              FatalError so callers (and tests) can recover.
+ *  - panic():  the *library* violated one of its own invariants; throws
+ *              PanicError. A panic reaching the top level is a bug.
+ *  - warn()/inform(): non-fatal status on stderr.
+ */
+
+#ifndef FIGLUT_COMMON_LOGGING_H
+#define FIGLUT_COMMON_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace figlut {
+
+/** Error caused by invalid user input or configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Error caused by a broken internal invariant (a library bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+void emitMessage(const char *tag, const std::string &msg);
+
+} // namespace detail
+
+/** Report a condition the user should know about but not worry about. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitMessage("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report behaviour that might be wrong but lets the run continue. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitMessage("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Abort the computation: the user's configuration cannot be honoured. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Abort the computation: an internal invariant does not hold. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Invariant check that stays on in release builds.
+ *
+ * Use for cheap checks guarding library invariants; failures indicate a
+ * FIGLUT bug, not a user error.
+ */
+#define FIGLUT_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::figlut::panic("assertion '", #cond, "' failed at ",           \
+                            __FILE__, ":", __LINE__, ": ", __VA_ARGS__);    \
+        }                                                                   \
+    } while (false)
+
+} // namespace figlut
+
+#endif // FIGLUT_COMMON_LOGGING_H

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Minimal row-major dense matrix used throughout the library.
+ *
+ * This is deliberately not a linear-algebra package: FIGLUT's kernels do
+ * their own arithmetic (often in emulated FP formats), so Matrix is just
+ * an owning 2-D container with bounds-checked access in debug paths.
+ */
+
+#ifndef FIGLUT_COMMON_MATRIX_H
+#define FIGLUT_COMMON_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+/** Owning row-major matrix of trivially copyable elements. */
+template <typename T>
+class Matrix
+{
+  public:
+    Matrix() : rows_(0), cols_(0) {}
+
+    /** Construct rows x cols, value-initialized. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols)
+    {}
+
+    /** Construct rows x cols filled with init. */
+    Matrix(std::size_t rows, std::size_t cols, const T &init)
+        : rows_(rows), cols_(cols), data_(rows * cols, init)
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    /** Element access (row r, column c). */
+    T &
+    operator()(std::size_t r, std::size_t c)
+    {
+        FIGLUT_ASSERT(r < rows_ && c < cols_,
+                      "matrix index (", r, ",", c, ") out of (",
+                      rows_, ",", cols_, ")");
+        return data_[r * cols_ + c];
+    }
+
+    const T &
+    operator()(std::size_t r, std::size_t c) const
+    {
+        FIGLUT_ASSERT(r < rows_ && c < cols_,
+                      "matrix index (", r, ",", c, ") out of (",
+                      rows_, ",", cols_, ")");
+        return data_[r * cols_ + c];
+    }
+
+    /** Pointer to the start of row r. */
+    T *rowPtr(std::size_t r) { return data_.data() + r * cols_; }
+    const T *rowPtr(std::size_t r) const { return data_.data() + r * cols_; }
+
+    T *data() { return data_.data(); }
+    const T *data() const { return data_.data(); }
+
+    /** Flat element access in row-major order. */
+    T &at(std::size_t i) { return data_.at(i); }
+    const T &at(std::size_t i) const { return data_.at(i); }
+
+    bool
+    operator==(const Matrix &other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_ &&
+               data_ == other.data_;
+    }
+
+    /** Fill every element with v. */
+    void
+    fill(const T &v)
+    {
+        std::fill(data_.begin(), data_.end(), v);
+    }
+
+    auto begin() { return data_.begin(); }
+    auto end() { return data_.end(); }
+    auto begin() const { return data_.begin(); }
+    auto end() const { return data_.end(); }
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<T> data_;
+};
+
+using MatrixF = Matrix<float>;
+using MatrixD = Matrix<double>;
+
+} // namespace figlut
+
+#endif // FIGLUT_COMMON_MATRIX_H

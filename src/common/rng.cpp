@@ -1,0 +1,118 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace figlut {
+
+namespace {
+
+/** SplitMix64 step, used only for seeding. */
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : state_)
+        s = splitMix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    // Rejection-free modulo is fine here; span is tiny vs 2^64 in all uses.
+    return lo + static_cast<int64_t>(next() % span);
+}
+
+double
+Rng::normal()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double two_pi = 6.283185307179586476925286766559;
+    spare_ = mag * std::sin(two_pi * u2);
+    haveSpare_ = true;
+    return mag * std::cos(two_pi * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+bool
+Rng::flip()
+{
+    return (next() >> 63) != 0;
+}
+
+std::vector<double>
+Rng::normalVector(std::size_t n, double mean, double stddev)
+{
+    std::vector<double> out(n);
+    for (auto &v : out)
+        v = normal(mean, stddev);
+    return out;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xA5A5A5A55A5A5A5AULL);
+}
+
+} // namespace figlut

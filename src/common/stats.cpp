@@ -1,0 +1,129 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::mean() const
+{
+    return n_ ? mean_ : 0.0;
+}
+
+double
+RunningStats::variance() const
+{
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    return n_ ? min_ : 0.0;
+}
+
+double
+RunningStats::max() const
+{
+    return n_ ? max_ : 0.0;
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double n_total = na + nb;
+    mean_ += delta * nb / n_total;
+    m2_ += other.m2_ + delta * delta * na * nb / n_total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (!(lo < hi) || bins == 0)
+        fatal("histogram needs lo < hi and at least one bin; got [",
+              lo, ", ", hi, ") with ", bins, " bins");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        const double frac = (x - lo_) / (hi_ - lo_);
+        auto idx = static_cast<std::size_t>(
+            frac * static_cast<double>(counts_.size()));
+        idx = std::min(idx, counts_.size() - 1);
+        ++counts_[idx];
+    }
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+           static_cast<double>(counts_.size());
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::size_t peak = 1;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar = counts_[i] * width / peak;
+        os << binLow(i) << "\t|";
+        for (std::size_t j = 0; j < bar; ++j)
+            os << '#';
+        os << ' ' << counts_[i] << '\n';
+    }
+    return os.str();
+}
+
+} // namespace figlut

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Streaming summary statistics and simple histograms.
+ *
+ * Used by the accuracy harness (ULP/error distributions) and by the
+ * simulator's per-component counters.
+ */
+
+#ifndef FIGLUT_COMMON_STATS_H
+#define FIGLUT_COMMON_STATS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace figlut {
+
+/** Welford-style running mean/variance with min/max tracking. */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the summary. */
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const;
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+
+    /** Merge another summary into this one. */
+    void merge(const RunningStats &other);
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Fixed-width histogram over [lo, hi) with under/overflow bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t binCount(std::size_t i) const { return counts_.at(i); }
+    std::size_t underflow() const { return underflow_; }
+    std::size_t overflow() const { return overflow_; }
+    std::size_t total() const { return total_; }
+
+    /** Lower edge of bin i. */
+    double binLow(std::size_t i) const;
+
+    /** Render as a short ASCII bar chart (for bench output). */
+    std::string render(std::size_t width = 40) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t total_ = 0;
+};
+
+} // namespace figlut
+
+#endif // FIGLUT_COMMON_STATS_H

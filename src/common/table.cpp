@@ -1,0 +1,92 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    if (header_.empty())
+        fatal("TextTable needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size())
+        fatal("TextTable row width ", row.size(), " != header width ",
+              header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addRule()
+{
+    rulesBefore_.push_back(rows_.size());
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto hrule = [&] {
+        std::string s = "+";
+        for (auto w : width)
+            s += std::string(w + 2, '-') + "+";
+        return s + "\n";
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        std::ostringstream os;
+        os << "|";
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << ' ' << std::left << std::setw(static_cast<int>(width[c]))
+               << cells[c] << " |";
+        os << "\n";
+        return os.str();
+    };
+
+    std::ostringstream os;
+    os << hrule() << line(header_) << hrule();
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (std::find(rulesBefore_.begin(), rulesBefore_.end(), r) !=
+            rulesBefore_.end() && r != 0) {
+            os << hrule();
+        }
+        os << line(rows_[r]);
+    }
+    os << hrule();
+    return os.str();
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::ratio(double v, int precision)
+{
+    return num(v, precision) + "x";
+}
+
+std::string
+TextTable::pct(double v, int precision)
+{
+    return num(100.0 * v, precision) + "%";
+}
+
+} // namespace figlut

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Console table formatter used by the benchmark binaries to print
+ * paper-style tables and figure series.
+ */
+
+#ifndef FIGLUT_COMMON_TABLE_H
+#define FIGLUT_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace figlut {
+
+/** Column-aligned text table with a header row and optional title. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Insert a horizontal rule before the next added row. */
+    void addRule();
+
+    /** Render with padded columns and box-drawing rules. */
+    std::string render() const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Format a double with the given precision (helper for callers). */
+    static std::string num(double v, int precision = 3);
+
+    /** Format a double as "1.23x" style ratio. */
+    static std::string ratio(double v, int precision = 2);
+
+    /** Format a double as a percentage "12.3%". */
+    static std::string pct(double v, int precision = 1);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> rulesBefore_;
+};
+
+} // namespace figlut
+
+#endif // FIGLUT_COMMON_TABLE_H

@@ -1,0 +1,125 @@
+#include "core/half_lut.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+namespace {
+
+/**
+ * The decoder's select logic, shared by both domains.
+ *
+ * @return pair {index into the stored half, sign to apply}
+ */
+inline std::pair<uint32_t, int>
+decodeKey(uint32_t key, int mu)
+{
+    const uint32_t half_mask = lutEntries(mu - 1) - 1u;
+    const bool msb = (key >> (mu - 1)) & 1u;
+    if (msb)
+        return {key & half_mask, +1};
+    // MSB = 0: mirror entry, sign flipped.
+    return {complementKey(key, mu) & half_mask, -1};
+}
+
+} // namespace
+
+HalfLutD::HalfLutD(int mu, std::vector<double> half)
+    : mu_(mu), half_(std::move(half))
+{
+    FIGLUT_ASSERT(mu_ >= 2 && mu_ <= kMaxMu,
+                  "hFFLUT needs mu in [2, ", kMaxMu, "], got ", mu_);
+    FIGLUT_ASSERT(half_.size() == lutEntries(mu_ - 1),
+                  "hFFLUT entry count mismatch");
+}
+
+HalfLutD
+HalfLutD::buildDirect(const std::vector<double> &xs, FpArith mode)
+{
+    const int mu = static_cast<int>(xs.size());
+    FIGLUT_ASSERT(mu >= 2, "hFFLUT needs at least mu=2");
+
+    const uint32_t n = lutEntries(mu - 1);
+    std::vector<double> half(n, 0.0);
+    for (uint32_t low = 0; low < n; ++low) {
+        const uint32_t key = (1u << (mu - 1)) | low; // MSB forced to 1
+        double acc = fpRound(xs[0], mode);           // +x1 by symmetry
+        for (int j = 1; j < mu; ++j)
+            acc = fpAdd(acc, keySign(key, j, mu) * xs[j], mode);
+        half[low] = acc;
+    }
+    return HalfLutD(mu, std::move(half));
+}
+
+HalfLutD
+HalfLutD::fromFull(const LutD &full)
+{
+    const int mu = full.mu();
+    FIGLUT_ASSERT(mu >= 2, "hFFLUT needs at least mu=2");
+    const uint32_t n = lutEntries(mu - 1);
+    std::vector<double> half(n, 0.0);
+    for (uint32_t low = 0; low < n; ++low)
+        half[low] = full.value((1u << (mu - 1)) | low);
+    return HalfLutD(mu, std::move(half));
+}
+
+double
+HalfLutD::value(uint32_t key) const
+{
+    FIGLUT_ASSERT(key < lutEntries(mu_), "hFFLUT key out of range");
+    const auto [idx, sign] = decodeKey(key, mu_);
+    const double v = half_[idx];
+    // Sign flip is exact in IEEE arithmetic (sign-bit toggle).
+    return sign > 0 ? v : -v;
+}
+
+HalfLutI::HalfLutI(int mu, std::vector<int64_t> half)
+    : mu_(mu), half_(std::move(half))
+{
+    FIGLUT_ASSERT(mu_ >= 2 && mu_ <= kMaxMu,
+                  "hFFLUT needs mu in [2, ", kMaxMu, "], got ", mu_);
+    FIGLUT_ASSERT(half_.size() == lutEntries(mu_ - 1),
+                  "hFFLUT entry count mismatch");
+}
+
+HalfLutI
+HalfLutI::buildDirect(const std::vector<int64_t> &xs)
+{
+    const int mu = static_cast<int>(xs.size());
+    FIGLUT_ASSERT(mu >= 2, "hFFLUT needs at least mu=2");
+
+    const uint32_t n = lutEntries(mu - 1);
+    std::vector<int64_t> half(n, 0);
+    for (uint32_t low = 0; low < n; ++low) {
+        const uint32_t key = (1u << (mu - 1)) | low;
+        int64_t acc = 0;
+        for (int j = 0; j < mu; ++j)
+            acc += keySign(key, j, mu) * xs[static_cast<std::size_t>(j)];
+        half[low] = acc;
+    }
+    return HalfLutI(mu, std::move(half));
+}
+
+HalfLutI
+HalfLutI::fromFull(const LutI &full)
+{
+    const int mu = full.mu();
+    FIGLUT_ASSERT(mu >= 2, "hFFLUT needs at least mu=2");
+    const uint32_t n = lutEntries(mu - 1);
+    std::vector<int64_t> half(n, 0);
+    for (uint32_t low = 0; low < n; ++low)
+        half[low] = full.value((1u << (mu - 1)) | low);
+    return HalfLutI(mu, std::move(half));
+}
+
+int64_t
+HalfLutI::value(uint32_t key) const
+{
+    FIGLUT_ASSERT(key < lutEntries(mu_), "hFFLUT key out of range");
+    const auto [idx, sign] = decodeKey(key, mu_);
+    return sign > 0 ? half_[idx] : -half_[idx];
+}
+
+} // namespace figlut

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * hFFLUT: half-size LUT exploiting vertical symmetry (paper Section
+ * III-D, Fig. 10).
+ *
+ * Every table entry has a mirror with all weight signs flipped, i.e.
+ * value(key) == -value(complement(key)). The hFFLUT stores only the
+ * entries whose key MSB is 1 (patterns starting with +x1); the decoder
+ * uses the MSB as a select: for MSB=0 it reads the complemented low key
+ * and flips the sign of the result.
+ */
+
+#ifndef FIGLUT_CORE_HALF_LUT_H
+#define FIGLUT_CORE_HALF_LUT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lut.h"
+
+namespace figlut {
+
+/** Half-table over doubles with the MSB sign decoder. */
+class HalfLutD
+{
+  public:
+    /** Build directly from the mu activations (only 2^(mu-1) entries). */
+    static HalfLutD buildDirect(const std::vector<double> &xs,
+                                FpArith mode);
+
+    /** Build from a full LUT (must satisfy the symmetry exactly). */
+    static HalfLutD fromFull(const LutD &full);
+
+    int mu() const { return mu_; }
+    uint32_t storedEntries() const { return lutEntries(mu_ - 1); }
+
+    /**
+     * Decoded lookup for any full-width key: hFFLUT read + conditional
+     * sign flip (the Fig. 10(b) decoder).
+     */
+    double value(uint32_t key) const;
+
+    /** Raw stored entry (index = key low bits, MSB implied 1). */
+    double
+    stored(uint32_t idx) const
+    {
+        FIGLUT_ASSERT(idx < half_.size(), "hFFLUT index out of range");
+        return half_[idx];
+    }
+
+  private:
+    HalfLutD(int mu, std::vector<double> half);
+
+    int mu_;
+    std::vector<double> half_;
+};
+
+/** Half-table over pre-aligned integer mantissas. */
+class HalfLutI
+{
+  public:
+    static HalfLutI buildDirect(const std::vector<int64_t> &xs);
+    static HalfLutI fromFull(const LutI &full);
+
+    int mu() const { return mu_; }
+    uint32_t storedEntries() const { return lutEntries(mu_ - 1); }
+
+    int64_t value(uint32_t key) const;
+
+    int64_t
+    stored(uint32_t idx) const
+    {
+        FIGLUT_ASSERT(idx < half_.size(), "hFFLUT index out of range");
+        return half_[idx];
+    }
+
+  private:
+    HalfLutI(int mu, std::vector<int64_t> half);
+
+    int mu_;
+    std::vector<int64_t> half_;
+};
+
+} // namespace figlut
+
+#endif // FIGLUT_CORE_HALF_LUT_H

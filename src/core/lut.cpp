@@ -1,0 +1,77 @@
+#include "core/lut.h"
+
+#include "common/logging.h"
+
+namespace figlut {
+
+double
+fpRound(double v, FpArith mode)
+{
+    switch (mode) {
+      case FpArith::Exact: return v;
+      case FpArith::Fp32: return quantizeToFormat(v, ActFormat::FP32);
+      case FpArith::Fp16: return quantizeToFormat(v, ActFormat::FP16);
+      case FpArith::Bf16: return quantizeToFormat(v, ActFormat::BF16);
+    }
+    panic("unknown FpArith mode");
+}
+
+double
+fpAdd(double a, double b, FpArith mode)
+{
+    return fpRound(a + b, mode);
+}
+
+LutD::LutD(int mu, std::vector<double> values)
+    : mu_(mu), values_(std::move(values))
+{
+    FIGLUT_ASSERT(mu_ >= 1 && mu_ <= kMaxMu, "mu out of range: ", mu_);
+    FIGLUT_ASSERT(values_.size() == lutEntries(mu_),
+                  "LUT entry count mismatch");
+}
+
+LutD
+LutD::buildDirect(const std::vector<double> &xs, FpArith mode)
+{
+    const int mu = static_cast<int>(xs.size());
+    FIGLUT_ASSERT(mu >= 1 && mu <= kMaxMu,
+                  "LUT group size out of range: ", mu);
+
+    std::vector<double> values(lutEntries(mu), 0.0);
+    for (uint32_t key = 0; key < values.size(); ++key) {
+        // First term carries its sign directly; subsequent terms are
+        // folded in with one (possibly rounded) add each: mu-1 adds.
+        double acc = fpRound(keySign(key, 0, mu) * xs[0], mode);
+        for (int j = 1; j < mu; ++j)
+            acc = fpAdd(acc, keySign(key, j, mu) * xs[j], mode);
+        values[key] = acc;
+    }
+    return LutD(mu, std::move(values));
+}
+
+LutI::LutI(int mu, std::vector<int64_t> values)
+    : mu_(mu), values_(std::move(values))
+{
+    FIGLUT_ASSERT(mu_ >= 1 && mu_ <= kMaxMu, "mu out of range: ", mu_);
+    FIGLUT_ASSERT(values_.size() == lutEntries(mu_),
+                  "LUT entry count mismatch");
+}
+
+LutI
+LutI::buildDirect(const std::vector<int64_t> &xs)
+{
+    const int mu = static_cast<int>(xs.size());
+    FIGLUT_ASSERT(mu >= 1 && mu <= kMaxMu,
+                  "LUT group size out of range: ", mu);
+
+    std::vector<int64_t> values(lutEntries(mu), 0);
+    for (uint32_t key = 0; key < values.size(); ++key) {
+        int64_t acc = 0;
+        for (int j = 0; j < mu; ++j)
+            acc += keySign(key, j, mu) * xs[static_cast<std::size_t>(j)];
+        values[key] = acc;
+    }
+    return LutI(mu, std::move(values));
+}
+
+} // namespace figlut

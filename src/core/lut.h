@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Functional model of the full FFLUT: all 2^mu signed combinations of a
+ * group of mu activations (paper Section III-A, Table II).
+ *
+ * Two value domains are provided:
+ *  - LutD: double/FP entries (FIGLUT-F and accuracy references). Each
+ *    addition can optionally be rounded to a narrow FP format to model
+ *    the physical adder width.
+ *  - LutI: int64 entries over pre-aligned mantissas (FIGLUT-I); integer
+ *    arithmetic is exact, so this path is bit-reproducible.
+ */
+
+#ifndef FIGLUT_CORE_LUT_H
+#define FIGLUT_CORE_LUT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lut_key.h"
+#include "numerics/fp_format.h"
+
+namespace figlut {
+
+/** Arithmetic mode for FP LUT construction and accumulation. */
+enum class FpArith
+{
+    Exact,  ///< double precision throughout (oracle)
+    Fp32,   ///< round every add to binary32 (FIGLUT-F hardware)
+    Fp16,   ///< round every add to binary16 (stress/ablation)
+    Bf16,   ///< round every add to bfloat16 (stress/ablation)
+};
+
+/** Apply one FP addition in the given arithmetic mode. */
+double fpAdd(double a, double b, FpArith mode);
+
+/** Round a value into the representation used by the mode. */
+double fpRound(double v, FpArith mode);
+
+/** Full look-up table over doubles. */
+class LutD
+{
+  public:
+    /** Build by direct enumeration (mu-1 adds per entry). */
+    static LutD buildDirect(const std::vector<double> &xs, FpArith mode);
+
+    int mu() const { return mu_; }
+    uint32_t entries() const { return lutEntries(mu_); }
+
+    /** Entry lookup; key per Table II. */
+    double
+    value(uint32_t key) const
+    {
+        FIGLUT_ASSERT(key < values_.size(), "LUT key out of range");
+        return values_[key];
+    }
+
+    const std::vector<double> &raw() const { return values_; }
+
+    /** Construct from precomputed entries (used by the generator). */
+    LutD(int mu, std::vector<double> values);
+
+  private:
+    int mu_;
+    std::vector<double> values_;
+};
+
+/** Full look-up table over pre-aligned integer mantissas. */
+class LutI
+{
+  public:
+    /** Build by direct enumeration over integer mantissas (exact). */
+    static LutI buildDirect(const std::vector<int64_t> &xs);
+
+    int mu() const { return mu_; }
+    uint32_t entries() const { return lutEntries(mu_); }
+
+    int64_t
+    value(uint32_t key) const
+    {
+        FIGLUT_ASSERT(key < values_.size(), "LUT key out of range");
+        return values_[key];
+    }
+
+    const std::vector<int64_t> &raw() const { return values_; }
+
+    LutI(int mu, std::vector<int64_t> values);
+
+  private:
+    int mu_;
+    std::vector<int64_t> values_;
+};
+
+} // namespace figlut
+
+#endif // FIGLUT_CORE_LUT_H

@@ -1,0 +1,283 @@
+#include "core/lut_gemm.h"
+
+#include <cmath>
+#include <optional>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+namespace {
+
+/** Per-chunk LUT handles for one activation column of one group. */
+struct FpChunkLuts
+{
+    std::vector<HalfLutD> half;
+    std::vector<LutD> full;
+    bool useHalf = false;
+
+    double
+    read(std::size_t chunk, uint32_t key) const
+    {
+        return useHalf ? half[chunk].value(key) : full[chunk].value(key);
+    }
+};
+
+struct IntChunkLuts
+{
+    std::vector<HalfLutI> half;
+    std::vector<LutI> full;
+    bool useHalf = false;
+
+    int64_t
+    read(std::size_t chunk, uint32_t key) const
+    {
+        return useHalf ? half[chunk].value(key) : full[chunk].value(key);
+    }
+};
+
+/** Extract the padded mu-chunk of activations [c0, c0+mu) within group. */
+std::vector<double>
+chunkValues(const MatrixD &x, std::size_t b, std::size_t c0,
+            std::size_t c_end, int mu)
+{
+    std::vector<double> xs(static_cast<std::size_t>(mu), 0.0);
+    for (int j = 0; j < mu; ++j) {
+        const std::size_t c = c0 + static_cast<std::size_t>(j);
+        if (c < c_end)
+            xs[static_cast<std::size_t>(j)] = x(c, b);
+    }
+    return xs;
+}
+
+/** Key for (row, plane) over the chunk starting at c0 (tail padded 1). */
+uint32_t
+chunkKey(const BcqTensor &w, int plane, std::size_t r, std::size_t c0,
+         std::size_t c_end, int mu)
+{
+    uint32_t key = 0;
+    for (int j = 0; j < mu; ++j) {
+        const std::size_t c = c0 + static_cast<std::size_t>(j);
+        // Padding columns pair a zero activation with weight +1, which
+        // contributes exactly zero in both FP and integer domains.
+        const uint32_t bit =
+            c < c_end
+                ? w.planes[static_cast<std::size_t>(plane)](r, c)
+                : 1u;
+        key = (key << 1) | bit;
+    }
+    return key;
+}
+
+} // namespace
+
+MatrixD
+lutGemm(const BcqTensor &weights, const MatrixD &x,
+        const LutGemmConfig &config, LutGemmCounters *counters)
+{
+    if (config.mu < 1 || config.mu > kMaxMu)
+        fatal("LUT-GEMM mu must be in [1, ", kMaxMu, "], got ", config.mu);
+    if (x.rows() != weights.cols)
+        fatal("LUT-GEMM shape mismatch: weights are ", weights.rows, "x",
+              weights.cols, " but activations have ", x.rows(), " rows");
+    if (config.useHalfLut && config.mu < 2)
+        fatal("hFFLUT requires mu >= 2 (mu=1 tables have no half)");
+
+    const std::size_t m = weights.rows;
+    const std::size_t n = weights.cols;
+    const std::size_t batch = x.cols();
+    const std::size_t groups = weights.groupsPerRow();
+    const int mu = config.mu;
+    const int q = weights.bits;
+
+    LutGemmCounters local;
+    LutGemmCounters &cnt = counters ? *counters : local;
+
+    std::optional<LutGenerator> generator;
+    if (config.useGeneratorTree && mu >= 2)
+        generator.emplace(mu, config.arith);
+
+    MatrixD y(m, batch, 0.0);
+
+    for (std::size_t b = 0; b < batch; ++b) {
+        // Activation column in its storage format.
+        std::vector<double> xb(n);
+        for (std::size_t c = 0; c < n; ++c)
+            xb[c] = quantizeToFormat(x(c, b), config.actFormat);
+
+        for (std::size_t g = 0; g < groups; ++g) {
+            const std::size_t c0 = g * weights.groupSize;
+            const std::size_t c1 = std::min(n, c0 + weights.groupSize);
+            const std::size_t chunks = (c1 - c0 + mu - 1) / mu;
+
+            if (!config.preAligned) {
+                // ---- FIGLUT-F: FP tables, FP accumulation ----
+                FpChunkLuts luts;
+                luts.useHalf = config.useHalfLut;
+                for (std::size_t ch = 0; ch < chunks; ++ch) {
+                    const auto vals = chunkValues(
+                        x, b, c0 + ch * mu, c1, mu);
+                    // Values must first live in the activation format.
+                    std::vector<double> fmt_vals(vals.size());
+                    for (std::size_t j = 0; j < vals.size(); ++j)
+                        fmt_vals[j] = quantizeToFormat(
+                            vals[j], config.actFormat);
+                    ++cnt.lutGenerations;
+                    if (generator) {
+                        cnt.generatorAdds += generator->stats().treeAdds;
+                        auto h = generator->generateHalf(fmt_vals);
+                        if (config.useHalfLut) {
+                            luts.half.push_back(std::move(h));
+                        } else {
+                            // Mirror out to a full table.
+                            std::vector<double> full(lutEntries(mu));
+                            for (uint32_t k = 0; k < full.size(); ++k)
+                                full[k] = h.value(k);
+                            luts.full.emplace_back(mu, std::move(full));
+                        }
+                    } else {
+                        cnt.generatorAdds +=
+                            static_cast<uint64_t>(lutEntries(mu)) *
+                            static_cast<uint64_t>(mu - 1);
+                        auto fulllut =
+                            LutD::buildDirect(fmt_vals, config.arith);
+                        if (config.useHalfLut) {
+                            luts.half.push_back(
+                                HalfLutD::fromFull(fulllut));
+                        } else {
+                            luts.full.push_back(std::move(fulllut));
+                        }
+                    }
+                }
+
+                // Offset needs sum(x) over the group (VPU side).
+                double sumx = 0.0;
+                if (weights.hasOffset) {
+                    for (std::size_t c = c0; c < c1; ++c)
+                        sumx = fpAdd(sumx, xb[c], config.arith);
+                }
+
+                for (std::size_t r = 0; r < m; ++r) {
+                    double row_acc = 0.0;
+                    for (int i = 0; i < q; ++i) {
+                        double psum = 0.0;
+                        for (std::size_t ch = 0; ch < chunks; ++ch) {
+                            const uint32_t key = chunkKey(
+                                weights, i, r, c0 + ch * mu, c1, mu);
+                            psum = fpAdd(psum, luts.read(ch, key),
+                                         config.arith);
+                            ++cnt.lutReads;
+                            ++cnt.racAccumulates;
+                        }
+                        const double alpha =
+                            weights.alphas[static_cast<std::size_t>(i)](
+                                r, g);
+                        row_acc = fpAdd(
+                            row_acc,
+                            fpRound(alpha * psum, config.arith),
+                            config.arith);
+                        ++cnt.scaleMuls;
+                    }
+                    if (weights.hasOffset) {
+                        row_acc = fpAdd(
+                            row_acc,
+                            fpRound(weights.offsets(r, g) * sumx,
+                                    config.arith),
+                            config.arith);
+                        ++cnt.offsetOps;
+                    }
+                    y(r, b) = fpAdd(y(r, b), row_acc, config.arith);
+                }
+            } else {
+                // ---- FIGLUT-I: pre-aligned integer tables ----
+                std::vector<double> group_vals(xb.begin() + c0,
+                                               xb.begin() + c1);
+                const AlignedBlock block = preAlign(
+                    group_vals, config.actFormat, config.alignFracBits);
+
+                IntChunkLuts luts;
+                luts.useHalf = config.useHalfLut;
+                for (std::size_t ch = 0; ch < chunks; ++ch) {
+                    std::vector<int64_t> ms(
+                        static_cast<std::size_t>(mu), 0);
+                    for (int j = 0; j < mu; ++j) {
+                        const std::size_t c = ch * mu +
+                                              static_cast<std::size_t>(j);
+                        if (c < block.mantissas.size())
+                            ms[static_cast<std::size_t>(j)] =
+                                block.mantissas[c];
+                    }
+                    ++cnt.lutGenerations;
+                    if (generator) {
+                        cnt.generatorAdds += generator->stats().treeAdds;
+                        auto h = generator->generateHalfInt(ms);
+                        if (config.useHalfLut) {
+                            luts.half.push_back(std::move(h));
+                        } else {
+                            std::vector<int64_t> full(lutEntries(mu));
+                            for (uint32_t k = 0; k < full.size(); ++k)
+                                full[k] = h.value(k);
+                            luts.full.emplace_back(mu, std::move(full));
+                        }
+                    } else {
+                        cnt.generatorAdds +=
+                            static_cast<uint64_t>(lutEntries(mu)) *
+                            static_cast<uint64_t>(mu - 1);
+                        auto fulllut = LutI::buildDirect(ms);
+                        if (config.useHalfLut) {
+                            luts.half.push_back(
+                                HalfLutI::fromFull(fulllut));
+                        } else {
+                            luts.full.push_back(std::move(fulllut));
+                        }
+                    }
+                }
+
+                int64_t sum_mant = 0;
+                if (weights.hasOffset) {
+                    for (const auto mv : block.mantissas)
+                        sum_mant += mv;
+                }
+                const double scale = block.scale();
+
+                for (std::size_t r = 0; r < m; ++r) {
+                    double row_acc = 0.0;
+                    for (int i = 0; i < q; ++i) {
+                        int64_t psum = 0;
+                        for (std::size_t ch = 0; ch < chunks; ++ch) {
+                            const uint32_t key = chunkKey(
+                                weights, i, r, c0 + ch * mu, c1, mu);
+                            psum += luts.read(ch, key);
+                            ++cnt.lutReads;
+                            ++cnt.racAccumulates;
+                        }
+                        const double alpha =
+                            weights.alphas[static_cast<std::size_t>(i)](
+                                r, g);
+                        row_acc = fpAdd(
+                            row_acc,
+                            fpRound(alpha * (static_cast<double>(psum) *
+                                             scale),
+                                    config.arith),
+                            config.arith);
+                        ++cnt.scaleMuls;
+                    }
+                    if (weights.hasOffset) {
+                        const double sumx =
+                            static_cast<double>(sum_mant) * scale;
+                        row_acc = fpAdd(
+                            row_acc,
+                            fpRound(weights.offsets(r, g) * sumx,
+                                    config.arith),
+                            config.arith);
+                        ++cnt.offsetOps;
+                    }
+                    y(r, b) = fpAdd(y(r, b), row_acc, config.arith);
+                }
+            }
+        }
+    }
+    return y;
+}
+
+} // namespace figlut

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Functional LUT-based FP-INT GEMM (paper Section III-A/III-B).
+ *
+ * Computes Y = W X for a BCQ weight tensor W (M x N, q planes, group
+ * scales, optional offset) and FP activations X (N x B):
+ *
+ *     y[m,b] = sum_g sum_i alpha_i[m,g] * (B_i[m,g] . x[g,b])
+ *              + z[m,g] * sum(x[g,b])
+ *
+ * The inner binary dot products are executed by table look-ups: the
+ * activations of each group are chunked into mu-element LUT groups, a
+ * (half-)LUT is generated per chunk, and each (row, plane) pair reads
+ * one value per chunk keyed by its weight pattern — the RAC operation.
+ *
+ * Two numerics paths mirror the two hardware variants:
+ *  - FIGLUT-F: LUT entries and accumulation in FP (default FP32, the
+ *    paper's accumulate precision).
+ *  - FIGLUT-I: activations pre-aligned per group to integer mantissas;
+ *    LUT entries, RAC reads and plane sums are exact integers; one FP
+ *    multiply per (row, group, plane) restores the scale.
+ */
+
+#ifndef FIGLUT_CORE_LUT_GEMM_H
+#define FIGLUT_CORE_LUT_GEMM_H
+
+#include <cstdint>
+
+#include "common/matrix.h"
+#include "core/lut_generator.h"
+#include "numerics/prealign.h"
+#include "quant/bcq.h"
+
+namespace figlut {
+
+/** Configuration of the functional LUT-GEMM kernel. */
+struct LutGemmConfig
+{
+    int mu = 4;                            ///< LUT group size
+    ActFormat actFormat = ActFormat::FP16; ///< activation storage format
+    FpArith arith = FpArith::Fp32;         ///< FP adder/accum precision
+    bool preAligned = false;               ///< FIGLUT-I integer path
+    int alignFracBits = 24;                ///< aligned mantissa fraction
+    bool useHalfLut = true;                ///< hFFLUT + decoder
+    bool useGeneratorTree = true;          ///< tree generator vs direct
+};
+
+/** Operation counters filled in by the kernel (drive energy models). */
+struct LutGemmCounters
+{
+    uint64_t lutGenerations = 0; ///< LUTs built (per chunk, batch, plane reuse excluded)
+    uint64_t generatorAdds = 0;  ///< adds spent inside generators
+    uint64_t lutReads = 0;       ///< RAC table reads
+    uint64_t racAccumulates = 0; ///< RAC accumulate operations
+    uint64_t scaleMuls = 0;      ///< alpha multiplies
+    uint64_t offsetOps = 0;      ///< offset multiply-adds (VPU)
+};
+
+/**
+ * Run the LUT-GEMM kernel.
+ *
+ * @param weights  BCQ tensor, M x N
+ * @param x        activations, N x B (column b is one input vector)
+ * @param config   kernel configuration
+ * @param counters optional op counters (accumulated, not reset)
+ * @return         output matrix, M x B (doubles holding format values)
+ */
+MatrixD lutGemm(const BcqTensor &weights, const MatrixD &x,
+                const LutGemmConfig &config,
+                LutGemmCounters *counters = nullptr);
+
+} // namespace figlut
+
+#endif // FIGLUT_CORE_LUT_GEMM_H

@@ -1,0 +1,148 @@
+#include "core/lut_generator.h"
+
+#include "common/logging.h"
+
+namespace figlut {
+
+GeneratorStats
+lutGeneratorAdderCount(int mu)
+{
+    FIGLUT_ASSERT(mu >= 2 && mu <= kMaxMu,
+                  "generator accounting needs mu in [2, ", kMaxMu, "]");
+    GeneratorStats s;
+    s.mu = mu;
+
+    const int h = (mu + 1) / 2;   // upper part size (leading sign fixed)
+    const int l = mu - h;         // lower part size (all signs free)
+
+    // Upper: 2^(h-1) patterns, each chains h-1 adds.
+    s.upperAdds = static_cast<uint64_t>(lutEntries(h - 1)) *
+                  static_cast<uint64_t>(h - 1);
+    // Lower: 2^l patterns, each chains l-1 adds (l = 1 costs nothing:
+    // +x and -x are wire/sign taps).
+    s.lowerAdds = l >= 1
+                      ? static_cast<uint64_t>(lutEntries(l)) *
+                            static_cast<uint64_t>(l - 1)
+                      : 0;
+    // Combine: one add per (upper, lower) pair = 2^(mu-1).
+    s.combineAdds = l >= 1 ? lutEntries(mu - 1) : 0;
+
+    s.treeAdds = s.upperAdds + s.lowerAdds + s.combineAdds;
+    s.naiveAdds = static_cast<uint64_t>(lutEntries(mu - 1)) *
+                  static_cast<uint64_t>(mu - 1);
+    s.savingRatio =
+        s.naiveAdds
+            ? 1.0 - static_cast<double>(s.treeAdds) /
+                        static_cast<double>(s.naiveAdds)
+            : 0.0;
+    return s;
+}
+
+LutGenerator::LutGenerator(int mu, FpArith mode)
+    : mu_(mu), mode_(mode), stats_(lutGeneratorAdderCount(mu))
+{}
+
+HalfLutD
+LutGenerator::generateHalf(const std::vector<double> &xs) const
+{
+    FIGLUT_ASSERT(static_cast<int>(xs.size()) == mu_,
+                  "generator expects ", mu_, " activations, got ",
+                  xs.size());
+    const int h = (mu_ + 1) / 2;
+    const int l = mu_ - h;
+
+    // Upper patterns: leading sign fixed +; bits enumerate signs of
+    // x2..xh (bit value 1 => +), MSB-first to match key layout.
+    const uint32_t upper_n = lutEntries(h - 1);
+    std::vector<double> upper(upper_n, 0.0);
+    for (uint32_t u = 0; u < upper_n; ++u) {
+        double acc = fpRound(xs[0], mode_);
+        for (int j = 1; j < h; ++j) {
+            const int sign = ((u >> (h - 1 - j)) & 1u) ? 1 : -1;
+            acc = fpAdd(acc, sign * xs[static_cast<std::size_t>(j)],
+                        mode_);
+        }
+        upper[u] = acc;
+    }
+
+    // Lower patterns: all sign combinations of x_{h+1}..x_mu.
+    const uint32_t lower_n = lutEntries(l);
+    std::vector<double> lower(lower_n, 0.0);
+    for (uint32_t p = 0; p < lower_n; ++p) {
+        const int sign0 = ((p >> (l - 1)) & 1u) ? 1 : -1;
+        double acc = fpRound(sign0 * xs[static_cast<std::size_t>(h)],
+                             mode_);
+        for (int j = 1; j < l; ++j) {
+            const int sign = ((p >> (l - 1 - j)) & 1u) ? 1 : -1;
+            acc = fpAdd(acc, sign * xs[static_cast<std::size_t>(h + j)],
+                        mode_);
+        }
+        lower[p] = acc;
+    }
+
+    // Combine: stored index = (upper bits << l) | lower bits.
+    std::vector<double> half(lutEntries(mu_ - 1), 0.0);
+    if (l == 0) {
+        half = upper;
+    } else {
+        for (uint32_t u = 0; u < upper_n; ++u)
+            for (uint32_t p = 0; p < lower_n; ++p)
+                half[(u << l) | p] = fpAdd(upper[u], lower[p], mode_);
+    }
+
+    // Rebuild through the public direct-build path would lose the tree
+    // rounding order; construct via fromFull on a mirrored table.
+    std::vector<double> full(lutEntries(mu_), 0.0);
+    for (uint32_t low = 0; low < half.size(); ++low) {
+        full[(1u << (mu_ - 1)) | low] = half[low];
+        full[complementKey((1u << (mu_ - 1)) | low, mu_)] = -half[low];
+    }
+    return HalfLutD::fromFull(LutD(mu_, std::move(full)));
+}
+
+HalfLutI
+LutGenerator::generateHalfInt(const std::vector<int64_t> &xs) const
+{
+    FIGLUT_ASSERT(static_cast<int>(xs.size()) == mu_,
+                  "generator expects ", mu_, " mantissas, got ",
+                  xs.size());
+    const int h = (mu_ + 1) / 2;
+    const int l = mu_ - h;
+
+    const uint32_t upper_n = lutEntries(h - 1);
+    std::vector<int64_t> upper(upper_n, 0);
+    for (uint32_t u = 0; u < upper_n; ++u) {
+        int64_t acc = xs[0];
+        for (int j = 1; j < h; ++j) {
+            const int sign = ((u >> (h - 1 - j)) & 1u) ? 1 : -1;
+            acc += sign * xs[static_cast<std::size_t>(j)];
+        }
+        upper[u] = acc;
+    }
+
+    const uint32_t lower_n = lutEntries(l);
+    std::vector<int64_t> lower(lower_n, 0);
+    for (uint32_t p = 0; p < lower_n; ++p) {
+        int64_t acc = 0;
+        for (int j = 0; j < l; ++j) {
+            const int sign = ((p >> (l - 1 - j)) & 1u) ? 1 : -1;
+            acc += sign * xs[static_cast<std::size_t>(h + j)];
+        }
+        lower[p] = acc;
+    }
+
+    std::vector<int64_t> full(lutEntries(mu_), 0);
+    for (uint32_t u = 0; u < upper_n; ++u) {
+        for (uint32_t p = 0; p < lower_n; ++p) {
+            const uint32_t low = l == 0 ? u : ((u << l) | p);
+            const int64_t v = l == 0 ? upper[u] : upper[u] + lower[p];
+            full[(1u << (mu_ - 1)) | low] = v;
+            full[complementKey((1u << (mu_ - 1)) | low, mu_)] = -v;
+            if (l == 0)
+                break;
+        }
+    }
+    return HalfLutI::fromFull(LutI(mu_, std::move(full)));
+}
+
+} // namespace figlut

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * LUT key encoding (paper Table II).
+ *
+ * A key is the mu-bit pattern of binary weights covering mu consecutive
+ * activations. The *first* activation of the group maps to the key's
+ * most significant bit; bit value 1 encodes weight +1 and bit value 0
+ * encodes weight -1, so key b'000 reads -x1-x2-x3 and key b'111 reads
+ * +x1+x2+x3, exactly as in Table II.
+ */
+
+#ifndef FIGLUT_CORE_LUT_KEY_H
+#define FIGLUT_CORE_LUT_KEY_H
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+/** Maximum supported LUT input-group size (2^mu table entries). */
+inline constexpr int kMaxMu = 10;
+
+/** Number of table entries for a given mu. */
+constexpr uint32_t
+lutEntries(int mu)
+{
+    return 1u << mu;
+}
+
+/**
+ * Build a key from plane bits.
+ *
+ * @param bits  pointer to mu values in {0, 1} (1 => weight +1), ordered
+ *              by ascending activation index
+ * @param mu    group size
+ */
+inline uint32_t
+makeKey(const uint8_t *bits, int mu)
+{
+    FIGLUT_ASSERT(mu >= 1 && mu <= kMaxMu, "mu out of range: ", mu);
+    uint32_t key = 0;
+    for (int j = 0; j < mu; ++j) {
+        FIGLUT_ASSERT(bits[j] <= 1, "plane bit must be 0/1");
+        key = (key << 1) | bits[j];
+    }
+    return key;
+}
+
+/** Sign (+1/-1) that key assigns to the j-th activation of the group. */
+inline int
+keySign(uint32_t key, int j, int mu)
+{
+    FIGLUT_ASSERT(j >= 0 && j < mu, "key position out of range");
+    return ((key >> (mu - 1 - j)) & 1u) ? 1 : -1;
+}
+
+/** Bitwise complement of a key within mu bits (sign flip of all). */
+inline uint32_t
+complementKey(uint32_t key, int mu)
+{
+    return (~key) & (lutEntries(mu) - 1u);
+}
+
+} // namespace figlut
+
+#endif // FIGLUT_CORE_LUT_KEY_H

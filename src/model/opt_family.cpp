@@ -1,0 +1,75 @@
+#include "model/opt_family.h"
+
+#include "common/logging.h"
+
+namespace figlut {
+
+double
+OptConfig::gemmParams() const
+{
+    const double h = static_cast<double>(hidden);
+    const double f = static_cast<double>(ffn);
+    // QKV (3h*h) + out (h*h) + FC1 (f*h) + FC2 (h*f) per layer.
+    return static_cast<double>(layers) * (4.0 * h * h + 2.0 * h * f);
+}
+
+const std::vector<OptConfig> &
+optFamily()
+{
+    static const std::vector<OptConfig> family = {
+        {"OPT-125M", 768, 12, 12, 3072},
+        {"OPT-350M", 1024, 24, 16, 4096},
+        {"OPT-1.3B", 2048, 24, 32, 8192},
+        {"OPT-2.7B", 2560, 32, 32, 10240},
+        {"OPT-6.7B", 4096, 32, 32, 16384},
+        {"OPT-13B", 5120, 40, 40, 20480},
+        {"OPT-30B", 7168, 48, 56, 28672},
+    };
+    return family;
+}
+
+const OptConfig &
+optByName(const std::string &name)
+{
+    for (const auto &cfg : optFamily())
+        if (cfg.name == name)
+            return cfg;
+    fatal("unknown OPT variant '", name, "'");
+}
+
+std::vector<GemmShape>
+layerGemms(const OptConfig &model, std::size_t batch, int weight_bits)
+{
+    if (batch == 0)
+        fatal("batch must be positive");
+    auto shape = [&](std::size_t m, std::size_t n) {
+        GemmShape s;
+        s.m = m;
+        s.n = n;
+        s.batch = batch;
+        s.weightBits = weight_bits;
+        s.groupSize = 0; // per-row scales
+        s.hasOffset = true;
+        return s;
+    };
+    return {
+        shape(3 * model.hidden, model.hidden), // QKV
+        shape(model.hidden, model.hidden),     // attention output
+        shape(model.ffn, model.hidden),        // FC1
+        shape(model.hidden, model.ffn),        // FC2
+    };
+}
+
+std::vector<GemmShape>
+decodeStepGemms(const OptConfig &model, std::size_t batch,
+                int weight_bits)
+{
+    std::vector<GemmShape> all;
+    const auto layer = layerGemms(model, batch, weight_bits);
+    all.reserve(model.layers * layer.size());
+    for (std::size_t l = 0; l < model.layers; ++l)
+        all.insert(all.end(), layer.begin(), layer.end());
+    return all;
+}
+
+} // namespace figlut

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * OPT model family descriptors (Zhang et al., 2022) — the workloads of
+ * every evaluation in the paper (OPT-125M .. OPT-30B on WikiText-2).
+ *
+ * Only the decoder GEMM structure matters for the accelerator: per
+ * layer, the QKV projection (3h x h), the attention output projection
+ * (h x h) and the two FFN projections (4h x h and h x 4h).
+ */
+
+#ifndef FIGLUT_MODEL_OPT_FAMILY_H
+#define FIGLUT_MODEL_OPT_FAMILY_H
+
+#include <string>
+#include <vector>
+
+#include "sim/engine_config.h"
+
+namespace figlut {
+
+/** Architecture of one OPT variant. */
+struct OptConfig
+{
+    std::string name;     ///< "OPT-6.7B"
+    std::size_t hidden = 0;
+    std::size_t layers = 0;
+    std::size_t heads = 0;
+    std::size_t ffn = 0;  ///< FFN inner width (4 * hidden for OPT)
+
+    /** Decoder GEMM parameter count (excludes embeddings). */
+    double gemmParams() const;
+};
+
+/** All variants evaluated in the paper, smallest first. */
+const std::vector<OptConfig> &optFamily();
+
+/** Look up a variant by name; throws FatalError if unknown. */
+const OptConfig &optByName(const std::string &name);
+
+/**
+ * The four weight-GEMM shapes of one decoder layer for a given batch
+ * and weight precision, in execution order: QKV, attn-out, FC1, FC2.
+ */
+std::vector<GemmShape> layerGemms(const OptConfig &model,
+                                  std::size_t batch, int weight_bits);
+
+/** All weight GEMMs of a full decode step (layers x 4). */
+std::vector<GemmShape> decodeStepGemms(const OptConfig &model,
+                                       std::size_t batch,
+                                       int weight_bits);
+
+} // namespace figlut
+
+#endif // FIGLUT_MODEL_OPT_FAMILY_H

@@ -1,0 +1,70 @@
+#include "model/ppl.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+const std::vector<OptPplReference> &
+pplReferenceTable()
+{
+    // Sources: paper Table IV (RTN-4bit via every engine) and Table VI
+    // (FP16 / ShiftAddLLM BCQ4 / BCQ3).
+    static const std::vector<OptPplReference> table = {
+        {"OPT-350M", 22.00, 55.24, 22.59, 28.72},
+        {"OPT-1.3B", 14.62, 67.95, 15.11, 19.69},
+        {"OPT-2.7B", 12.47, 35.46, 12.73, 15.28},
+        {"OPT-6.7B", 10.86, 24.13, 11.08, 11.80},
+        {"OPT-13B", 10.13, 20.93, 10.33, 10.70},
+        {"OPT-30B", 9.56, 19.17, 9.70, 9.89},
+    };
+    return table;
+}
+
+const OptPplReference &
+pplReference(const std::string &model)
+{
+    for (const auto &entry : pplReferenceTable())
+        if (entry.model == model)
+            return entry;
+    fatal("no perplexity reference for model '", model, "'");
+}
+
+double
+tableIvPerplexity(const std::string &model, const std::string &engine)
+{
+    const auto &ref = pplReference(model);
+    // Table IV: GPU, FIGLUT-F and FIGLUT-I agree everywhere except
+    // FIGLUT-I on OPT-13B (20.89 vs 20.93), the pre-alignment rounding
+    // artefact.
+    if (engine == "FIGLUT-I" && model == "OPT-13B")
+        return 20.89;
+    return ref.rtn4;
+}
+
+PplProxy::PplProxy(double fp16_ppl, double err4, double ppl4, double err3,
+                   double ppl3)
+    : fp16_(fp16_ppl)
+{
+    if (!(err3 > err4 && err4 > 0.0))
+        fatal("proxy anchors need err3 > err4 > 0, got ", err3, " vs ",
+              err4);
+    if (!(ppl3 > ppl4 && ppl4 > fp16_ppl))
+        fatal("proxy anchors need ppl3 > ppl4 > fp16, got ", ppl3, ", ",
+              ppl4, ", ", fp16_ppl);
+    // Solve ppl = fp16 + a * err^b through both anchors.
+    b_ = std::log((ppl3 - fp16_) / (ppl4 - fp16_)) /
+         std::log(err3 / err4);
+    a_ = (ppl4 - fp16_) / std::pow(err4, b_);
+}
+
+double
+PplProxy::predict(double err) const
+{
+    if (err <= 0.0)
+        return fp16_;
+    return fp16_ + a_ * std::pow(err, b_);
+}
+
+} // namespace figlut

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Perplexity reference data and the quantization-error -> perplexity
+ * proxy (DESIGN.md substitution #3).
+ *
+ * We cannot run OPT on WikiText-2 offline, so:
+ *  - the paper's published perplexities (Tables IV and VI) are kept
+ *    verbatim as reference constants, and
+ *  - a two-anchor power-law proxy maps *measured* weight quantization
+ *    error (from our own RTN/BCQ quantizers) to a proxy perplexity:
+ *        ppl(err) = ppl_fp16 + a * err^b
+ *    with (a, b) solved from the published (BCQ4, BCQ3) anchor points
+ *    per model. The proxy is monotone in error, exact at the anchors,
+ *    and lets benches print paper-shaped perplexity columns for bit
+ *    widths the paper reports (2, 2.4, 3, 4).
+ */
+
+#ifndef FIGLUT_MODEL_PPL_H
+#define FIGLUT_MODEL_PPL_H
+
+#include <string>
+#include <vector>
+
+namespace figlut {
+
+/** Published WikiText-2 perplexities for one OPT variant. */
+struct OptPplReference
+{
+    std::string model;
+    double fp16;  ///< FP16 baseline (Table VI)
+    double rtn4;  ///< RTN 4-bit, all engines (Table IV)
+    double bcq4;  ///< ShiftAddLLM BCQ 4-bit (Table VI)
+    double bcq3;  ///< ShiftAddLLM BCQ 3-bit (Table VI)
+};
+
+/** Paper reference table (350M .. 30B). */
+const std::vector<OptPplReference> &pplReferenceTable();
+
+/** Look up by model name; throws FatalError if unknown. */
+const OptPplReference &pplReference(const std::string &model);
+
+/** Table IV special case: FIGLUT-I differs only at 13B (20.89). */
+double tableIvPerplexity(const std::string &model,
+                         const std::string &engine);
+
+/** Two-anchor power-law proxy ppl(err) = fp16 + a * err^b. */
+class PplProxy
+{
+  public:
+    /**
+     * @param fp16_ppl  unquantized baseline perplexity
+     * @param err4      measured quantization error at the 4-bit anchor
+     * @param ppl4      published 4-bit perplexity
+     * @param err3      measured quantization error at the 3-bit anchor
+     * @param ppl3      published 3-bit perplexity
+     */
+    PplProxy(double fp16_ppl, double err4, double ppl4, double err3,
+             double ppl3);
+
+    /** Proxy perplexity for a measured quantization error. */
+    double predict(double err) const;
+
+    double exponent() const { return b_; }
+    double coefficient() const { return a_; }
+
+  private:
+    double fp16_;
+    double a_;
+    double b_;
+};
+
+} // namespace figlut
+
+#endif // FIGLUT_MODEL_PPL_H

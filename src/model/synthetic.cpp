@@ -1,0 +1,59 @@
+#include "model/synthetic.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+MatrixD
+gaussianMatrix(std::size_t rows, std::size_t cols, Rng &rng, double mean,
+               double stddev)
+{
+    if (rows == 0 || cols == 0)
+        fatal("cannot generate an empty matrix");
+    MatrixD m(rows, cols);
+    for (auto &v : m)
+        v = rng.normal(mean, stddev);
+    return m;
+}
+
+MatrixD
+syntheticWeights(std::size_t rows, std::size_t cols, Rng &rng,
+                 double base_std, double row_scale_spread)
+{
+    if (rows == 0 || cols == 0)
+        fatal("cannot generate an empty weight matrix");
+    MatrixD m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        // Log-normal per-row scale around base_std.
+        const double row_std =
+            base_std * std::exp(rng.normal(0.0, row_scale_spread));
+        for (std::size_t c = 0; c < cols; ++c)
+            m(r, c) = rng.normal(0.0, row_std);
+    }
+    return m;
+}
+
+MatrixD
+syntheticActivations(std::size_t rows, std::size_t cols, Rng &rng,
+                     double outlier_rate, double outlier_scale)
+{
+    if (rows == 0 || cols == 0)
+        fatal("cannot generate an empty activation matrix");
+    MatrixD m(rows, cols);
+    // Pick outlier channels (rows) once: LLM outliers are
+    // channel-consistent (Dettmers et al.).
+    std::vector<bool> outlier_row(rows, false);
+    for (std::size_t r = 0; r < rows; ++r)
+        outlier_row[r] = rng.uniform() < outlier_rate;
+
+    for (std::size_t r = 0; r < rows; ++r) {
+        const double scale = outlier_row[r] ? outlier_scale : 1.0;
+        for (std::size_t c = 0; c < cols; ++c)
+            m(r, c) = rng.normal(0.0, scale);
+    }
+    return m;
+}
+
+} // namespace figlut

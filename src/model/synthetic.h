@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Synthetic weight/activation generators standing in for real OPT
+ * checkpoints and WikiText-2 activations (see DESIGN.md substitution
+ * #2/#3).
+ *
+ * Weights: zero-mean Gaussians with per-row scale variation, matching
+ * the statistics weight-only quantizers are designed for. Activations:
+ * Gaussian bulk plus a small fraction of large outliers — the salient
+ * property of LLM activations the paper cites as the reason for
+ * keeping activations in FP.
+ */
+
+#ifndef FIGLUT_MODEL_SYNTHETIC_H
+#define FIGLUT_MODEL_SYNTHETIC_H
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace figlut {
+
+/** Plain Gaussian matrix. */
+MatrixD gaussianMatrix(std::size_t rows, std::size_t cols, Rng &rng,
+                       double mean = 0.0, double stddev = 1.0);
+
+/** Transformer-like weight matrix: Gaussian with per-row scales. */
+MatrixD syntheticWeights(std::size_t rows, std::size_t cols, Rng &rng,
+                         double base_std = 0.02,
+                         double row_scale_spread = 0.5);
+
+/**
+ * LLM-like activations: N(0,1) bulk with `outlier_rate` of entries
+ * scaled by `outlier_scale` (channel-consistent outliers).
+ */
+MatrixD syntheticActivations(std::size_t rows, std::size_t cols, Rng &rng,
+                             double outlier_rate = 0.005,
+                             double outlier_scale = 12.0);
+
+} // namespace figlut
+
+#endif // FIGLUT_MODEL_SYNTHETIC_H

@@ -1,0 +1,57 @@
+#include "model/workload.h"
+
+#include "common/logging.h"
+
+namespace figlut {
+
+std::vector<KernelTask>
+layerWorkload(const OptConfig &model, const WorkloadOptions &options)
+{
+    const auto gemms = layerGemms(model, options.batch,
+                                  options.weightBits);
+    const std::size_t b = options.batch;
+    const std::size_t h = model.hidden;
+    const std::size_t f = model.ffn;
+    const std::size_t ctx = options.contextLen;
+
+    std::vector<KernelTask> tasks;
+    auto vec = [&](const char *name, VpuOpCounts ops) {
+        if (options.includeVector)
+            tasks.push_back(KernelTask::makeVector(name, ops));
+    };
+
+    vec("ln1", layerNormOps(b, h));
+    tasks.push_back(KernelTask::makeGemm("qkv", gemms[0]));
+    // Decode-phase attention: per batch row, scores over the KV cache
+    // (h dot products of length ctx are act-act work on the VPU here).
+    {
+        VpuOpCounts attn;
+        attn.adds = static_cast<double>(b) * ctx * h;  // QK^T
+        attn.muls = static_cast<double>(b) * ctx * h;
+        attn.merge(softmaxOps(b * model.heads, ctx));
+        attn.adds += static_cast<double>(b) * ctx * h; // AV
+        attn.muls += static_cast<double>(b) * ctx * h;
+        vec("attention", attn);
+    }
+    tasks.push_back(KernelTask::makeGemm("attn_out", gemms[1]));
+    vec("residual1", residualOps(b * h));
+    vec("ln2", layerNormOps(b, h));
+    tasks.push_back(KernelTask::makeGemm("fc1", gemms[2]));
+    vec("gelu", geluOps(b * f));
+    tasks.push_back(KernelTask::makeGemm("fc2", gemms[3]));
+    vec("residual2", residualOps(b * h));
+    return tasks;
+}
+
+std::vector<KernelTask>
+decodeStepWorkload(const OptConfig &model, const WorkloadOptions &options)
+{
+    std::vector<KernelTask> all;
+    const auto layer = layerWorkload(model, options);
+    all.reserve(model.layers * layer.size());
+    for (std::size_t l = 0; l < model.layers; ++l)
+        all.insert(all.end(), layer.begin(), layer.end());
+    return all;
+}
+
+} // namespace figlut

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Full decode-step workloads: GEMM kernels plus the VPU kernels
+ * (layer norms, attention softmax, GELU, residuals) that a transformer
+ * decoder layer executes around them. Used by the system-level benches
+ * (Table V, Fig. 15) through sim/Accelerator.
+ */
+
+#ifndef FIGLUT_MODEL_WORKLOAD_H
+#define FIGLUT_MODEL_WORKLOAD_H
+
+#include <vector>
+
+#include "model/opt_family.h"
+#include "sim/accelerator.h"
+
+namespace figlut {
+
+/** Workload build options. */
+struct WorkloadOptions
+{
+    std::size_t batch = 32;
+    int weightBits = 4;
+    /** KV-cache length used for attention VPU cost accounting. */
+    std::size_t contextLen = 512;
+    /** Include non-GEMM (VPU) kernels. */
+    bool includeVector = true;
+};
+
+/** Kernel sequence for one decoder layer. */
+std::vector<KernelTask> layerWorkload(const OptConfig &model,
+                                      const WorkloadOptions &options);
+
+/** Kernel sequence for a whole decode step (all layers). */
+std::vector<KernelTask> decodeStepWorkload(const OptConfig &model,
+                                           const WorkloadOptions &options);
+
+} // namespace figlut
+
+#endif // FIGLUT_MODEL_WORKLOAD_H

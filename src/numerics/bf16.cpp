@@ -1,0 +1,63 @@
+#include "numerics/bf16.h"
+
+namespace figlut {
+
+Bf16
+Bf16::fromDouble(double v)
+{
+    Bf16 h;
+    h.bits_ = static_cast<uint16_t>(roundToFormat(v, kBf16Spec));
+    return h;
+}
+
+Bf16
+Bf16::fromBits(uint16_t bits)
+{
+    Bf16 h;
+    h.bits_ = bits;
+    return h;
+}
+
+double
+Bf16::toDouble() const
+{
+    return decodeFormat(bits_, kBf16Spec);
+}
+
+bool
+Bf16::isNan() const
+{
+    return (bits_ & 0x7F80u) == 0x7F80u && (bits_ & 0x007Fu) != 0;
+}
+
+bool
+Bf16::isInf() const
+{
+    return (bits_ & 0x7FFFu) == 0x7F80u;
+}
+
+bool
+Bf16::isZero() const
+{
+    return (bits_ & 0x7FFFu) == 0;
+}
+
+Bf16
+Bf16::add(Bf16 a, Bf16 b)
+{
+    return fromDouble(a.toDouble() + b.toDouble());
+}
+
+Bf16
+Bf16::mul(Bf16 a, Bf16 b)
+{
+    return fromDouble(a.toDouble() * b.toDouble());
+}
+
+uint32_t
+ulpDistance(Bf16 a, Bf16 b)
+{
+    return ulpDistance(a.bits(), b.bits(), kBf16Spec);
+}
+
+} // namespace figlut

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Bit-exact bfloat16 value type (1/8/7 layout), mirroring Fp16.
+ */
+
+#ifndef FIGLUT_NUMERICS_BF16_H
+#define FIGLUT_NUMERICS_BF16_H
+
+#include <cstdint>
+
+#include "numerics/softfloat.h"
+
+namespace figlut {
+
+/** bfloat16 stored as its 16-bit pattern. */
+class Bf16
+{
+  public:
+    Bf16() = default;
+
+    /** Round a double into bfloat16 (RNE). */
+    static Bf16 fromDouble(double v);
+    static Bf16 fromFloat(float v) { return fromDouble(v); }
+    static Bf16 fromBits(uint16_t bits);
+
+    /** Exact widening to double. */
+    double toDouble() const;
+    float toFloat() const { return static_cast<float>(toDouble()); }
+
+    uint16_t bits() const { return bits_; }
+
+    bool isNan() const;
+    bool isInf() const;
+    bool isZero() const;
+
+    /** Correctly-rounded bfloat16 sum. */
+    static Bf16 add(Bf16 a, Bf16 b);
+
+    /** Correctly-rounded bfloat16 product. */
+    static Bf16 mul(Bf16 a, Bf16 b);
+
+    Bf16 negate() const { return fromBits(bits_ ^ 0x8000u); }
+
+    bool operator==(const Bf16 &o) const { return bits_ == o.bits_; }
+
+  private:
+    uint16_t bits_ = 0;
+};
+
+/** ULP distance between two bfloat16 values. */
+uint32_t ulpDistance(Bf16 a, Bf16 b);
+
+} // namespace figlut
+
+#endif // FIGLUT_NUMERICS_BF16_H

@@ -1,0 +1,63 @@
+#include "numerics/fp16.h"
+
+namespace figlut {
+
+Fp16
+Fp16::fromDouble(double v)
+{
+    Fp16 h;
+    h.bits_ = static_cast<uint16_t>(roundToFormat(v, kFp16Spec));
+    return h;
+}
+
+Fp16
+Fp16::fromBits(uint16_t bits)
+{
+    Fp16 h;
+    h.bits_ = bits;
+    return h;
+}
+
+double
+Fp16::toDouble() const
+{
+    return decodeFormat(bits_, kFp16Spec);
+}
+
+bool
+Fp16::isNan() const
+{
+    return (bits_ & 0x7C00u) == 0x7C00u && (bits_ & 0x03FFu) != 0;
+}
+
+bool
+Fp16::isInf() const
+{
+    return (bits_ & 0x7FFFu) == 0x7C00u;
+}
+
+bool
+Fp16::isZero() const
+{
+    return (bits_ & 0x7FFFu) == 0;
+}
+
+Fp16
+Fp16::add(Fp16 a, Fp16 b)
+{
+    return fromDouble(a.toDouble() + b.toDouble());
+}
+
+Fp16
+Fp16::mul(Fp16 a, Fp16 b)
+{
+    return fromDouble(a.toDouble() * b.toDouble());
+}
+
+uint32_t
+ulpDistance(Fp16 a, Fp16 b)
+{
+    return ulpDistance(a.bits(), b.bits(), kFp16Spec);
+}
+
+} // namespace figlut

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Bit-exact IEEE-754 binary16 value type.
+ *
+ * Arithmetic helpers compute in double (exact for any single binary16
+ * add/mul, see softfloat.h) and round once with RNE, so they match a
+ * correctly-rounded hardware FP16 unit bit for bit.
+ */
+
+#ifndef FIGLUT_NUMERICS_FP16_H
+#define FIGLUT_NUMERICS_FP16_H
+
+#include <cstdint>
+
+#include "numerics/softfloat.h"
+
+namespace figlut {
+
+/** IEEE binary16 stored as its 16-bit pattern. */
+class Fp16
+{
+  public:
+    Fp16() = default;
+
+    /** Round a double into binary16 (RNE). */
+    static Fp16 fromDouble(double v);
+
+    /** Round a float into binary16 (RNE). */
+    static Fp16 fromFloat(float v) { return fromDouble(v); }
+
+    /** Adopt a raw bit pattern. */
+    static Fp16 fromBits(uint16_t bits);
+
+    /** Exact widening to double. */
+    double toDouble() const;
+
+    /** Widening to float (exact: binary16 values fit in binary32). */
+    float toFloat() const { return static_cast<float>(toDouble()); }
+
+    uint16_t bits() const { return bits_; }
+
+    bool isNan() const;
+    bool isInf() const;
+    bool isZero() const;
+
+    /** Correctly-rounded binary16 sum. */
+    static Fp16 add(Fp16 a, Fp16 b);
+
+    /** Correctly-rounded binary16 product. */
+    static Fp16 mul(Fp16 a, Fp16 b);
+
+    /** Negation (sign-bit flip; exact). */
+    Fp16 negate() const { return fromBits(bits_ ^ 0x8000u); }
+
+    bool operator==(const Fp16 &o) const { return bits_ == o.bits_; }
+
+  private:
+    uint16_t bits_ = 0;
+};
+
+/** ULP distance between two binary16 values. */
+uint32_t ulpDistance(Fp16 a, Fp16 b);
+
+} // namespace figlut
+
+#endif // FIGLUT_NUMERICS_FP16_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Runtime descriptor for the activation formats the engines support.
+ *
+ * The paper evaluates every engine for FP16, BF16 and FP32 activations
+ * (Figs. 13-15). ActFormat carries the format identity through the
+ * functional kernels, the datapath-width-dependent area/energy models,
+ * and the accuracy harness.
+ */
+
+#ifndef FIGLUT_NUMERICS_FP_FORMAT_H
+#define FIGLUT_NUMERICS_FP_FORMAT_H
+
+#include <cstdint>
+#include <string>
+
+#include "numerics/softfloat.h"
+
+namespace figlut {
+
+/** Floating-point activation format. */
+enum class ActFormat
+{
+    FP16,
+    BF16,
+    FP32,
+};
+
+/** All supported formats, in paper order. */
+inline constexpr ActFormat kAllActFormats[] = {
+    ActFormat::FP16, ActFormat::BF16, ActFormat::FP32};
+
+/** Human-readable name ("FP16", ...). */
+std::string actFormatName(ActFormat fmt);
+
+/** IEEE field layout of the format. */
+const FpSpec &actFormatSpec(ActFormat fmt);
+
+/** Significand width including the hidden bit (11 / 8 / 24). */
+int significandBits(ActFormat fmt);
+
+/** Storage width in bits (16 / 16 / 32). */
+int storageBits(ActFormat fmt);
+
+/**
+ * Round a double through the format and back (RNE).
+ *
+ * This is the canonical "this value lives in format fmt" operation used
+ * when generating activations for the accuracy experiments.
+ */
+double quantizeToFormat(double v, ActFormat fmt);
+
+/** Bit pattern of v in the format (low bits of the result). */
+uint32_t encodeFormat(double v, ActFormat fmt);
+
+/** Parse "FP16"/"BF16"/"FP32" (case-insensitive); throws FatalError. */
+ActFormat parseActFormat(const std::string &name);
+
+} // namespace figlut
+
+#endif // FIGLUT_NUMERICS_FP_FORMAT_H

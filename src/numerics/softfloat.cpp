@@ -1,0 +1,132 @@
+#include "numerics/softfloat.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+namespace {
+
+/** Round a non-negative exact double to the nearest integer, ties even. */
+double
+rneToInteger(double y)
+{
+    const double f = std::floor(y);
+    const double d = y - f;
+    if (d > 0.5)
+        return f + 1.0;
+    if (d < 0.5)
+        return f;
+    // Tie: round to even.
+    return (std::fmod(f, 2.0) == 0.0) ? f : f + 1.0;
+}
+
+} // namespace
+
+uint32_t
+roundToFormat(double x, const FpSpec &spec)
+{
+    const int mant = spec.mantBits;
+    const uint32_t sign_bit = 1u << (spec.expBits + mant);
+    const uint32_t exp_mask = ((1u << spec.expBits) - 1u) << mant;
+    const uint32_t mant_mask = (1u << mant) - 1u;
+
+    if (std::isnan(x))
+        return exp_mask | (1u << (mant - 1)); // canonical qNaN
+
+    const bool negative = std::signbit(x);
+    const uint32_t sign = negative ? sign_bit : 0u;
+    double a = std::fabs(x);
+
+    if (a == 0.0)
+        return sign; // signed zero
+
+    if (std::isinf(x))
+        return sign | exp_mask;
+
+    int e = 0;
+    // a = m * 2^e with m in [0.5, 1)  =>  significand s = 2m in [1, 2).
+    (void)std::frexp(a, &e);
+    int unbiased = e - 1;
+
+    if (unbiased >= spec.minExp()) {
+        // Normal candidate: scale so the significand occupies
+        // [2^mant, 2^(mant+1)), then round.
+        double scaled = std::ldexp(a, mant - unbiased);
+        double r = rneToInteger(scaled);
+        if (r >= std::ldexp(1.0, mant + 1)) {
+            // Carry out of the mantissa: exponent grows by one.
+            r = std::ldexp(1.0, mant);
+            ++unbiased;
+        }
+        if (unbiased > spec.maxExp())
+            return sign | exp_mask; // overflow -> infinity
+        const auto mant_bits =
+            static_cast<uint32_t>(r - std::ldexp(1.0, mant));
+        const auto exp_field =
+            static_cast<uint32_t>(unbiased + spec.bias());
+        return sign | (exp_field << mant) | (mant_bits & mant_mask);
+    }
+
+    // Subnormal candidate: fixed scale 2^(mant - minExp).
+    double scaled = std::ldexp(a, mant - spec.minExp());
+    double r = rneToInteger(scaled);
+    if (r >= std::ldexp(1.0, mant)) {
+        // Rounded up into the smallest normal.
+        return sign | (1u << mant);
+    }
+    return sign | static_cast<uint32_t>(r);
+}
+
+double
+decodeFormat(uint32_t bits, const FpSpec &spec)
+{
+    const int mant = spec.mantBits;
+    const uint32_t sign_bit = 1u << (spec.expBits + mant);
+    const uint32_t exp_field = (bits >> mant) & ((1u << spec.expBits) - 1u);
+    const uint32_t mant_field = bits & ((1u << mant) - 1u);
+    const double sign = (bits & sign_bit) ? -1.0 : 1.0;
+
+    if (exp_field == ((1u << spec.expBits) - 1u)) {
+        if (mant_field)
+            return std::nan("");
+        return sign * std::numeric_limits<double>::infinity();
+    }
+    if (exp_field == 0) {
+        // Subnormal (or zero): value = mant * 2^(minExp - mantBits).
+        return sign * std::ldexp(static_cast<double>(mant_field),
+                                 spec.minExp() - mant);
+    }
+    const int unbiased = static_cast<int>(exp_field) - spec.bias();
+    const double significand =
+        1.0 + std::ldexp(static_cast<double>(mant_field), -mant);
+    return sign * std::ldexp(significand, unbiased);
+}
+
+uint32_t
+ulpDistance(uint32_t a, uint32_t b, const FpSpec &spec)
+{
+    const uint32_t sign_bit = 1u << (spec.expBits + spec.mantBits);
+    const uint32_t exp_mask =
+        ((1u << spec.expBits) - 1u) << spec.mantBits;
+    const uint32_t mant_mask = (1u << spec.mantBits) - 1u;
+
+    auto is_nan = [&](uint32_t v) {
+        return (v & exp_mask) == exp_mask && (v & mant_mask) != 0;
+    };
+    if (is_nan(a) || is_nan(b))
+        return ~0u;
+
+    // Map sign-magnitude onto a monotone integer line.
+    auto order = [&](uint32_t v) -> int64_t {
+        const int64_t mag = static_cast<int64_t>(v & (sign_bit - 1u));
+        return (v & sign_bit) ? -mag : mag;
+    };
+    const int64_t d = order(a) - order(b);
+    const int64_t m = d < 0 ? -d : d;
+    return static_cast<uint32_t>(m);
+}
+
+} // namespace figlut

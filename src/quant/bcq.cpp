@@ -1,0 +1,312 @@
+#include "quant/bcq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+namespace {
+
+/**
+ * Solve a small dense symmetric system A x = b in place with Gaussian
+ * elimination and partial pivoting. A tiny ridge term keeps degenerate
+ * code matrices (e.g. two identical planes) solvable.
+ */
+std::vector<double>
+solveSmallSystem(std::vector<std::vector<double>> a, std::vector<double> b)
+{
+    const std::size_t n = b.size();
+    for (std::size_t i = 0; i < n; ++i)
+        a[i][i] += 1e-9;
+
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::fabs(a[r][col]) > std::fabs(a[pivot][col]))
+                pivot = r;
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+
+        const double d = a[col][col];
+        FIGLUT_ASSERT(d != 0.0, "singular system in BCQ solve");
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = a[r][col] / d;
+            if (f == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a[r][c] -= f * a[col][c];
+            b[r] -= f * b[col];
+        }
+    }
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double acc = b[i];
+        for (std::size_t c = i + 1; c < n; ++c)
+            acc -= a[i][c] * x[c];
+        x[i] = acc / a[i][i];
+    }
+    return x;
+}
+
+/** Working state for one (row, group) segment. */
+struct Segment
+{
+    std::vector<double> w;                ///< original weights
+    std::vector<std::vector<int8_t>> b;   ///< b[i][e] in {-1, +1}
+    std::vector<double> alpha;            ///< per plane
+    double z = 0.0;
+    bool useOffset = false;
+
+    double
+    reconstruct(std::size_t e) const
+    {
+        double acc = z;
+        for (std::size_t i = 0; i < alpha.size(); ++i)
+            acc += alpha[i] * b[i][e];
+        return acc;
+    }
+
+    double
+    mse() const
+    {
+        double acc = 0.0;
+        for (std::size_t e = 0; e < w.size(); ++e) {
+            const double d = w[e] - reconstruct(e);
+            acc += d * d;
+        }
+        return acc / static_cast<double>(w.size());
+    }
+};
+
+/** Greedy residual initialization (sign of residual, mean |residual|). */
+void
+greedyInit(Segment &seg, int bits)
+{
+    const std::size_t len = seg.w.size();
+    std::vector<double> residual = seg.w;
+
+    if (seg.useOffset) {
+        double mean = 0.0;
+        for (double v : residual)
+            mean += v;
+        mean /= static_cast<double>(len);
+        seg.z = mean;
+        for (double &v : residual)
+            v -= mean;
+    }
+
+    seg.b.assign(bits, std::vector<int8_t>(len, 1));
+    seg.alpha.assign(bits, 0.0);
+    for (int i = 0; i < bits; ++i) {
+        double mean_abs = 0.0;
+        for (std::size_t e = 0; e < len; ++e) {
+            seg.b[i][e] = residual[e] >= 0.0 ? 1 : -1;
+            mean_abs += std::fabs(residual[e]);
+        }
+        mean_abs /= static_cast<double>(len);
+        seg.alpha[i] = mean_abs;
+        for (std::size_t e = 0; e < len; ++e)
+            residual[e] -= seg.alpha[i] * seg.b[i][e];
+    }
+}
+
+/** Least-squares update of (alpha, z) for fixed codes. */
+void
+refitScales(Segment &seg)
+{
+    const int q = static_cast<int>(seg.alpha.size());
+    const int dim = q + (seg.useOffset ? 1 : 0);
+    const std::size_t len = seg.w.size();
+
+    std::vector<std::vector<double>> gram(
+        dim, std::vector<double>(dim, 0.0));
+    std::vector<double> rhs(dim, 0.0);
+
+    auto basis = [&](int i, std::size_t e) -> double {
+        return i < q ? static_cast<double>(seg.b[i][e]) : 1.0;
+    };
+    for (int i = 0; i < dim; ++i) {
+        for (int j = i; j < dim; ++j) {
+            double acc = 0.0;
+            for (std::size_t e = 0; e < len; ++e)
+                acc += basis(i, e) * basis(j, e);
+            gram[i][j] = acc;
+            gram[j][i] = acc;
+        }
+        double acc = 0.0;
+        for (std::size_t e = 0; e < len; ++e)
+            acc += basis(i, e) * seg.w[e];
+        rhs[i] = acc;
+    }
+
+    const auto x = solveSmallSystem(gram, rhs);
+    for (int i = 0; i < q; ++i)
+        seg.alpha[i] = x[i];
+    if (seg.useOffset)
+        seg.z = x[q];
+}
+
+/** Optimal per-element code re-selection for fixed (alpha, z). */
+void
+reselectCodes(Segment &seg)
+{
+    const int q = static_cast<int>(seg.alpha.size());
+    const std::size_t len = seg.w.size();
+    const int patterns = 1 << q;
+
+    // Precompute the 2^q achievable levels.
+    std::vector<double> level(patterns, 0.0);
+    for (int p = 0; p < patterns; ++p) {
+        double acc = seg.z;
+        for (int i = 0; i < q; ++i)
+            acc += (p >> i) & 1 ? seg.alpha[i] : -seg.alpha[i];
+        level[p] = acc;
+    }
+
+    for (std::size_t e = 0; e < len; ++e) {
+        int best = 0;
+        double best_err = std::fabs(seg.w[e] - level[0]);
+        for (int p = 1; p < patterns; ++p) {
+            const double err = std::fabs(seg.w[e] - level[p]);
+            if (err < best_err) {
+                best_err = err;
+                best = p;
+            }
+        }
+        for (int i = 0; i < q; ++i)
+            seg.b[i][e] = (best >> i) & 1 ? 1 : -1;
+    }
+}
+
+} // namespace
+
+std::size_t
+BcqTensor::groupsPerRow() const
+{
+    return (cols + groupSize - 1) / groupSize;
+}
+
+int8_t
+BcqTensor::sign(int plane, std::size_t r, std::size_t c) const
+{
+    FIGLUT_ASSERT(plane >= 0 && plane < bits, "plane ", plane,
+                  " out of range for ", bits, "-bit BCQ tensor");
+    return planes[static_cast<std::size_t>(plane)](r, c) ? 1 : -1;
+}
+
+double
+BcqTensor::dequant(std::size_t r, std::size_t c) const
+{
+    const std::size_t g = groupOfCol(c);
+    double acc = offsets(r, g);
+    for (int i = 0; i < bits; ++i)
+        acc += alphas[static_cast<std::size_t>(i)](r, g) * sign(i, r, c);
+    return acc;
+}
+
+MatrixD
+BcqTensor::dequantAll() const
+{
+    MatrixD out(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            out(r, c) = dequant(r, c);
+    return out;
+}
+
+std::size_t
+BcqTensor::storageBits(int scale_bits) const
+{
+    const std::size_t plane_bits =
+        static_cast<std::size_t>(bits) * rows * cols;
+    const std::size_t scale_count =
+        static_cast<std::size_t>(bits) * rows * groupsPerRow();
+    const std::size_t offset_count =
+        hasOffset ? rows * groupsPerRow() : 0;
+    return plane_bits +
+           (scale_count + offset_count) * static_cast<std::size_t>(
+               scale_bits);
+}
+
+BcqTensor
+quantizeBcq(const MatrixD &weights, const BcqConfig &config)
+{
+    if (config.bits < 1 || config.bits > 8)
+        fatal("BCQ bit width must be in [1, 8], got ", config.bits);
+    if (weights.rows() == 0 || weights.cols() == 0)
+        fatal("cannot quantize an empty weight matrix");
+
+    BcqTensor t;
+    t.rows = weights.rows();
+    t.cols = weights.cols();
+    t.bits = config.bits;
+    t.groupSize = config.groupSize == 0 ? t.cols : config.groupSize;
+    if (t.groupSize > t.cols)
+        t.groupSize = t.cols;
+    t.hasOffset = config.useOffset;
+
+    const std::size_t groups = t.groupsPerRow();
+    t.planes.assign(static_cast<std::size_t>(t.bits),
+                    Matrix<uint8_t>(t.rows, t.cols, 0));
+    t.alphas.assign(static_cast<std::size_t>(t.bits),
+                    Matrix<double>(t.rows, groups, 0.0));
+    t.offsets = Matrix<double>(t.rows, groups, 0.0);
+
+    for (std::size_t r = 0; r < t.rows; ++r) {
+        for (std::size_t g = 0; g < groups; ++g) {
+            const std::size_t c0 = g * t.groupSize;
+            const std::size_t c1 = std::min(t.cols, c0 + t.groupSize);
+
+            Segment seg;
+            seg.useOffset = config.useOffset;
+            seg.w.assign(weights.rowPtr(r) + c0, weights.rowPtr(r) + c1);
+
+            greedyInit(seg, t.bits);
+            double prev = seg.mse();
+            for (int it = 0; it < config.iterations; ++it) {
+                refitScales(seg);
+                reselectCodes(seg);
+                const double cur = seg.mse();
+                // Alternating steps each minimize their subproblem, so
+                // the error cannot rise; stop when converged.
+                if (cur >= prev - 1e-15)
+                    break;
+                prev = cur;
+            }
+            // A final scale refit for the final codes.
+            refitScales(seg);
+
+            for (int i = 0; i < t.bits; ++i) {
+                t.alphas[static_cast<std::size_t>(i)](r, g) = seg.alpha[
+                    static_cast<std::size_t>(i)];
+                for (std::size_t c = c0; c < c1; ++c) {
+                    t.planes[static_cast<std::size_t>(i)](r, c) =
+                        seg.b[static_cast<std::size_t>(i)][c - c0] > 0
+                            ? 1 : 0;
+                }
+            }
+            t.offsets(r, g) = seg.z;
+        }
+    }
+    return t;
+}
+
+double
+bcqMse(const MatrixD &weights, const BcqTensor &tensor)
+{
+    FIGLUT_ASSERT(weights.rows() == tensor.rows &&
+                  weights.cols() == tensor.cols,
+                  "BCQ MSE shape mismatch");
+    double acc = 0.0;
+    for (std::size_t r = 0; r < tensor.rows; ++r) {
+        for (std::size_t c = 0; c < tensor.cols; ++c) {
+            const double d = weights(r, c) - tensor.dequant(r, c);
+            acc += d * d;
+        }
+    }
+    return acc / static_cast<double>(weights.size());
+}
+
+} // namespace figlut

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Binary-coding quantization (BCQ).
+ *
+ * A real weight w is approximated as w ~= sum_i alpha_i * b_i (+ z),
+ * with b_i in {-1, +1} (Xu et al., "Alternating Multi-bit Quantization").
+ * The offset term z is the extension from LUT-GEMM (Park et al.) that
+ * lets the same format represent uniform quantization exactly, which is
+ * what allows FIGLUT to serve both uniform and non-uniform models on one
+ * datapath (paper Section II-B, Fig. 1).
+ *
+ * Storage layout: q bit-planes, each a {0,1} matrix (1 => +1), with
+ * per-(row, group) scale factors alpha_i and offsets z. This mirrors the
+ * bit-serial execution order of the accelerator (Fig. 5b): plane-major
+ * within a weight tile.
+ */
+
+#ifndef FIGLUT_QUANT_BCQ_H
+#define FIGLUT_QUANT_BCQ_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace figlut {
+
+/** A BCQ-quantized weight matrix. */
+struct BcqTensor
+{
+    std::size_t rows = 0;      ///< output features (M)
+    std::size_t cols = 0;      ///< input features (N)
+    int bits = 0;              ///< number of bit planes q
+    std::size_t groupSize = 0; ///< columns per scale group
+    bool hasOffset = false;    ///< offset term present
+
+    /** planes[i](r, c) in {0, 1}; 1 encodes b = +1, 0 encodes b = -1. */
+    std::vector<Matrix<uint8_t>> planes;
+    /** alphas[i](r, g): scale of plane i for row r, column group g. */
+    std::vector<Matrix<double>> alphas;
+    /** offsets(r, g): z term (all zeros when !hasOffset). */
+    Matrix<double> offsets;
+
+    std::size_t groupsPerRow() const;
+    std::size_t groupOfCol(std::size_t c) const { return c / groupSize; }
+
+    /** Sign of plane i at (r, c): +1 or -1. */
+    int8_t sign(int plane, std::size_t r, std::size_t c) const;
+
+    /** Dequantized value at (r, c). */
+    double dequant(std::size_t r, std::size_t c) const;
+
+    /** Full dequantized matrix. */
+    MatrixD dequantAll() const;
+
+    /** Weight memory footprint in bits (planes + scales + offsets). */
+    std::size_t storageBits(int scale_bits = 16) const;
+};
+
+/** Configuration for BCQ quantization. */
+struct BcqConfig
+{
+    int bits = 3;
+    /** 0 means one group per full row. */
+    std::size_t groupSize = 0;
+    /** Fit an offset term z per (row, group). */
+    bool useOffset = false;
+    /** Alternating-optimization refinement rounds (0 = greedy only). */
+    int iterations = 12;
+};
+
+/**
+ * Quantize a weight matrix to BCQ.
+ *
+ * Greedy residual initialization followed by alternating optimization:
+ * closed-form least squares for (alpha, z) given the binary codes, then
+ * exhaustive per-element code re-selection given (alpha, z). Monotone
+ * non-increasing reconstruction error per round.
+ */
+BcqTensor quantizeBcq(const MatrixD &weights, const BcqConfig &config);
+
+/** Mean squared reconstruction error of a BCQ tensor vs the original. */
+double bcqMse(const MatrixD &weights, const BcqTensor &tensor);
+
+} // namespace figlut
+
+#endif // FIGLUT_QUANT_BCQ_H

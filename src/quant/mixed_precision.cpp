@@ -1,0 +1,105 @@
+#include "quant/mixed_precision.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+double
+averageBits(const std::vector<LayerBudgetItem> &layers,
+            const std::vector<int> &bits)
+{
+    FIGLUT_ASSERT(layers.size() == bits.size(),
+                  "averageBits: layer/bits length mismatch");
+    double weighted = 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        weighted += static_cast<double>(layers[i].paramCount) * bits[i];
+        total += static_cast<double>(layers[i].paramCount);
+    }
+    return total > 0.0 ? weighted / total : 0.0;
+}
+
+MixedPrecisionPlan
+allocateBits(const std::vector<LayerBudgetItem> &layers,
+             const MixedPrecisionConfig &config)
+{
+    if (layers.empty())
+        fatal("mixed-precision allocation needs at least one layer");
+    if (config.minBits < 1 || config.maxBits > 8 ||
+        config.minBits > config.maxBits) {
+        fatal("invalid mixed-precision bit range [", config.minBits, ", ",
+              config.maxBits, "]");
+    }
+    if (config.targetAvgBits < config.minBits ||
+        config.targetAvgBits > config.maxBits) {
+        fatal("target average bits ", config.targetAvgBits,
+              " outside the allowed range [", config.minBits, ", ",
+              config.maxBits, "]");
+    }
+
+    MixedPrecisionPlan plan;
+    plan.bitsPerLayer.assign(layers.size(), config.minBits);
+    plan.minBits = config.minBits;
+    plan.maxBits = config.maxBits;
+
+    std::size_t total_params = 0;
+    for (const auto &layer : layers) {
+        if (layer.paramCount == 0)
+            fatal("layer '", layer.name, "' has zero parameters");
+        total_params += layer.paramCount;
+    }
+
+    // Bit budget above the floor that the target average allows.
+    const double budget_bits =
+        (config.targetAvgBits - config.minBits) *
+        static_cast<double>(total_params);
+
+    // Greedy: repeatedly upgrade the layer with the best sensitivity
+    // per parameter that still fits in the remaining budget.
+    struct Candidate
+    {
+        double gainPerParam;
+        std::size_t index;
+
+        bool
+        operator<(const Candidate &other) const
+        {
+            // max-heap on gain; tie-break on lower index for
+            // determinism.
+            if (gainPerParam != other.gainPerParam)
+                return gainPerParam < other.gainPerParam;
+            return index > other.index;
+        }
+    };
+
+    std::priority_queue<Candidate> heap;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        heap.push({layers[i].sensitivity /
+                       static_cast<double>(layers[i].paramCount),
+                   i});
+    }
+
+    double spent = 0.0;
+    while (!heap.empty()) {
+        const auto cand = heap.top();
+        heap.pop();
+        const std::size_t i = cand.index;
+        if (plan.bitsPerLayer[i] >= config.maxBits)
+            continue;
+        const double cost = static_cast<double>(layers[i].paramCount);
+        if (spent + cost > budget_bits + 1e-9)
+            continue; // does not fit; try smaller layers
+        ++plan.bitsPerLayer[i];
+        spent += cost;
+        // Diminishing returns: each further bit halves the gain.
+        heap.push({cand.gainPerParam * 0.5, i});
+    }
+
+    plan.avgBits = averageBits(layers, plan.bitsPerLayer);
+    return plan;
+}
+
+} // namespace figlut

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sensitivity-driven mixed-precision bit allocation.
+ *
+ * ShiftAddLLM (the quantizer FIGLUT's Fig. 17 rides on) assigns each
+ * layer 2 or 3 bits based on its quantization sensitivity so that the
+ * *average* bit width hits a target like 2.4. The accelerator is
+ * bit-serial, so a fractional average translates directly into average
+ * cycles/energy. This module implements the allocation: given per-layer
+ * sensitivity scores and sizes, pick per-layer integer bit widths that
+ * reach a target average while minimizing total weighted error.
+ */
+
+#ifndef FIGLUT_QUANT_MIXED_PRECISION_H
+#define FIGLUT_QUANT_MIXED_PRECISION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace figlut {
+
+/** One quantizable layer in the allocation problem. */
+struct LayerBudgetItem
+{
+    std::string name;
+    std::size_t paramCount = 0; ///< number of weights in the layer
+    /**
+     * Expected quantization error *reduction* per extra bit, weighted
+     * by importance (higher = more sensitive = give bits first).
+     */
+    double sensitivity = 0.0;
+};
+
+/** Result of the allocation. */
+struct MixedPrecisionPlan
+{
+    std::vector<int> bitsPerLayer;  ///< aligned with the input layers
+    double avgBits = 0.0;           ///< parameter-weighted average
+    int minBits = 0;
+    int maxBits = 0;
+};
+
+/** Configuration of the allocator. */
+struct MixedPrecisionConfig
+{
+    double targetAvgBits = 2.4;
+    int minBits = 2;
+    int maxBits = 4;
+};
+
+/**
+ * Allocate per-layer bit widths.
+ *
+ * Every layer starts at minBits; extra bits are granted greedily to the
+ * most sensitive remaining layer (sensitivity per parameter) until the
+ * parameter-weighted average reaches the target. Deterministic: ties
+ * break on layer order.
+ */
+MixedPrecisionPlan allocateBits(const std::vector<LayerBudgetItem> &layers,
+                                const MixedPrecisionConfig &config);
+
+/** Parameter-weighted average bit width of an explicit assignment. */
+double averageBits(const std::vector<LayerBudgetItem> &layers,
+                   const std::vector<int> &bits);
+
+} // namespace figlut
+
+#endif // FIGLUT_QUANT_MIXED_PRECISION_H

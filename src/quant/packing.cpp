@@ -1,0 +1,86 @@
+#include "quant/packing.h"
+
+#include "common/logging.h"
+
+namespace figlut {
+
+int
+PackedPlane::bit(std::size_t r, std::size_t c) const
+{
+    FIGLUT_ASSERT(r < rows && c < cols, "packed plane index out of range");
+    const std::size_t word = r * wordsPerRow + c / 64;
+    return static_cast<int>((words[word] >> (c % 64)) & 1u);
+}
+
+std::size_t
+PackedBcq::planeBytes() const
+{
+    std::size_t bytes = 0;
+    for (const auto &p : planes)
+        bytes += p.words.size() * sizeof(uint64_t);
+    return bytes;
+}
+
+PackedBcq
+packBcq(const BcqTensor &tensor)
+{
+    PackedBcq out;
+    out.bits = tensor.bits;
+    out.planes.reserve(static_cast<std::size_t>(tensor.bits));
+    for (int i = 0; i < tensor.bits; ++i) {
+        const auto &plane = tensor.planes[static_cast<std::size_t>(i)];
+        PackedPlane p;
+        p.rows = plane.rows();
+        p.cols = plane.cols();
+        p.wordsPerRow = (plane.cols() + 63) / 64;
+        p.words.assign(p.rows * p.wordsPerRow, 0);
+        for (std::size_t r = 0; r < p.rows; ++r) {
+            for (std::size_t c = 0; c < p.cols; ++c) {
+                if (plane(r, c))
+                    p.words[r * p.wordsPerRow + c / 64] |=
+                        uint64_t(1) << (c % 64);
+            }
+        }
+        out.planes.push_back(std::move(p));
+    }
+    return out;
+}
+
+std::vector<Matrix<uint8_t>>
+unpackBcq(const PackedBcq &packed)
+{
+    std::vector<Matrix<uint8_t>> planes;
+    planes.reserve(packed.planes.size());
+    for (const auto &p : packed.planes) {
+        Matrix<uint8_t> m(p.rows, p.cols, 0);
+        for (std::size_t r = 0; r < p.rows; ++r)
+            for (std::size_t c = 0; c < p.cols; ++c)
+                m(r, c) = static_cast<uint8_t>(p.bit(r, c));
+        planes.push_back(std::move(m));
+    }
+    return planes;
+}
+
+std::size_t
+bcqWeightBytes(std::size_t rows, std::size_t cols, int bits,
+               std::size_t group_size, bool has_offset)
+{
+    if (group_size == 0)
+        group_size = cols;
+    const std::size_t groups = (cols + group_size - 1) / group_size;
+    const std::size_t plane_bits =
+        static_cast<std::size_t>(bits) * rows * cols;
+    std::size_t meta_entries =
+        static_cast<std::size_t>(bits) * rows * groups;
+    if (has_offset)
+        meta_entries += rows * groups;
+    return (plane_bits + 7) / 8 + meta_entries * 2;
+}
+
+std::size_t
+activationBytes(std::size_t rows, std::size_t cols, int storage_bits)
+{
+    return (rows * cols * static_cast<std::size_t>(storage_bits) + 7) / 8;
+}
+
+} // namespace figlut

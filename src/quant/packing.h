@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Bit-plane packing and memory footprint accounting.
+ *
+ * The simulator charges DRAM/SRAM traffic for weights in their packed
+ * bit-serial layout: plane-major, row-major within a plane, 64 columns
+ * per word. The packed form is also what the detailed systolic model
+ * streams into the PE array.
+ */
+
+#ifndef FIGLUT_QUANT_PACKING_H
+#define FIGLUT_QUANT_PACKING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/bcq.h"
+
+namespace figlut {
+
+/** One packed bit plane: rows x ceil(cols/64) words. */
+struct PackedPlane
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::size_t wordsPerRow = 0;
+    std::vector<uint64_t> words; ///< row-major
+
+    /** Bit at (r, c) (1 => +1). */
+    int bit(std::size_t r, std::size_t c) const;
+};
+
+/** All planes of a BCQ tensor in packed form. */
+struct PackedBcq
+{
+    int bits = 0;
+    std::vector<PackedPlane> planes;
+
+    /** Total packed plane payload in bytes (excludes scales/offsets). */
+    std::size_t planeBytes() const;
+};
+
+/** Pack all bit planes of a BCQ tensor. */
+PackedBcq packBcq(const BcqTensor &tensor);
+
+/** Unpack back to {0,1} matrices (for round-trip verification). */
+std::vector<Matrix<uint8_t>> unpackBcq(const PackedBcq &packed);
+
+/**
+ * Memory footprint helpers (bytes) used by the traffic model.
+ * Scale/offset metadata is charged at 16-bit per entry, matching the
+ * FP16 scale storage used by LUT-GEMM-style kernels.
+ */
+std::size_t bcqWeightBytes(std::size_t rows, std::size_t cols, int bits,
+                           std::size_t group_size, bool has_offset);
+
+/** Activation footprint in bytes for a rows x cols FP tile. */
+std::size_t activationBytes(std::size_t rows, std::size_t cols,
+                            int storage_bits);
+
+} // namespace figlut
+
+#endif // FIGLUT_QUANT_PACKING_H

@@ -1,0 +1,124 @@
+#include "quant/rtn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+std::size_t
+RtnTensor::groupsPerRow() const
+{
+    return (cols + groupSize - 1) / groupSize;
+}
+
+double
+RtnTensor::dequant(std::size_t r, std::size_t c) const
+{
+    const std::size_t g = groupOfCol(c);
+    return scales(r, g) *
+           (static_cast<double>(codes(r, c)) - zeroPoints(r, g));
+}
+
+MatrixD
+RtnTensor::dequantAll() const
+{
+    MatrixD out(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            out(r, c) = dequant(r, c);
+    return out;
+}
+
+RtnTensor
+quantizeRtn(const MatrixD &weights, const RtnConfig &config)
+{
+    if (config.bits < 1 || config.bits > 8)
+        fatal("RTN bit width must be in [1, 8], got ", config.bits);
+    if (weights.rows() == 0 || weights.cols() == 0)
+        fatal("cannot quantize an empty weight matrix");
+
+    RtnTensor t;
+    t.rows = weights.rows();
+    t.cols = weights.cols();
+    t.bits = config.bits;
+    t.groupSize = config.groupSize == 0 ? t.cols : config.groupSize;
+    if (t.groupSize > t.cols)
+        t.groupSize = t.cols;
+
+    const std::size_t groups = t.groupsPerRow();
+    const int qmax = (1 << config.bits) - 1;
+
+    t.codes = Matrix<uint8_t>(t.rows, t.cols);
+    t.scales = Matrix<double>(t.rows, groups, 0.0);
+    t.zeroPoints = Matrix<int32_t>(t.rows, groups, 0);
+
+    for (std::size_t r = 0; r < t.rows; ++r) {
+        for (std::size_t g = 0; g < groups; ++g) {
+            const std::size_t c0 = g * t.groupSize;
+            const std::size_t c1 = std::min(t.cols, c0 + t.groupSize);
+
+            double lo = weights(r, c0);
+            double hi = weights(r, c0);
+            for (std::size_t c = c0; c < c1; ++c) {
+                lo = std::min(lo, weights(r, c));
+                hi = std::max(hi, weights(r, c));
+            }
+
+            double scale = 0.0;
+            int32_t zp = 0;
+            if (config.symmetric) {
+                const double amax = std::max(std::fabs(lo), std::fabs(hi));
+                // Codes are re-centred on the mid code.
+                zp = qmax / 2;
+                scale = amax > 0.0
+                            ? amax / std::max(qmax - zp, zp)
+                            : 1.0;
+            } else {
+                scale = (hi - lo) / qmax;
+                if (scale <= 0.0) {
+                    // Constant group: make code 1 reproduce the value
+                    // exactly (scale may be negative; the affine
+                    // dequant form does not care). All-zero groups
+                    // keep scale 1 so code 0 decodes to 0.
+                    scale = lo != 0.0 ? lo : 1.0;
+                    zp = 0;
+                } else {
+                    zp = static_cast<int32_t>(std::lround(-lo / scale));
+                    zp = std::clamp(zp, 0, qmax);
+                }
+            }
+
+            t.scales(r, g) = scale;
+            t.zeroPoints(r, g) = zp;
+
+            for (std::size_t c = c0; c < c1; ++c) {
+                const double q =
+                    std::lround(weights(r, c) / scale) + zp;
+                const auto code = static_cast<uint8_t>(
+                    std::clamp<long>(static_cast<long>(q), 0, qmax));
+                t.codes(r, c) = code;
+            }
+        }
+    }
+    return t;
+}
+
+double
+rtnMse(const MatrixD &weights, const RtnTensor &tensor)
+{
+    FIGLUT_ASSERT(weights.rows() == tensor.rows &&
+                  weights.cols() == tensor.cols,
+                  "RTN MSE shape mismatch");
+    double acc = 0.0;
+    for (std::size_t r = 0; r < tensor.rows; ++r) {
+        for (std::size_t c = 0; c < tensor.cols; ++c) {
+            const double d = weights(r, c) - tensor.dequant(r, c);
+            acc += d * d;
+        }
+    }
+    return acc / static_cast<double>(weights.size());
+}
+
+} // namespace figlut

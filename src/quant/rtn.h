@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Round-to-nearest (RTN) uniform weight quantization.
+ *
+ * This is the uniform-quantization substrate the paper's accuracy
+ * experiments build on (Table IV quantizes OPT weights with RTN at
+ * 4 bits). Quantization is asymmetric (scale + integer zero point) and
+ * can be applied per row or per contiguous group of columns within a
+ * row, matching common weight-only quantization practice.
+ */
+
+#ifndef FIGLUT_QUANT_RTN_H
+#define FIGLUT_QUANT_RTN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace figlut {
+
+/** A uniformly quantized weight matrix (codes + per-group scale/zero). */
+struct RtnTensor
+{
+    std::size_t rows = 0;       ///< output features (M)
+    std::size_t cols = 0;       ///< input features (N)
+    int bits = 0;               ///< code width q
+    std::size_t groupSize = 0;  ///< columns per quantization group
+
+    /** Unsigned codes in [0, 2^bits). */
+    Matrix<uint8_t> codes;
+    /** Scale per (row, group). */
+    Matrix<double> scales;
+    /** Integer zero point per (row, group). */
+    Matrix<int32_t> zeroPoints;
+
+    std::size_t groupsPerRow() const;
+    std::size_t groupOfCol(std::size_t c) const { return c / groupSize; }
+
+    /** Dequantized value at (r, c): scale * (code - zeroPoint). */
+    double dequant(std::size_t r, std::size_t c) const;
+
+    /** Full dequantized matrix. */
+    MatrixD dequantAll() const;
+};
+
+/** Configuration for RTN quantization. */
+struct RtnConfig
+{
+    int bits = 4;
+    /** 0 means one group per full row. */
+    std::size_t groupSize = 0;
+    /** Symmetric mode forces zeroPoint = (2^bits - 1) / 2. */
+    bool symmetric = false;
+};
+
+/**
+ * Quantize a weight matrix with round-to-nearest uniform quantization.
+ *
+ * Scales are chosen per group from the min/max range (asymmetric) or
+ * the absolute maximum (symmetric). Degenerate all-equal groups get a
+ * scale that reproduces the constant exactly.
+ */
+RtnTensor quantizeRtn(const MatrixD &weights, const RtnConfig &config);
+
+/** Mean squared reconstruction error of an RTN tensor vs the original. */
+double rtnMse(const MatrixD &weights, const RtnTensor &tensor);
+
+} // namespace figlut
+
+#endif // FIGLUT_QUANT_RTN_H

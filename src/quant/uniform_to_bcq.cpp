@@ -1,0 +1,64 @@
+#include "quant/uniform_to_bcq.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+BcqTensor
+uniformToBcq(const RtnTensor &rtn)
+{
+    BcqTensor t;
+    t.rows = rtn.rows;
+    t.cols = rtn.cols;
+    t.bits = rtn.bits;
+    t.groupSize = rtn.groupSize;
+    t.hasOffset = true;
+
+    const std::size_t groups = rtn.groupsPerRow();
+    t.planes.assign(static_cast<std::size_t>(t.bits),
+                    Matrix<uint8_t>(t.rows, t.cols, 0));
+    t.alphas.assign(static_cast<std::size_t>(t.bits),
+                    Matrix<double>(t.rows, groups, 0.0));
+    t.offsets = Matrix<double>(t.rows, groups, 0.0);
+
+    const double levels = static_cast<double>((1 << t.bits) - 1);
+    for (std::size_t r = 0; r < t.rows; ++r) {
+        for (std::size_t g = 0; g < groups; ++g) {
+            const double s = rtn.scales(r, g);
+            const double zp = rtn.zeroPoints(r, g);
+            for (int i = 0; i < t.bits; ++i) {
+                // alpha_i = s * 2^i / 2
+                t.alphas[static_cast<std::size_t>(i)](r, g) =
+                    s * std::ldexp(1.0, i - 1);
+            }
+            t.offsets(r, g) = s * (levels / 2.0 - zp);
+        }
+    }
+
+    for (std::size_t r = 0; r < t.rows; ++r) {
+        for (std::size_t c = 0; c < t.cols; ++c) {
+            const uint8_t code = rtn.codes(r, c);
+            for (int i = 0; i < t.bits; ++i) {
+                t.planes[static_cast<std::size_t>(i)](r, c) =
+                    static_cast<uint8_t>((code >> i) & 1);
+            }
+        }
+    }
+    return t;
+}
+
+uint8_t
+bcqToUniformCode(const BcqTensor &bcq, std::size_t r, std::size_t c)
+{
+    FIGLUT_ASSERT(bcq.hasOffset,
+                  "only offset-form BCQ tensors encode uniform codes");
+    unsigned code = 0;
+    for (int i = 0; i < bcq.bits; ++i)
+        code |= static_cast<unsigned>(
+                    bcq.planes[static_cast<std::size_t>(i)](r, c)) << i;
+    return static_cast<uint8_t>(code);
+}
+
+} // namespace figlut

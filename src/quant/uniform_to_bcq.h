@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Exact conversion from uniform (RTN-style) quantization to BCQ with
+ * offset — the paper's Fig. 1 construction.
+ *
+ * A q-bit uniform code u in [0, 2^q) with scale s and zero point zp
+ * represents w = s * (u - zp). Writing u in binary digits c_i and
+ * substituting c_i = (b_i + 1) / 2 with b_i in {-1, +1} yields
+ *
+ *     w = sum_i (s * 2^(i-1)) * b_i  +  s * ((2^q - 1) / 2 - zp)
+ *
+ * i.e. BCQ planes are the binary digits of the code, alpha_i = s*2^i/2,
+ * and the offset absorbs the zero point. The conversion is exact at the
+ * code level, which is what lets one BCQ engine execute uniformly
+ * quantized models.
+ */
+
+#ifndef FIGLUT_QUANT_UNIFORM_TO_BCQ_H
+#define FIGLUT_QUANT_UNIFORM_TO_BCQ_H
+
+#include "quant/bcq.h"
+#include "quant/rtn.h"
+
+namespace figlut {
+
+/** Convert an RTN tensor to the equivalent BCQ-with-offset tensor. */
+BcqTensor uniformToBcq(const RtnTensor &rtn);
+
+/**
+ * Recover the uniform code at (r, c) from a converted tensor
+ * (digit-reassembly; exact inverse of uniformToBcq's plane mapping).
+ */
+uint8_t bcqToUniformCode(const BcqTensor &bcq, std::size_t r,
+                         std::size_t c);
+
+} // namespace figlut
+
+#endif // FIGLUT_QUANT_UNIFORM_TO_BCQ_H

@@ -1,0 +1,107 @@
+#include "sim/engine_sim.h"
+
+#include "arch/lut_power.h"
+#include "arch/memory_model.h"
+#include "common/logging.h"
+
+namespace figlut {
+
+MpuConfig
+mpuConfigFor(const HwConfig &hw)
+{
+    MpuConfig mpu;
+    mpu.engine = hw.engine;
+    mpu.actFormat = hw.actFormat;
+    mpu.weightBits = hw.fixedWeightBits;
+    mpu.mu = hw.mu;
+    mpu.k = hw.k;
+    return mpu;
+}
+
+EnergyBreakdown
+energyForProfile(const HwConfig &hw, const OpProfile &p)
+{
+    const TechParams &tech = hw.tech;
+    const int mant = significandBits(hw.actFormat);
+    EnergyBreakdown e;
+
+    // ---- MPU arithmetic ----
+    e.mpuArithFj += p.fpMulOps * tech.fpMulEnergy(mant);
+    e.mpuArithFj += p.fpAddOps * tech.fpAddEnergy(24);
+    if (p.intMulOps > 0.0)
+        e.mpuArithFj += p.intMulOps *
+                        tech.intMulEnergy(p.intMulBitsA, p.intMulBitsB);
+    if (p.intAddOps > 0.0)
+        e.mpuArithFj += p.intAddOps * tech.intAddEnergy(p.intAddBits);
+    e.mpuArithFj += p.dequantOps * tech.dequantEnergyFj(
+        hw.fixedWeightBits, mant);
+    e.mpuArithFj += p.prealignOps * tech.prealignEnergyFj(
+        alignedWidth(hw.actFormat));
+    e.mpuArithFj += p.i2fOps * tech.i2fEnergyFj(
+        alignedWidth(hw.actFormat));
+    e.mpuArithFj += p.scaleMulOps * tech.fpMulEnergy(24);
+
+    // ---- LUT array (hFFLUT by default; FFLUT/RFLUT for ablation) ----
+    if (p.lutInstanceCycles > 0.0) {
+        LutConfig lut_cfg;
+        lut_cfg.mu = hw.mu;
+        lut_cfg.valueBits = p.lutValueBits;
+        lut_cfg.fanout = hw.k;
+        const auto pw = lutPower(hw.lutImpl, lut_cfg, tech);
+        // Hold power per instantiated table (fan-out inflation
+        // included); read/decode energy charged per actual read.
+        e.lutFj += p.lutInstanceCycles * pw.holdFj;
+        e.lutFj += p.lutReads * ((pw.readFj + pw.decoderFj) / hw.k);
+    }
+
+    // ---- LUT generation ----
+    if (p.generatorAdds > 0.0) {
+        const bool integer = hw.engine == EngineKind::FIGLUT_I;
+        const double add_fj =
+            integer ? tech.intAddEnergy(p.lutValueBits)
+                    : tech.fpAddEnergy(24);
+        e.generatorFj += p.generatorAdds * add_fj;
+        e.generatorFj += p.lutWriteBits * tech.ffWritePerBitFj;
+    }
+
+    // ---- Pipeline registers ----
+    e.registersFj += p.registerBitCycles * tech.ffHoldPerBitFj;
+
+    // ---- VPU ----
+    e.vpuFj += p.vpuOps *
+               0.5 * (tech.fpAddEnergy(24) + tech.fpMulEnergy(24));
+
+    // ---- Memories ----
+    const SramModel sram(tech);
+    const DramModel dram(tech);
+    e.sramFj += sram.readEnergyFj(p.traffic.sramReadBits) +
+                sram.writeEnergyFj(p.traffic.sramWriteBits);
+    e.dramFj += dram.accessEnergyFj(p.traffic.dramBits);
+
+    return e;
+}
+
+SimResult
+simulateGemm(const HwConfig &hw, const GemmShape &shape)
+{
+    SimResult result;
+    result.hw = hw;
+    result.shape = shape;
+
+    result.profile = gemmOpProfile(hw, shape);
+    result.timing = gemmTiming(hw, shape,
+                               result.profile.traffic.dramBits / 8.0);
+    result.energy = energyForProfile(hw, result.profile);
+
+    result.powerW = averagePowerW(result.energy,
+                                  result.timing.totalCycles,
+                                  hw.tech.freqMhz);
+    result.effTops = shape.ops() / result.timing.seconds / 1e12;
+    result.topsPerWatt =
+        shape.ops() / result.energy.totalJoules() / 1e12;
+    result.areaMm2 = engineTotalAreaMm2(mpuConfigFor(hw), hw.tech);
+    result.topsPerMm2 = result.effTops / result.areaMm2;
+    return result;
+}
+
+} // namespace figlut

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Engine simulator: composes the tile timing, the op profile and the
+ * technology model into cycles, energy, power, TOPS/W and TOPS/mm^2
+ * for one GEMM on one engine — the quantities behind Tables V and
+ * Figs. 13, 15, 16, 17.
+ */
+
+#ifndef FIGLUT_SIM_ENGINE_SIM_H
+#define FIGLUT_SIM_ENGINE_SIM_H
+
+#include "arch/area_model.h"
+#include "arch/energy_model.h"
+#include "sim/op_counts.h"
+#include "sim/timing_model.h"
+
+namespace figlut {
+
+/** Full result of simulating a GEMM on an engine. */
+struct SimResult
+{
+    HwConfig hw;
+    GemmShape shape;
+    TimingResult timing;
+    OpProfile profile;
+    EnergyBreakdown energy;
+
+    double powerW = 0.0;      ///< average power over the run
+    double effTops = 0.0;     ///< nominal ops / wall time
+    double topsPerWatt = 0.0; ///< nominal ops / joule
+    double areaMm2 = 0.0;     ///< MPU + buffers
+    double topsPerMm2 = 0.0;
+};
+
+/** Map an engine HwConfig onto the area model's MpuConfig. */
+MpuConfig mpuConfigFor(const HwConfig &hw);
+
+/** Price an op profile into an energy breakdown. */
+EnergyBreakdown energyForProfile(const HwConfig &hw,
+                                 const OpProfile &profile);
+
+/** Simulate one GEMM end to end. */
+SimResult simulateGemm(const HwConfig &hw, const GemmShape &shape);
+
+} // namespace figlut
+
+#endif // FIGLUT_SIM_ENGINE_SIM_H

@@ -1,0 +1,108 @@
+#include "sim/figlut_pipeline.h"
+
+#include <optional>
+
+#include "common/logging.h"
+#include "core/lut_generator.h"
+
+namespace figlut {
+
+FiglutPipelineSim::FiglutPipelineSim(const FiglutPipelineConfig &config)
+    : config_(config)
+{
+    if (config.mu < 2 || config.mu > 8)
+        fatal("FIGLUT pipeline needs mu in [2, 8], got ", config.mu);
+    if (config.k < 1 || config.planes < 1 || config.generatorDepth < 1)
+        fatal("FIGLUT pipeline needs positive k/planes/depth");
+}
+
+uint64_t
+FiglutPipelineSim::expectedCycles(std::size_t chunks, int depth)
+{
+    return static_cast<uint64_t>(chunks) + static_cast<uint64_t>(depth);
+}
+
+FiglutPipelineRun
+FiglutPipelineSim::runTile(const std::vector<Matrix<uint8_t>> &plane_bits,
+                           const std::vector<int64_t> &acts) const
+{
+    const auto mu = static_cast<std::size_t>(config_.mu);
+    const auto k = static_cast<std::size_t>(config_.k);
+    const auto planes = static_cast<std::size_t>(config_.planes);
+
+    if (plane_bits.size() != planes)
+        fatal("expected ", planes, " weight planes, got ",
+              plane_bits.size());
+    if (acts.empty() || acts.size() % mu != 0)
+        fatal("activation count ", acts.size(),
+              " must be a non-zero multiple of mu=", mu);
+    for (const auto &p : plane_bits) {
+        if (p.rows() != k || p.cols() != acts.size())
+            fatal("weight plane must be ", k, "x", acts.size(),
+                  ", got ", p.rows(), "x", p.cols());
+    }
+    const std::size_t chunks = acts.size() / mu;
+
+    FiglutPipelineRun run;
+    run.psums = Matrix<int64_t>(k, planes, 0);
+
+    const LutGenerator generator(config_.mu, FpArith::Exact);
+
+    // Pipeline registers: a generated table in flight per stage.
+    struct InFlight
+    {
+        HalfLutI table;
+        std::size_t chunk;
+    };
+    std::vector<std::optional<InFlight>> stage(
+        static_cast<std::size_t>(config_.generatorDepth));
+
+    const uint64_t horizon =
+        expectedCycles(chunks, config_.generatorDepth) + 4;
+    uint64_t last_work = 0;
+    std::size_t retired = 0;
+
+    for (uint64_t t = 0; t < horizon && retired < chunks; ++t) {
+        // RAC stage: the table leaving the last pipeline register is
+        // read by every (row, plane) RAC this cycle.
+        if (stage.back().has_value()) {
+            const auto &ready = *stage.back();
+            const std::size_t c0 = ready.chunk * mu;
+            for (std::size_t p = 0; p < planes; ++p) {
+                for (std::size_t r = 0; r < k; ++r) {
+                    uint32_t key = 0;
+                    for (std::size_t j = 0; j < mu; ++j)
+                        key = (key << 1) | plane_bits[p](r, c0 + j);
+                    run.psums(r, p) += ready.table.value(key);
+                    ++run.lutReads;
+                }
+            }
+            ++retired;
+            last_work = t + 1;
+        }
+
+        // Shift the generator pipeline.
+        for (std::size_t s = stage.size(); s-- > 1;)
+            stage[s] = std::move(stage[s - 1]);
+
+        // Generator front end: start one chunk per cycle.
+        if (t < chunks) {
+            std::vector<int64_t> xs(acts.begin() + t * mu,
+                                    acts.begin() + (t + 1) * mu);
+            stage[0] = InFlight{generator.generateHalfInt(xs),
+                                static_cast<std::size_t>(t)};
+            ++run.lutBuilds;
+            last_work = t + 1;
+        } else {
+            stage[0].reset();
+        }
+    }
+
+    FIGLUT_ASSERT(retired == chunks,
+                  "FIGLUT pipeline failed to retire all chunks: ",
+                  retired, " of ", chunks);
+    run.cycles = last_work;
+    return run;
+}
+
+} // namespace figlut

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Detailed cycle-stepped model of the FIGLUT PE pipeline (Fig. 4):
+ * the LUT generator consumes one mu-chunk of pre-aligned activations
+ * per cycle, the generated half-table is written to the PE's FFLUT
+ * after the generator's pipelined tree latency, and k RACs per plane
+ * read it concurrently (the conflict-free property) and accumulate
+ * integer partial sums.
+ *
+ * This is the FIGLUT counterpart of SystolicSim: it validates the
+ * analytic model's per-tile cycle shape and proves the dataflow
+ * functionally — pipeline outputs must equal the plane-serial signed
+ * sums bit for bit.
+ */
+
+#ifndef FIGLUT_SIM_FIGLUT_PIPELINE_H
+#define FIGLUT_SIM_FIGLUT_PIPELINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace figlut {
+
+/** Geometry of the modeled PE group. */
+struct FiglutPipelineConfig
+{
+    int mu = 4;             ///< LUT group size
+    int k = 32;             ///< RACs sharing each LUT
+    int planes = 4;         ///< bit planes processed concurrently
+    int generatorDepth = 2; ///< pipelined tree stages (Fig. 11)
+};
+
+/** Result of streaming one weight tile through the pipeline. */
+struct FiglutPipelineRun
+{
+    /** psums(r, p): output row r, bit plane p. */
+    Matrix<int64_t> psums;
+    uint64_t cycles = 0;
+    uint64_t lutBuilds = 0;
+    uint64_t lutReads = 0;
+};
+
+/** Cycle-stepped FIGLUT PE pipeline. */
+class FiglutPipelineSim
+{
+  public:
+    explicit FiglutPipelineSim(const FiglutPipelineConfig &config);
+
+    /**
+     * Stream a tile.
+     *
+     * @param plane_bits  plane_bits[p](r, c) in {0,1}: weight bit of
+     *                    plane p for output row r (r < k), input
+     *                    column c; p < planes; column count must be a
+     *                    multiple of mu
+     * @param acts        pre-aligned integer activations, one per
+     *                    input column
+     */
+    FiglutPipelineRun runTile(
+        const std::vector<Matrix<uint8_t>> &plane_bits,
+        const std::vector<int64_t> &acts) const;
+
+    /** Closed-form cycles: chunks + generatorDepth (pipeline drain). */
+    static uint64_t expectedCycles(std::size_t chunks, int depth);
+
+  private:
+    FiglutPipelineConfig config_;
+};
+
+} // namespace figlut
+
+#endif // FIGLUT_SIM_FIGLUT_PIPELINE_H

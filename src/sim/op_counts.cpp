@@ -1,0 +1,182 @@
+#include "sim/op_counts.h"
+
+#include <cmath>
+
+#include "arch/area_model.h"
+#include "common/logging.h"
+#include "core/lut_generator.h"
+
+namespace figlut {
+
+int
+peRegisterBits(const HwConfig &hw)
+{
+    const int store = storageBits(hw.actFormat);
+    const int aligned = alignedWidth(hw.actFormat);
+    switch (hw.engine) {
+      case EngineKind::FPE:
+        // weight + input + psum + control
+        return hw.fixedWeightBits + store + 32 + 2;
+      case EngineKind::FIGNA: {
+        const int acc = aligned + hw.fixedWeightBits + 8;
+        return hw.fixedWeightBits + aligned + acc + 2;
+      }
+      case EngineKind::IFPU: {
+        const int acc = aligned + 8;
+        return 1 + aligned + acc + 1;
+      }
+      case EngineKind::FIGLUT_F:
+        // Per PE: k x (mu-bit key + 32-bit psum).
+        return hw.k * (hw.mu + 32);
+      case EngineKind::FIGLUT_I: {
+        const int acc = aligned + hw.mu / 2 + 8;
+        return hw.k * (hw.mu + acc);
+      }
+    }
+    panic("unknown engine kind");
+}
+
+OpProfile
+gemmOpProfile(const HwConfig &hw, const GemmShape &shape)
+{
+    shape.validate();
+    hw.validate();
+
+    OpProfile p;
+    p.walk = tileWalk(hw, shape);
+
+    const double m = static_cast<double>(shape.m);
+    const double n = static_cast<double>(shape.n);
+    const double b = static_cast<double>(shape.batch);
+    const double macs = shape.macs();
+    const int q = shape.weightBits;            // logical planes
+    const int qproc = hw.processedWeightBits(q); // physical width
+    const int store = storageBits(hw.actFormat);
+    const int aligned = alignedWidth(hw.actFormat);
+    const auto geo = engineArray(hw.engine);
+    const double tiles_m = static_cast<double>(p.walk.tilesM);
+    const double tiles_k = static_cast<double>(p.walk.tilesK);
+    // Cycles in which the array does useful work; fill/drain cycles
+    // are clock-gated and charged nothing (standard practice, and
+    // essential at small batch where fill dominates the tile time).
+    const double active_cycles = tiles_m * tiles_k * b;
+    const std::size_t groups =
+        shape.groupSize == 0 ? 1
+                             : (shape.n + shape.groupSize - 1) /
+                                   shape.groupSize;
+
+    // ---- Arithmetic by engine ----
+    switch (hw.engine) {
+      case EngineKind::FPE: {
+        p.fpMulOps = macs;
+        p.fpAddOps = macs; // FP32 accumulate
+        // Dequantize once per stationary weight element per batch pass.
+        p.dequantOps = m * n;
+        p.scaleMulOps = 0.0; // folded into dequantization
+        break;
+      }
+      case EngineKind::FIGNA: {
+        p.intMulOps = macs;
+        p.intMulBitsA = aligned;
+        p.intMulBitsB = qproc;
+        p.intAddOps = macs;
+        p.intAddBits = aligned + qproc + 8;
+        p.prealignOps = n * b * tiles_m;
+        // Exponent recovery + FP32 fold per (output, k-tile).
+        p.i2fOps = m * b * tiles_k;
+        p.scaleMulOps = m * b * static_cast<double>(groups);
+        break;
+      }
+      case EngineKind::IFPU: {
+        p.intAddOps = macs * q; // one add/sub per binary plane lane
+        p.intAddBits = aligned + 8;
+        p.prealignOps = n * b * tiles_m;
+        p.i2fOps = m * b * tiles_k;
+        // alpha multiply per (output, plane, group).
+        p.scaleMulOps = m * b * q * static_cast<double>(groups);
+        break;
+      }
+      case EngineKind::FIGLUT_F:
+      case EngineKind::FIGLUT_I: {
+        const bool integer = hw.engine == EngineKind::FIGLUT_I;
+        const double mu = static_cast<double>(hw.mu);
+        p.lutReads = macs * q / mu;
+        if (integer) {
+            p.intAddOps = p.lutReads; // RAC integer accumulate
+            p.intAddBits = aligned + hw.mu / 2 + 8;
+            p.prealignOps = n * b * tiles_m;
+            p.i2fOps = m * b * tiles_k;
+        } else {
+            p.fpAddOps = p.lutReads; // RAC FP32 accumulate
+        }
+        p.scaleMulOps = m * b * q * static_cast<double>(groups);
+
+        // LUT generation: every (mu-chunk, batch column) per M pass,
+        // repeated for each group of `planes` bit planes the array
+        // processes concurrently.
+        const double plane_passes = std::ceil(
+            static_cast<double>(q) / geo.planes);
+        p.lutBuilds = (n / mu) * b * tiles_m * plane_passes;
+        const auto gstats = lutGeneratorAdderCount(hw.mu);
+        p.generatorAdds =
+            p.lutBuilds * static_cast<double>(gstats.treeAdds);
+        p.lutValueBits = integer ? aligned + hw.mu / 2 : 32;
+        p.lutWriteBits = p.lutBuilds *
+                         static_cast<double>(lutEntries(hw.mu - 1)) *
+                         p.lutValueBits;
+        // Every PE's LUT is held while the array streams inputs.
+        p.lutInstanceCycles = static_cast<double>(geo.pes()) *
+                              active_cycles;
+        break;
+      }
+    }
+
+    // ---- Register clocking: active PE flip-flops ----
+    p.registerBitCycles = static_cast<double>(peRegisterBits(hw)) *
+                          static_cast<double>(geo.pes()) *
+                          active_cycles;
+    // Input skew buffers at the array edge, clocked while streaming.
+    {
+        const int stages = skewStages(hw.engine);
+        const double tri = 0.5 * stages * (stages + 1);
+        const int lane_bits =
+            hw.engine == EngineKind::FPE ? store : aligned;
+        p.registerBitCycles += tri * lane_bits * active_cycles;
+    }
+
+    // ---- VPU: offset term + output post-processing ----
+    // Activation sums per (group, batch): n adds; offset multiply-add
+    // per (output, group, batch); final output scale/convert per
+    // output element.
+    p.vpuOps = n * b                                      // act sums
+               + (shape.hasOffset ? m * b * groups : 0.0) // offset MAD
+               + m * b;                                   // output pack
+
+    // ---- Memory traffic ----
+    const double weight_bits_dram =
+        m * n * static_cast<double>(hw.bitSerial() ? q : qproc);
+    const double meta_bits =
+        m * static_cast<double>(groups) *
+        (static_cast<double>(q) + (shape.hasOffset ? 1.0 : 0.0)) * 16.0;
+    const double act_bits = n * b * store;
+    const double out_bits = m * b * store;
+
+    p.traffic.dramBits = weight_bits_dram + meta_bits + act_bits +
+                         out_bits;
+
+    // SRAM: weights and activations staged once, activations re-read
+    // per M pass, psums spilled between K tiles.
+    p.traffic.sramWriteBits = weight_bits_dram + meta_bits + act_bits +
+                              out_bits;
+    p.traffic.sramReadBits = weight_bits_dram + meta_bits +
+                             act_bits * tiles_m + out_bits;
+    if (tiles_k > 1.0) {
+        const double psum_bits = m * b * 32.0 * (tiles_k - 1.0);
+        p.traffic.sramReadBits += psum_bits;
+        p.traffic.sramWriteBits += psum_bits;
+    }
+
+    return p;
+}
+
+} // namespace figlut

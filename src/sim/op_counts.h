@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-engine operation and traffic profiles for a GEMM workload.
+ *
+ * The profile is the bridge between the timing model and the energy
+ * model: every arithmetic operation, LUT event, register-file cycle and
+ * memory bit moved is tallied here, then priced by arch/TechParams in
+ * the engine simulator.
+ */
+
+#ifndef FIGLUT_SIM_OP_COUNTS_H
+#define FIGLUT_SIM_OP_COUNTS_H
+
+#include "arch/memory_model.h"
+#include "sim/timing_model.h"
+
+namespace figlut {
+
+/** Operation tallies for one GEMM run on one engine. */
+struct OpProfile
+{
+    // ---- MPU arithmetic ----
+    double fpMulOps = 0.0;     ///< FP multiplies (input significand)
+    double fpAddOps = 0.0;     ///< FP adds (accumulate significand)
+    double intMulOps = 0.0;    ///< integer multiplies
+    int intMulBitsA = 0;
+    int intMulBitsB = 0;
+    double intAddOps = 0.0;    ///< integer adds
+    int intAddBits = 0;
+    double dequantOps = 0.0;   ///< INT->FP weight dequantizations (FPE)
+    double prealignOps = 0.0;  ///< activation alignment shifts
+    double i2fOps = 0.0;       ///< INT->FP output recoveries
+    double scaleMulOps = 0.0;  ///< alpha/scale FP32 multiplies
+
+    // ---- LUT events (FIGLUT only) ----
+    double lutReads = 0.0;       ///< RAC table reads
+    double lutBuilds = 0.0;      ///< table (re)generations
+    double generatorAdds = 0.0;  ///< adds inside generators
+    double lutWriteBits = 0.0;   ///< FF write bits during builds
+    int lutValueBits = 0;        ///< stored entry width
+    double lutInstanceCycles = 0.0; ///< #LUT instances x active cycles
+
+    // ---- Register activity ----
+    double registerBitCycles = 0.0; ///< held FF bits x active cycles
+
+    // ---- VPU ----
+    double vpuOps = 0.0; ///< FP32-equivalent vector ops
+
+    // ---- Memory traffic ----
+    MemTraffic traffic;
+
+    // ---- Timing snapshot used to build the profile ----
+    TileWalk walk;
+};
+
+/**
+ * Build the operation profile for a GEMM on the configured engine.
+ *
+ * The profile embeds the tile walk (so compute-cycle-proportional
+ * costs like register clocking and LUT holding use the same numbers as
+ * the timing model).
+ */
+OpProfile gemmOpProfile(const HwConfig &hw, const GemmShape &shape);
+
+/** Per-PE pipeline flip-flop bits (excluding the LUT FF array). */
+int peRegisterBits(const HwConfig &hw);
+
+} // namespace figlut
+
+#endif // FIGLUT_SIM_OP_COUNTS_H

@@ -1,0 +1,130 @@
+#include "sim/systolic_sim.h"
+
+#include "common/logging.h"
+
+namespace figlut {
+
+SystolicSim::SystolicSim(const SystolicConfig &config) : config_(config)
+{
+    if (config.rows < 1 || config.cols < 1)
+        fatal("systolic array must be at least 1x1, got ", config.rows,
+              "x", config.cols);
+}
+
+uint64_t
+SystolicSim::expectedCycles(int rows, int cols, std::size_t batch)
+{
+    return static_cast<uint64_t>(batch) + rows + cols - 2;
+}
+
+SystolicTileRun
+SystolicSim::runTile(const Matrix<int32_t> &weights,
+                     const Matrix<int32_t> &acts) const
+{
+    const int rows = config_.rows;
+    const int cols = config_.cols;
+    if (weights.rows() != static_cast<std::size_t>(rows) ||
+        weights.cols() != static_cast<std::size_t>(cols)) {
+        fatal("weight tile must be ", rows, "x", cols, ", got ",
+              weights.rows(), "x", weights.cols());
+    }
+    if (acts.rows() != static_cast<std::size_t>(rows))
+        fatal("activation tile must have ", rows, " rows, got ",
+              acts.rows());
+    const std::size_t batch = acts.cols();
+    if (batch == 0)
+        fatal("cannot stream an empty batch");
+
+    SystolicTileRun run;
+    run.outputs = Matrix<int64_t>(static_cast<std::size_t>(cols), batch,
+                                  0);
+
+    // Register state: value + validity + the batch index the value
+    // belongs to (for drain bookkeeping).
+    struct ActReg
+    {
+        int64_t value = 0;
+        long batch = -1;
+    };
+    struct PsumReg
+    {
+        int64_t value = 0;
+        long batch = -1;
+    };
+    Matrix<ActReg> act_now(rows, cols);
+    Matrix<ActReg> act_next(rows, cols);
+    Matrix<PsumReg> psum_now(rows, cols);
+    Matrix<PsumReg> psum_next(rows, cols);
+
+    uint64_t last_drain = 0;
+    std::size_t drained = 0;
+    const uint64_t horizon =
+        expectedCycles(rows, cols, batch) + 4; // safety margin
+
+    for (uint64_t t = 0; t < horizon && drained < batch * cols; ++t) {
+        for (int r = 0; r < rows; ++r) {
+            for (int c = 0; c < cols; ++c) {
+                // Activation input: left neighbour, or skewed
+                // injection at the left edge (batch b enters row r at
+                // cycle b + r).
+                ActReg a_in;
+                if (c == 0) {
+                    const long b = static_cast<long>(t) - r;
+                    if (b >= 0 && b < static_cast<long>(batch)) {
+                        a_in.value = acts(static_cast<std::size_t>(r),
+                                          static_cast<std::size_t>(b));
+                        a_in.batch = b;
+                    }
+                } else {
+                    a_in = act_now(r, c - 1);
+                }
+
+                // Partial-sum input from above (zero at the top).
+                PsumReg p_in;
+                if (r > 0)
+                    p_in = psum_now(r - 1, c);
+
+                PsumReg p_out;
+                if (a_in.batch >= 0) {
+                    FIGLUT_ASSERT(r == 0 || p_in.batch == a_in.batch ||
+                                      p_in.batch == -1,
+                                  "systolic psum/activation skew "
+                                  "mismatch at (", r, ",", c, ")");
+                    p_out.value =
+                        (r > 0 ? p_in.value : 0) +
+                        static_cast<int64_t>(weights(
+                            static_cast<std::size_t>(r),
+                            static_cast<std::size_t>(c))) *
+                            a_in.value;
+                    p_out.batch = a_in.batch;
+                    ++run.macEvents;
+                }
+
+                act_next(r, c) = a_in;
+                psum_next(r, c) = p_out;
+            }
+        }
+        std::swap(act_now, act_next);
+        std::swap(psum_now, psum_next);
+
+        // Drain: the bottom row's psum registers now hold completed
+        // outputs for their batch indices.
+        for (int c = 0; c < cols; ++c) {
+            const auto &p = psum_now(rows - 1, c);
+            if (p.batch >= 0) {
+                run.outputs(static_cast<std::size_t>(c),
+                            static_cast<std::size_t>(p.batch)) = p.value;
+                ++drained;
+                last_drain = t + 1;
+            }
+        }
+    }
+
+    FIGLUT_ASSERT(drained == batch * static_cast<std::size_t>(cols),
+                  "systolic run did not drain all outputs: ", drained,
+                  " of ", batch * cols);
+    run.cycles = last_drain;
+    return run;
+}
+
+} // namespace figlut

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Detailed cycle-stepped simulator of the weight-stationary systolic
+ * array (paper Fig. 4/5).
+ *
+ * This is the ground truth the analytic timing model is validated
+ * against: it steps registers cycle by cycle — skewed activation
+ * injection at the left edge, rightward activation flow, downward
+ * partial-sum flow — and reports both the functional outputs and the
+ * exact cycle the last output drains.
+ *
+ * Array orientation: rows index the reduction (K) dimension, columns
+ * index outputs (M). PE(r, c) holds weight w(r, c); output column c
+ * computes sum_r w(r, c) * x(r, b).
+ *
+ * The arithmetic domain is int64 (pre-aligned mantissas or plain test
+ * integers) so functional equivalence checks are exact.
+ */
+
+#ifndef FIGLUT_SIM_SYSTOLIC_SIM_H
+#define FIGLUT_SIM_SYSTOLIC_SIM_H
+
+#include <cstdint>
+
+#include "common/matrix.h"
+
+namespace figlut {
+
+/** Geometry of the detailed array. */
+struct SystolicConfig
+{
+    int rows = 8; ///< reduction lanes (K)
+    int cols = 8; ///< output lanes (M)
+};
+
+/** Result of streaming one weight tile over a batch of inputs. */
+struct SystolicTileRun
+{
+    /** outputs(c, b) = column c's result for batch b. */
+    Matrix<int64_t> outputs;
+    /** Cycle (1-based count) at which the final output drained. */
+    uint64_t cycles = 0;
+    /** Number of PE compute events (MACs executed). */
+    uint64_t macEvents = 0;
+};
+
+/** Cycle-stepped weight-stationary array. */
+class SystolicSim
+{
+  public:
+    explicit SystolicSim(const SystolicConfig &config);
+
+    /**
+     * Stream `batch` activation columns through a stationary weight
+     * tile.
+     *
+     * @param weights  rows x cols stationary tile
+     * @param acts     rows x batch activation columns
+     */
+    SystolicTileRun runTile(const Matrix<int32_t> &weights,
+                            const Matrix<int32_t> &acts) const;
+
+    /**
+     * Closed-form cycle count for a tile run:
+     * batch + rows + cols - 2 (skew fill + drain).
+     */
+    static uint64_t expectedCycles(int rows, int cols,
+                                   std::size_t batch);
+
+  private:
+    SystolicConfig config_;
+};
+
+} // namespace figlut
+
+#endif // FIGLUT_SIM_SYSTOLIC_SIM_H

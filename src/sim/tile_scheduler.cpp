@@ -1,0 +1,52 @@
+#include "sim/tile_scheduler.h"
+
+#include <cmath>
+
+#include "arch/area_model.h"
+#include "common/logging.h"
+
+namespace figlut {
+
+int
+planeGroupsPerTile(const HwConfig &hw, const GemmShape &shape)
+{
+    if (!hw.bitSerial())
+        return 1;
+    const auto geo = engineArray(hw.engine);
+    return static_cast<int>(std::ceil(
+        static_cast<double>(shape.weightBits) / geo.planes));
+}
+
+std::vector<TileFetch>
+tileFetchSequence(const HwConfig &hw, const GemmShape &shape)
+{
+    shape.validate();
+    hw.validate();
+
+    // The walk counts binary-column tiles including the plane
+    // dimension; for the explicit sequence we separate the K-space
+    // walk from the plane iteration at one tile position.
+    const auto walk = tileWalk(hw, shape);
+    const int plane_groups = planeGroupsPerTile(hw, shape);
+    const std::size_t tiles_k_space =
+        (walk.tilesK + plane_groups - 1) /
+        static_cast<std::size_t>(plane_groups);
+
+    std::vector<TileFetch> sequence;
+    sequence.reserve(walk.tilesM * tiles_k_space *
+                     static_cast<std::size_t>(plane_groups));
+
+    for (std::size_t m = 0; m < walk.tilesM; ++m) {
+        for (std::size_t k = 0; k < tiles_k_space; ++k) {
+            // Fig. 5b: all plane groups at this position first ("2"),
+            // then advance to the next K tile ("3"). For FP-INT
+            // engines plane_groups == 1 and this degenerates to the
+            // Fig. 5a walk.
+            for (int p = 0; p < plane_groups; ++p)
+                sequence.push_back({m, k, p});
+        }
+    }
+    return sequence;
+}
+
+} // namespace figlut

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Weight-tile fetch sequencing (paper Fig. 5).
+ *
+ * Both engine families are weight-stationary, but they walk weight
+ * tiles differently:
+ *  - FP-INT engines (FPE/FIGNA, Fig. 5a): each weight element is a
+ *    multi-bit word; tiles advance in K-major order within an M pass.
+ *  - FP-BCQ engines (iFPU/FIGLUT, Fig. 5b): weights are bit planes;
+ *    at each (M, K) tile position the engine loads *all q planes
+ *    consecutively* ("2" in the figure) before advancing to the next
+ *    K tile.
+ *
+ * The scheduler materializes the exact fetch order so the memory
+ * models (and tests) can check coverage and ordering properties
+ * explicitly instead of trusting closed-form counts.
+ */
+
+#ifndef FIGLUT_SIM_TILE_SCHEDULER_H
+#define FIGLUT_SIM_TILE_SCHEDULER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/timing_model.h"
+
+namespace figlut {
+
+/** One weight-tile fetch. */
+struct TileFetch
+{
+    std::size_t mTile = 0;  ///< output-row tile index
+    std::size_t kTile = 0;  ///< reduction tile index (binary cols)
+    int plane = 0;          ///< bit plane (always 0 for FP-INT)
+
+    bool
+    operator==(const TileFetch &other) const
+    {
+        return mTile == other.mTile && kTile == other.kTile &&
+               plane == other.plane;
+    }
+};
+
+/**
+ * The full fetch sequence for a workload on an engine.
+ *
+ * FP-INT engines produce tilesM x tilesK fetches (plane fixed at 0);
+ * FP-BCQ engines produce tilesM x tilesK x plane-groups fetches in
+ * plane-major order within each tile position. `planes_per_fetch`
+ * planes are co-resident (the array's plane dimension), so a q-bit
+ * workload needs ceil(q / planes_per_fetch) plane groups.
+ */
+std::vector<TileFetch> tileFetchSequence(const HwConfig &hw,
+                                         const GemmShape &shape);
+
+/** Number of plane groups an engine iterates per tile position. */
+int planeGroupsPerTile(const HwConfig &hw, const GemmShape &shape);
+
+} // namespace figlut
+
+#endif // FIGLUT_SIM_TILE_SCHEDULER_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Analytic timing model for the weight-stationary engines.
+ *
+ * Tiling (Fig. 5): weight tiles are loaded once and reused across the
+ * batch; bit-serial engines iterate weight bit planes within a tile
+ * position before advancing. The model computes compute cycles from
+ * the tile walk (inputs per tile + pipeline fill/drain) and overlaps
+ * DRAM transfer via double buffering: total = max(compute, transfer)
+ * plus one un-overlapped prologue tile.
+ *
+ * The detailed cycle-stepped simulator (systolic_sim) validates the
+ * per-tile formula exactly on small shapes.
+ */
+
+#ifndef FIGLUT_SIM_TIMING_MODEL_H
+#define FIGLUT_SIM_TIMING_MODEL_H
+
+#include "sim/engine_config.h"
+
+namespace figlut {
+
+/** Tile geometry an engine walks for a given workload. */
+struct TileWalk
+{
+    std::size_t mTile = 0;        ///< output rows covered per tile
+    std::size_t kTileBinary = 0;  ///< binary (plane x column) lanes/tile
+    std::size_t tilesM = 0;
+    std::size_t tilesK = 0;       ///< over N x q binary columns
+    double fillCycles = 0.0;      ///< pipeline fill + drain per tile
+    double cyclesPerTile = 0.0;   ///< batch + fill
+    double computeCycles = 0.0;   ///< tilesM * tilesK * cyclesPerTile
+};
+
+/** Resolve the tile walk for an engine/workload pair. */
+TileWalk tileWalk(const HwConfig &hw, const GemmShape &shape);
+
+/** Timing result with memory overlap applied. */
+struct TimingResult
+{
+    double computeCycles = 0.0;
+    double dramCycles = 0.0;
+    double totalCycles = 0.0;
+    double seconds = 0.0;
+    double utilization = 0.0; ///< achieved / peak MAC throughput
+};
+
+/**
+ * Combine compute cycles with DRAM transfer cycles under double
+ * buffering.
+ *
+ * @param dram_bytes  total off-chip traffic for the workload
+ */
+TimingResult gemmTiming(const HwConfig &hw, const GemmShape &shape,
+                        double dram_bytes);
+
+} // namespace figlut
+
+#endif // FIGLUT_SIM_TIMING_MODEL_H

@@ -1,0 +1,69 @@
+#include "sim/vpu.h"
+
+#include "common/logging.h"
+
+namespace figlut {
+
+VpuOpCounts
+softmaxOps(std::size_t rows, std::size_t cols)
+{
+    VpuOpCounts ops;
+    const double r = static_cast<double>(rows);
+    const double c = static_cast<double>(cols);
+    // max reduce + subtract + exp + sum reduce + divide
+    ops.adds = r * (c + c);       // max tree + sum tree
+    ops.muls = r * c;             // subtract (priced as add-class mul)
+    ops.specials = r * (c + c);   // exp per element + divide per element
+    return ops;
+}
+
+VpuOpCounts
+layerNormOps(std::size_t rows, std::size_t cols)
+{
+    VpuOpCounts ops;
+    const double r = static_cast<double>(rows);
+    const double c = static_cast<double>(cols);
+    // mean, variance, normalize, scale+shift
+    ops.adds = r * (c + c + c);
+    ops.muls = r * (c + c);
+    ops.specials = r; // rsqrt per row
+    return ops;
+}
+
+VpuOpCounts
+geluOps(std::size_t n)
+{
+    VpuOpCounts ops;
+    const double d = static_cast<double>(n);
+    ops.adds = 2.0 * d;
+    ops.muls = 4.0 * d;
+    ops.specials = d; // tanh
+    return ops;
+}
+
+VpuOpCounts
+residualOps(std::size_t n)
+{
+    VpuOpCounts ops;
+    ops.adds = static_cast<double>(n);
+    return ops;
+}
+
+double
+vpuEnergyFj(const VpuOpCounts &ops, const TechParams &tech)
+{
+    const double add = tech.fpAddEnergy(24);
+    const double mul = tech.fpMulEnergy(24);
+    return ops.adds * add + ops.muls * mul + ops.specials * 4.0 * mul;
+}
+
+double
+vpuCycles(const VpuOpCounts &ops, int lanes)
+{
+    FIGLUT_ASSERT(lanes > 0, "VPU needs at least one lane");
+    // Specials take 4 lane-cycles.
+    const double lane_ops = ops.adds + ops.muls + 4.0 * ops.specials;
+    return lane_ops / static_cast<double>(lanes);
+}
+
+} // namespace figlut

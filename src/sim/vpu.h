@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Vector processing unit (paper Fig. 12): executes the non-GEMM
+ * operations — activation sums for the BCQ offset term, output
+ * scaling, softmax / layer-norm / GELU for full transformer layers.
+ *
+ * The VPU is a simple lane-parallel FP32 engine; the paper notes its
+ * impact is minor because GEMMs dominate, which the OPT workload
+ * benches confirm.
+ */
+
+#ifndef FIGLUT_SIM_VPU_H
+#define FIGLUT_SIM_VPU_H
+
+#include <cstddef>
+
+#include "arch/tech_params.h"
+
+namespace figlut {
+
+/** Elementwise op tallies for a VPU kernel. */
+struct VpuOpCounts
+{
+    double adds = 0.0;
+    double muls = 0.0;
+    double specials = 0.0; ///< exp/div/sqrt (priced as 4 FP32 mults)
+
+    void
+    merge(const VpuOpCounts &other)
+    {
+        adds += other.adds;
+        muls += other.muls;
+        specials += other.specials;
+    }
+
+    double total() const { return adds + muls + specials; }
+};
+
+/** Softmax over `rows` independent vectors of length `cols`. */
+VpuOpCounts softmaxOps(std::size_t rows, std::size_t cols);
+
+/** LayerNorm over `rows` vectors of length `cols`. */
+VpuOpCounts layerNormOps(std::size_t rows, std::size_t cols);
+
+/** GELU (tanh approximation) over n elements. */
+VpuOpCounts geluOps(std::size_t n);
+
+/** Residual adds over n elements. */
+VpuOpCounts residualOps(std::size_t n);
+
+/** Energy of a VPU op mix (fJ). */
+double vpuEnergyFj(const VpuOpCounts &ops, const TechParams &tech);
+
+/**
+ * Cycles for a VPU op mix on `lanes` FP32 lanes. The default matches
+ * a 256-lane SIMD unit — wide enough that decode-phase attention and
+ * normalization stay minor next to the GEMMs, as the paper observes.
+ */
+double vpuCycles(const VpuOpCounts &ops, int lanes = 256);
+
+} // namespace figlut
+
+#endif // FIGLUT_SIM_VPU_H

@@ -1,0 +1,147 @@
+/** @file Tests for the MPU area model (Figs. 13/14 shapes). */
+
+#include <gtest/gtest.h>
+
+#include "arch/area_model.h"
+#include "common/logging.h"
+
+namespace figlut {
+namespace {
+
+const TechParams &tech = TechParams::default28nm();
+
+MpuConfig
+cfg(EngineKind e, ActFormat fmt = ActFormat::FP16, int wbits = 4)
+{
+    MpuConfig c;
+    c.engine = e;
+    c.actFormat = fmt;
+    c.weightBits = wbits;
+    return c;
+}
+
+TEST(ArrayGeometry, PaperConfigurations)
+{
+    EXPECT_EQ(engineArray(EngineKind::FPE).pes(), 64 * 64);
+    EXPECT_EQ(engineArray(EngineKind::FIGNA).pes(), 64 * 64);
+    EXPECT_EQ(engineArray(EngineKind::IFPU).pes(), 64 * 64 * 4);
+    EXPECT_EQ(engineArray(EngineKind::FIGLUT_I).pes(), 2 * 16 * 4);
+}
+
+TEST(ArrayGeometry, EqualBinaryLaneCounts)
+{
+    // iFPU: 16384 binary PEs; FIGLUT: 128 PEs * 32 RACs * mu 4 = 16384.
+    const auto figlut = engineArray(EngineKind::FIGLUT_I);
+    EXPECT_EQ(figlut.pes() * 32 * 4, engineArray(EngineKind::IFPU).pes());
+}
+
+TEST(SkewStages, FiglutShallowerPipeline)
+{
+    EXPECT_EQ(skewStages(EngineKind::FPE), 63);
+    EXPECT_EQ(skewStages(EngineKind::FIGLUT_I), 15); // paper claim
+}
+
+TEST(Fig14, ArithmeticDominatesInFpEngines)
+{
+    const auto fpe = mpuArea(cfg(EngineKind::FPE), tech);
+    EXPECT_GT(fpe.arithmeticUm2, fpe.flipFlopUm2);
+}
+
+TEST(Fig14, FiglutFArithmeticSmallerThanFpe)
+{
+    // FIGLUT-F replaces the FP multiplier with FP adds: smaller
+    // arithmetic area at the same throughput.
+    const auto fpe = mpuArea(cfg(EngineKind::FPE), tech);
+    const auto fig = mpuArea(cfg(EngineKind::FIGLUT_F), tech);
+    EXPECT_LT(fig.arithmeticUm2, fpe.arithmeticUm2);
+}
+
+TEST(Fig14, FignaQ8ArithmeticGrowsFasterThanFpeQ8)
+{
+    // FIGNA's multipliers scale with weight width; FPE only grows the
+    // dequantizer.
+    const double figna_ratio =
+        mpuArea(cfg(EngineKind::FIGNA, ActFormat::FP16, 8), tech)
+            .arithmeticUm2 /
+        mpuArea(cfg(EngineKind::FIGNA, ActFormat::FP16, 4), tech)
+            .arithmeticUm2;
+    const double fpe_ratio =
+        mpuArea(cfg(EngineKind::FPE, ActFormat::FP16, 8), tech)
+            .arithmeticUm2 /
+        mpuArea(cfg(EngineKind::FPE, ActFormat::FP16, 4), tech)
+            .arithmeticUm2;
+    EXPECT_GT(figna_ratio, fpe_ratio);
+}
+
+TEST(Fig14, FiglutReducesFlipFlopAreaVsIfpu)
+{
+    const auto ifpu = mpuArea(cfg(EngineKind::IFPU), tech);
+    const auto fig = mpuArea(cfg(EngineKind::FIGLUT_I), tech);
+    EXPECT_LT(fig.flipFlopUm2, ifpu.flipFlopUm2);
+}
+
+TEST(Fig14, IfpuHasMostFlipFlops)
+{
+    // The bit-serial binary array replicates psum registers 4x.
+    const auto ifpu = mpuArea(cfg(EngineKind::IFPU), tech);
+    for (const auto e : {EngineKind::FPE, EngineKind::FIGNA,
+                         EngineKind::FIGLUT_I}) {
+        EXPECT_GT(ifpu.flipFlopUm2, mpuArea(cfg(e), tech).flipFlopUm2)
+            << engineName(e);
+    }
+}
+
+TEST(Fig14, FiglutIMpuSmallerThanFigna)
+{
+    // The TOPS/mm^2 advantage comes from here (throughput is equal).
+    const auto figna = mpuArea(cfg(EngineKind::FIGNA), tech);
+    const auto fig = mpuArea(cfg(EngineKind::FIGLUT_I), tech);
+    EXPECT_LT(fig.totalUm2(), figna.totalUm2());
+}
+
+TEST(Fig14, AreaGrowsWithMantissa)
+{
+    for (const auto e : {EngineKind::FIGNA, EngineKind::IFPU,
+                         EngineKind::FIGLUT_I}) {
+        const auto fp16 = mpuArea(cfg(e, ActFormat::FP16), tech);
+        const auto fp32 = mpuArea(cfg(e, ActFormat::FP32), tech);
+        EXPECT_GT(fp32.totalUm2(), fp16.totalUm2()) << engineName(e);
+    }
+}
+
+TEST(Fig14, Bf16CheaperThanFp16OnIntegerEngines)
+{
+    const auto bf16 = mpuArea(cfg(EngineKind::FIGNA, ActFormat::BF16),
+                              tech);
+    const auto fp16 = mpuArea(cfg(EngineKind::FIGNA, ActFormat::FP16),
+                              tech);
+    EXPECT_LT(bf16.totalUm2(), fp16.totalUm2());
+}
+
+TEST(AlignedWidth, MantissaPlusGuard)
+{
+    EXPECT_EQ(alignedWidth(ActFormat::FP16), 24);
+    EXPECT_EQ(alignedWidth(ActFormat::BF16), 21);
+    EXPECT_EQ(alignedWidth(ActFormat::FP32), 37);
+}
+
+TEST(TotalArea, IncludesBuffers)
+{
+    const double mpu_only =
+        mpuArea(cfg(EngineKind::FIGLUT_I), tech).totalMm2();
+    const double with_buffers =
+        engineTotalAreaMm2(cfg(EngineKind::FIGLUT_I), tech);
+    EXPECT_GT(with_buffers, mpu_only);
+}
+
+TEST(TotalArea, PlausibleMm2Range)
+{
+    for (const auto e : kAllEngines) {
+        const double mm2 = engineTotalAreaMm2(cfg(e), tech);
+        EXPECT_GT(mm2, 1.0) << engineName(e);
+        EXPECT_LT(mm2, 60.0) << engineName(e);
+    }
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,111 @@
+/** @file Tests for the banked shared-memory LUT model (Section II-C). */
+
+#include <gtest/gtest.h>
+
+#include "arch/bank_conflict.h"
+#include "common/logging.h"
+
+namespace figlut {
+namespace {
+
+TEST(ConflictCycles, DistinctBanksAreFree)
+{
+    // 4 threads hitting banks 0..3: one cycle.
+    EXPECT_EQ(conflictCycles({0, 1, 2, 3}, 32), 1u);
+}
+
+TEST(ConflictCycles, SameWordBroadcasts)
+{
+    // Identical addresses broadcast: still one cycle.
+    EXPECT_EQ(conflictCycles({5, 5, 5, 5}, 32), 1u);
+}
+
+TEST(ConflictCycles, DistinctWordsSameBankSerialize)
+{
+    // Words 1 and 33 share bank 1 (mod 32): two cycles.
+    EXPECT_EQ(conflictCycles({1, 33}, 32), 2u);
+    // Four distinct words in one bank: four cycles (worst case).
+    EXPECT_EQ(conflictCycles({2, 34, 66, 98}, 32), 4u);
+}
+
+TEST(ConflictCycles, WorstBankDominates)
+{
+    // Bank 0 gets 3 distinct words, bank 1 gets 1: 3 cycles.
+    EXPECT_EQ(conflictCycles({0, 32, 64, 1}, 32), 3u);
+}
+
+TEST(ConflictCycles, EmptyAndInvalid)
+{
+    EXPECT_EQ(conflictCycles({}, 32), 0u);
+    EXPECT_THROW(conflictCycles({1}, 0), FatalError);
+}
+
+TEST(BankConflict, ConstructionPhaseIsConflictFree)
+{
+    // The paper: "during the LUT construction phase, bank conflicts
+    // are avoided as each thread accesses different banks".
+    BankedLutConfig cfg;
+    const auto stats = simulateConstructionWrites(cfg, 1000);
+    EXPECT_DOUBLE_EQ(stats.slowdown(), 1.0);
+    EXPECT_EQ(stats.worstBatch, 1u);
+}
+
+TEST(BankConflict, RandomReadsSerialize)
+{
+    // The paper: "during the LUT read phase, the randomness of the
+    // weight pattern often causes frequent bank conflicts".
+    Rng rng(5001);
+    BankedLutConfig cfg; // 32 threads, 32 banks, mu=4 -> 16 words
+    const auto stats = simulateRandomReads(rng, cfg, 2000);
+    // 32 random keys over 16 words: heavy distinct-word collisions.
+    EXPECT_GT(stats.slowdown(), 1.5);
+    EXPECT_GT(stats.worstBatch, 2u);
+}
+
+TEST(BankConflict, MoreBanksReduceSlowdown)
+{
+    Rng a(5002), b(5002);
+    BankedLutConfig few;
+    few.banks = 8;
+    few.mu = 8;
+    BankedLutConfig many = few;
+    many.banks = 64;
+    const auto slow_few = simulateRandomReads(a, few, 2000).slowdown();
+    const auto slow_many = simulateRandomReads(b, many, 2000).slowdown();
+    EXPECT_GT(slow_few, slow_many);
+}
+
+TEST(BankConflict, SmallTablesCapSerialization)
+{
+    // mu=2: only 4 distinct words exist, so a bank holds at most 4 -
+    // the worst batch can never exceed the table size.
+    Rng rng(5003);
+    BankedLutConfig cfg;
+    cfg.mu = 2;
+    const auto stats = simulateRandomReads(rng, cfg, 2000);
+    EXPECT_LE(stats.worstBatch, 4u);
+}
+
+TEST(BankConflict, ExpectedSlowdownMatchesSimulation)
+{
+    Rng a(5004), b(5004);
+    BankedLutConfig cfg;
+    const double e = expectedRandomSlowdown(a, cfg, 3000);
+    const double s = simulateRandomReads(b, cfg, 3000).slowdown();
+    EXPECT_NEAR(e, s, 1e-12); // same RNG stream -> identical
+}
+
+TEST(BankConflict, InvalidConfigThrows)
+{
+    Rng rng(5005);
+    BankedLutConfig cfg;
+    cfg.threads = 0;
+    EXPECT_THROW(simulateRandomReads(rng, cfg, 10), FatalError);
+    EXPECT_THROW(simulateConstructionWrites(cfg, 10), FatalError);
+    cfg.threads = 32;
+    cfg.mu = 20;
+    EXPECT_THROW(simulateRandomReads(rng, cfg, 10), FatalError);
+}
+
+} // namespace
+} // namespace figlut

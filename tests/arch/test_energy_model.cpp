@@ -1,0 +1,69 @@
+/** @file Tests for the energy breakdown bookkeeping. */
+
+#include <gtest/gtest.h>
+
+#include "arch/energy_model.h"
+#include "common/logging.h"
+
+namespace figlut {
+namespace {
+
+TEST(EnergyBreakdown, TotalSumsCategories)
+{
+    EnergyBreakdown e;
+    e.mpuArithFj = 1;
+    e.lutFj = 2;
+    e.generatorFj = 3;
+    e.registersFj = 4;
+    e.vpuFj = 5;
+    e.sramFj = 6;
+    e.dramFj = 7;
+    EXPECT_DOUBLE_EQ(e.totalFj(), 28.0);
+    EXPECT_DOUBLE_EQ(e.computeFj(), 15.0);
+    EXPECT_DOUBLE_EQ(e.totalJoules(), 28.0e-15);
+}
+
+TEST(EnergyBreakdown, MergeAccumulates)
+{
+    EnergyBreakdown a, b;
+    a.mpuArithFj = 10;
+    a.dramFj = 1;
+    b.mpuArithFj = 5;
+    b.sramFj = 2;
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.mpuArithFj, 15.0);
+    EXPECT_DOUBLE_EQ(a.sramFj, 2.0);
+    EXPECT_DOUBLE_EQ(a.dramFj, 1.0);
+}
+
+TEST(EnergyBreakdown, VectorAlignsWithNames)
+{
+    EnergyBreakdown e;
+    e.lutFj = 42;
+    const auto names = EnergyBreakdown::categoryNames();
+    const auto values = e.toVector();
+    ASSERT_EQ(names.size(), values.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == "lut")
+            EXPECT_DOUBLE_EQ(values[i], 42.0);
+        else
+            EXPECT_DOUBLE_EQ(values[i], 0.0);
+    }
+}
+
+TEST(AveragePower, WattsFromEnergyAndCycles)
+{
+    EnergyBreakdown e;
+    e.mpuArithFj = 1e15; // 1 J
+    // 1 J over 1e6 cycles at 100 MHz = 0.01 s -> 100 W.
+    EXPECT_DOUBLE_EQ(averagePowerW(e, 1e6, 100.0), 100.0);
+}
+
+TEST(AveragePower, ZeroCyclesPanics)
+{
+    EnergyBreakdown e;
+    EXPECT_THROW(averagePowerW(e, 0.0, 100.0), PanicError);
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,160 @@
+/** @file Calibration tests for the LUT power models (Figs. 6/8/9,
+ *  Table III). These assert the paper's relative shapes hold. */
+
+#include <gtest/gtest.h>
+
+#include "arch/lut_power.h"
+#include "common/logging.h"
+
+namespace figlut {
+namespace {
+
+const TechParams &tech = TechParams::default28nm();
+
+LutConfig
+cfg(int mu, int k = 1, int bits = 32)
+{
+    LutConfig c;
+    c.mu = mu;
+    c.valueBits = bits;
+    c.fanout = k;
+    return c;
+}
+
+TEST(Fig6, RflutWorseThanFpAdder)
+{
+    // RFLUT read power exceeds the FP-adder baseline for mu=4 and 8.
+    EXPECT_GT(relativeReadPower(LutImpl::RFLUT, cfg(4), 24, tech), 1.0);
+    EXPECT_GT(relativeReadPower(LutImpl::RFLUT, cfg(8), 24, tech), 1.0);
+}
+
+TEST(Fig6, RflutMuFourWorseThanMuEight)
+{
+    // Paper: mu=4 needs twice the reads of mu=8 but each read is not
+    // half the cost (fixed periphery), so mu=4 loses overall.
+    EXPECT_GT(relativeReadPower(LutImpl::RFLUT, cfg(4), 24, tech),
+              relativeReadPower(LutImpl::RFLUT, cfg(8), 24, tech));
+}
+
+TEST(Fig6, FflutBeatsBaselineForSmallMu)
+{
+    EXPECT_LT(relativeReadPower(LutImpl::FFLUT, cfg(2), 24, tech), 1.0);
+    EXPECT_LT(relativeReadPower(LutImpl::FFLUT, cfg(4), 24, tech), 1.0);
+}
+
+TEST(Fig6, FflutMuEightBlowsUp)
+{
+    // The 2^8-entry array is "significantly large": well above the
+    // baseline, which is why mu=8 is excluded from the design space.
+    EXPECT_GT(relativeReadPower(LutImpl::FFLUT, cfg(8), 24, tech), 2.0);
+}
+
+TEST(Fig6, FflutBeatsRflutAtTheDesignPoint)
+{
+    // At mu=4 (the chosen configuration) the FFLUT is the clear
+    // winner. At mu=8 the FF array's size erases the advantage —
+    // which is exactly why the paper excludes mu=8.
+    EXPECT_LT(relativeReadPower(LutImpl::FFLUT, cfg(4), 24, tech),
+              relativeReadPower(LutImpl::RFLUT, cfg(4), 24, tech));
+    EXPECT_GT(relativeReadPower(LutImpl::FFLUT, cfg(8), 24, tech),
+              relativeReadPower(LutImpl::RFLUT, cfg(8), 24, tech));
+}
+
+TEST(Fig8, AtKOneMuFourCostsMoreThanMuTwo)
+{
+    // Unshared LUTs: the bigger mu=4 table dominates.
+    EXPECT_GT(relativeReadPower(LutImpl::FFLUT, cfg(4, 1), 24, tech),
+              relativeReadPower(LutImpl::FFLUT, cfg(2, 1), 24, tech));
+}
+
+TEST(Fig8, AtKThirtyTwoMuFourWins)
+{
+    // Shared LUTs amortize the table: mu=4 halves the RAC count per
+    // work unit and wins, which is why the paper picks mu=4.
+    EXPECT_LT(relativeReadPower(LutImpl::FFLUT, cfg(4, 32), 24, tech),
+              relativeReadPower(LutImpl::FFLUT, cfg(2, 32), 24, tech));
+}
+
+TEST(Fig8, SharingReducesRelativePower)
+{
+    for (const int mu : {2, 4}) {
+        const double k1 =
+            relativeReadPower(LutImpl::FFLUT, cfg(mu, 1), 24, tech);
+        const double k32 =
+            relativeReadPower(LutImpl::FFLUT, cfg(mu, 32), 24, tech);
+        EXPECT_LT(k32, k1) << "mu=" << mu;
+    }
+}
+
+TEST(Fig8, FiglutDesignPointWellBelowBaseline)
+{
+    // The chosen configuration (mu=4, k=32) must deliver a clear
+    // energy win over FP adders — the core of the paper's claim.
+    EXPECT_LT(relativeReadPower(LutImpl::FFLUT, cfg(4, 32), 24, tech),
+              0.5);
+}
+
+TEST(Fig9, PerRacPowerIsUShapedWithMinAtThirtyTwo)
+{
+    auto p_rac = [&](int k) {
+        return pePower(LutImpl::FFLUT, cfg(4, k), false, 24, tech)
+            .perRacFj;
+    };
+    // Sharp drop from k=1, minimum at 32, rising after.
+    EXPECT_GT(p_rac(1), p_rac(8));
+    EXPECT_GT(p_rac(8), p_rac(32));
+    EXPECT_LT(p_rac(32), p_rac(128));
+    EXPECT_LT(p_rac(128), p_rac(1024));
+    for (const int k : {2, 4, 8, 16, 64, 128, 256})
+        EXPECT_GE(p_rac(k), p_rac(32)) << "k=" << k;
+}
+
+TEST(Fig9, PePowerGrowsWithK)
+{
+    double prev = 0.0;
+    for (const int k : {1, 2, 4, 8, 16, 32, 64}) {
+        const double p =
+            pePower(LutImpl::FFLUT, cfg(4, k), false, 24, tech).totalFj;
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(TableIII, HalfLutHalvesHoldPower)
+{
+    const auto full = lutPower(LutImpl::FFLUT, cfg(4), tech);
+    const auto half = lutPower(LutImpl::HFFLUT, cfg(4), tech);
+    EXPECT_NEAR(half.holdFj / full.holdFj, 0.5, 0.01); // paper: 0.494
+}
+
+TEST(TableIII, MuxAndDecoderAreTrivialVsLut)
+{
+    const auto full = lutPower(LutImpl::FFLUT, cfg(4), tech);
+    const auto half = lutPower(LutImpl::HFFLUT, cfg(4), tech);
+    // FFLUT mux ~ 0.003 of the LUT hold power.
+    EXPECT_NEAR(full.readFj / full.holdFj, 0.003, 0.002);
+    EXPECT_EQ(full.decoderFj, 0.0);
+    // hFFLUT mux + decoder ~ 0.005 of the *full* LUT hold power.
+    EXPECT_NEAR((half.readFj + half.decoderFj) / full.holdFj, 0.005,
+                0.003);
+    // Decoder alone is still tiny.
+    EXPECT_LT(half.decoderFj, 0.01 * full.holdFj);
+}
+
+TEST(LutPower, RacIntegerCheaperThanFp)
+{
+    EXPECT_LT(racAccumulateEnergy(true, 26, tech),
+              racAccumulateEnergy(false, 24, tech));
+}
+
+TEST(LutPower, InvalidConfigPanics)
+{
+    EXPECT_THROW(lutPower(LutImpl::FFLUT, cfg(1), tech), PanicError);
+    EXPECT_THROW(lutPower(LutImpl::FFLUT, cfg(11), tech), PanicError);
+    auto bad = cfg(4);
+    bad.fanout = 0;
+    EXPECT_THROW(lutPower(LutImpl::FFLUT, bad, tech), PanicError);
+}
+
+} // namespace
+} // namespace figlut

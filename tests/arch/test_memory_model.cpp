@@ -1,0 +1,72 @@
+/** @file Tests for the SRAM/DRAM models. */
+
+#include <gtest/gtest.h>
+
+#include "arch/memory_model.h"
+#include "common/logging.h"
+
+namespace figlut {
+namespace {
+
+const TechParams &tech = TechParams::default28nm();
+
+TEST(Sram, EnergiesScaleLinearly)
+{
+    const SramModel sram(tech);
+    EXPECT_DOUBLE_EQ(sram.readEnergyFj(128),
+                     2.0 * sram.readEnergyFj(64));
+    EXPECT_DOUBLE_EQ(sram.writeEnergyFj(128),
+                     2.0 * sram.writeEnergyFj(64));
+    EXPECT_GT(sram.writeEnergyFj(64), sram.readEnergyFj(64));
+}
+
+TEST(Sram, AreaScalesWithCapacity)
+{
+    const SramModel sram(tech);
+    EXPECT_DOUBLE_EQ(sram.areaUm2(2.0e6), 2.0 * sram.areaUm2(1.0e6));
+    // 1 MiB should land in the few-mm^2 range.
+    const double mm2 = sram.areaUm2(8.0 * 1024 * 1024) * 1e-6;
+    EXPECT_GT(mm2, 1.0);
+    EXPECT_LT(mm2, 10.0);
+}
+
+TEST(Sram, NegativeSizePanics)
+{
+    const SramModel sram(tech);
+    EXPECT_THROW(sram.readEnergyFj(-1.0), PanicError);
+    EXPECT_THROW(sram.writeEnergyFj(-1.0), PanicError);
+    EXPECT_THROW(sram.areaUm2(-1.0), PanicError);
+}
+
+TEST(Dram, EnergyAndBandwidth)
+{
+    const DramModel dram(tech);
+    EXPECT_DOUBLE_EQ(dram.accessEnergyFj(8), 8.0 * tech.dramPerBitFj);
+    EXPECT_DOUBLE_EQ(dram.transferCycles(tech.dramBytesPerCycle), 1.0);
+    EXPECT_DOUBLE_EQ(dram.transferCycles(0.0), 0.0);
+    EXPECT_GT(dram.bytesPerCycle(), 0.0);
+}
+
+TEST(Dram, NegativeSizePanics)
+{
+    const DramModel dram(tech);
+    EXPECT_THROW(dram.accessEnergyFj(-1.0), PanicError);
+    EXPECT_THROW(dram.transferCycles(-1.0), PanicError);
+}
+
+TEST(MemTraffic, MergeAccumulates)
+{
+    MemTraffic a, b;
+    a.sramReadBits = 10;
+    a.dramBits = 5;
+    b.sramReadBits = 1;
+    b.sramWriteBits = 2;
+    b.dramBits = 3;
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.sramReadBits, 11.0);
+    EXPECT_DOUBLE_EQ(a.sramWriteBits, 2.0);
+    EXPECT_DOUBLE_EQ(a.dramBits, 8.0);
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,112 @@
+/** @file Tests for the 28nm technology model calibration. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/tech_params.h"
+#include "common/logging.h"
+
+namespace figlut {
+namespace {
+
+const TechParams &tech = TechParams::default28nm();
+
+TEST(TechParams, FpAddAnchors)
+{
+    // Horowitz-derived anchors scaled to 28nm: FP16 ~240 fJ,
+    // FP32 ~540 fJ, BF16 between the two but cheaper than FP16.
+    EXPECT_NEAR(tech.fpAddEnergy(11), 239.0, 25.0);
+    EXPECT_NEAR(tech.fpAddEnergy(24), 538.0, 50.0);
+    EXPECT_LT(tech.fpAddEnergy(8), tech.fpAddEnergy(11));
+}
+
+TEST(TechParams, FpMulAnchors)
+{
+    EXPECT_NEAR(tech.fpMulEnergy(11), 660.0, 80.0);
+    EXPECT_NEAR(tech.fpMulEnergy(24), 2200.0, 300.0);
+}
+
+TEST(TechParams, FpMulCostlierThanAdd)
+{
+    for (const int sig : {8, 11, 24})
+        EXPECT_GT(tech.fpMulEnergy(sig), tech.fpAddEnergy(sig));
+}
+
+TEST(TechParams, IntOpsScaleWithWidth)
+{
+    EXPECT_DOUBLE_EQ(tech.intAddEnergy(32), 2.0 * tech.intAddEnergy(16));
+    // Multiplier energy follows the partial-product count a*b.
+    EXPECT_DOUBLE_EQ(tech.intMulEnergy(8, 8),
+                     2.0 * tech.intMulEnergy(4, 8));
+    EXPECT_DOUBLE_EQ(tech.intMulEnergy(8, 8),
+                     4.0 * tech.intMulEnergy(4, 4));
+}
+
+TEST(TechParams, IntFarCheaperThanFp)
+{
+    // The pre-alignment engines' whole premise.
+    EXPECT_LT(tech.intAddEnergy(24), 0.2 * tech.fpAddEnergy(24));
+    EXPECT_LT(tech.intMulEnergy(24, 4), 0.5 * tech.fpMulEnergy(11));
+}
+
+TEST(TechParams, FanoutMultiplierShape)
+{
+    EXPECT_DOUBLE_EQ(tech.fanoutMultiplier(1), 1.0);
+    EXPECT_GT(tech.fanoutMultiplier(2), 1.0);
+    // Monotone increasing.
+    double prev = 0.0;
+    for (int k = 1; k <= 256; k *= 2) {
+        const double m = tech.fanoutMultiplier(k);
+        EXPECT_GT(m, prev);
+        prev = m;
+    }
+}
+
+TEST(TechParams, FanoutOptimumAtThirtyTwo)
+{
+    // m(k)/k (per-reader LUT cost) is minimized exactly at k = 32 —
+    // the paper's chosen design point (Fig. 9).
+    auto per_reader = [&](int k) {
+        return tech.fanoutMultiplier(k) / static_cast<double>(k);
+    };
+    for (int k = 2; k <= 1024; k *= 2) {
+        if (k != 32)
+            EXPECT_GT(per_reader(k), per_reader(32)) << "k=" << k;
+    }
+    EXPECT_LT(per_reader(32), per_reader(31));
+    EXPECT_LT(per_reader(32), per_reader(33));
+}
+
+TEST(TechParams, MemoryHierarchyOrdering)
+{
+    // DRAM >> SRAM >> flip-flop per bit.
+    EXPECT_GT(tech.dramPerBitFj, 10.0 * tech.sramReadPerBitFj);
+    EXPECT_GT(tech.sramReadPerBitFj, 5.0 * tech.ffHoldPerBitFj);
+}
+
+TEST(TechParams, ConversionHelpers)
+{
+    EXPECT_GT(tech.dequantEnergyFj(8, 11), tech.dequantEnergyFj(4, 11));
+    EXPECT_GT(tech.prealignEnergyFj(24), 0.0);
+    EXPECT_GT(tech.i2fEnergyFj(24), 0.0);
+}
+
+TEST(TechParams, AreaHelpersArePositiveAndMonotone)
+{
+    EXPECT_GT(tech.fpAddArea(24), tech.fpAddArea(11));
+    EXPECT_GT(tech.fpMulArea(24), tech.fpMulArea(11));
+    EXPECT_GT(tech.intMulArea(24, 8), tech.intMulArea(24, 4));
+    EXPECT_GT(tech.ffArea(64), tech.ffArea(32));
+}
+
+TEST(TechParams, InvalidWidthsPanic)
+{
+    EXPECT_THROW(tech.intAddEnergy(0), PanicError);
+    EXPECT_THROW(tech.intMulEnergy(4, 0), PanicError);
+    EXPECT_THROW(tech.fpAddEnergy(-1), PanicError);
+    EXPECT_THROW(tech.fanoutMultiplier(0), PanicError);
+}
+
+} // namespace
+} // namespace figlut

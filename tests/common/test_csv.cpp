@@ -1,0 +1,76 @@
+/** @file Unit tests for the CSV writer. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/logging.h"
+
+namespace figlut {
+namespace {
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+class CsvWriterTest : public ::testing::Test
+{
+  protected:
+    std::string path_ = ::testing::TempDir() + "figlut_csv_test.csv";
+
+    void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvWriterTest, WritesHeaderAndRows)
+{
+    {
+        CsvWriter csv(path_, {"a", "b"});
+        csv.addRow({"1", "2"});
+        csv.addRow({"3", "4"});
+        EXPECT_EQ(csv.rowCount(), 2u);
+    }
+    EXPECT_EQ(readAll(path_), "a,b\n1,2\n3,4\n");
+}
+
+TEST_F(CsvWriterTest, QuotesSpecialCharacters)
+{
+    {
+        CsvWriter csv(path_, {"v"});
+        csv.addRow({"has,comma"});
+        csv.addRow({"has\"quote"});
+    }
+    EXPECT_EQ(readAll(path_), "v\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST_F(CsvWriterTest, WidthMismatchThrows)
+{
+    CsvWriter csv(path_, {"a", "b"});
+    EXPECT_THROW(csv.addRow({"only"}), FatalError);
+}
+
+TEST_F(CsvWriterTest, EmptyHeaderThrows)
+{
+    EXPECT_THROW(CsvWriter(path_, {}), FatalError);
+}
+
+TEST(CsvEscape, PassthroughWhenClean)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a b"), "a b");
+}
+
+TEST(CsvWriterStandalone, UnwritablePathThrows)
+{
+    EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), FatalError);
+}
+
+} // namespace
+} // namespace figlut

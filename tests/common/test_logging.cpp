@@ -1,0 +1,64 @@
+/** @file Unit tests for logging / error handling. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace figlut {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    try {
+        fatal("bad value ", 42, " in ", "config");
+        FAIL() << "fatal must throw";
+    } catch (const FatalError &e) {
+        EXPECT_EQ(std::string(e.what()), "bad value 42 in config");
+    }
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("broken invariant"), PanicError);
+}
+
+TEST(Logging, PanicIsNotAFatalError)
+{
+    // The two classes must stay distinct: tests and callers rely on
+    // telling user errors from library bugs.
+    try {
+        panic("x");
+    } catch (const FatalError &) {
+        FAIL() << "panic must not be catchable as FatalError";
+    } catch (const PanicError &) {
+        SUCCEED();
+    }
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(FIGLUT_ASSERT(1 + 1 == 2, "math works"));
+}
+
+TEST(Logging, AssertThrowsWithLocation)
+{
+    try {
+        FIGLUT_ASSERT(false, "detail ", 7);
+        FAIL() << "assert must throw";
+    } catch (const PanicError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("detail 7"), std::string::npos);
+        EXPECT_NE(msg.find("test_logging.cpp"), std::string::npos);
+    }
+}
+
+TEST(Logging, InformAndWarnDoNotThrow)
+{
+    EXPECT_NO_THROW(inform("status ", 1));
+    EXPECT_NO_THROW(warn("something odd: ", 2.5));
+}
+
+} // namespace
+} // namespace figlut

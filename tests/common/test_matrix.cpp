@@ -1,0 +1,80 @@
+/** @file Unit tests for the Matrix container. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/matrix.h"
+
+namespace figlut {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty)
+{
+    MatrixD m;
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.cols(), 0u);
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructValueInitializes)
+{
+    MatrixD m(3, 4);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.size(), 12u);
+    for (std::size_t i = 0; i < m.size(); ++i)
+        EXPECT_EQ(m.at(i), 0.0);
+}
+
+TEST(Matrix, ConstructWithFillValue)
+{
+    Matrix<int> m(2, 2, 7);
+    EXPECT_EQ(m(0, 0), 7);
+    EXPECT_EQ(m(1, 1), 7);
+}
+
+TEST(Matrix, RowMajorLayout)
+{
+    MatrixD m(2, 3);
+    m(0, 0) = 1;
+    m(0, 2) = 3;
+    m(1, 0) = 4;
+    EXPECT_EQ(m.at(0), 1.0);
+    EXPECT_EQ(m.at(2), 3.0);
+    EXPECT_EQ(m.at(3), 4.0);
+    EXPECT_EQ(m.rowPtr(1)[0], 4.0);
+}
+
+TEST(Matrix, OutOfRangeAccessPanics)
+{
+    MatrixD m(2, 2);
+    EXPECT_THROW(m(2, 0), PanicError);
+    EXPECT_THROW(m(0, 2), PanicError);
+}
+
+TEST(Matrix, EqualityComparesContents)
+{
+    Matrix<int> a(2, 2, 1), b(2, 2, 1), c(2, 2, 2);
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(Matrix, FillOverwritesAll)
+{
+    MatrixD m(3, 3, 1.0);
+    m.fill(9.0);
+    for (const double v : m)
+        EXPECT_EQ(v, 9.0);
+}
+
+TEST(Matrix, IterationCoversAllElements)
+{
+    Matrix<int> m(4, 5, 2);
+    int total = 0;
+    for (const int v : m)
+        total += v;
+    EXPECT_EQ(total, 40);
+}
+
+} // namespace
+} // namespace figlut

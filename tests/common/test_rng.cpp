@@ -1,0 +1,126 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+
+namespace figlut {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(8);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(9);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniformInt(-2, 3);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 6u); // all values hit
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard)
+{
+    Rng rng(10);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, FlipIsRoughlyFair)
+{
+    Rng rng(12);
+    int heads = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        heads += rng.flip();
+    EXPECT_NEAR(static_cast<double>(heads) / n, 0.5, 0.02);
+}
+
+TEST(Rng, NormalVectorLengthAndSpread)
+{
+    Rng rng(13);
+    const auto v = rng.normalVector(5000, 1.0, 3.0);
+    ASSERT_EQ(v.size(), 5000u);
+    double sum = 0.0;
+    for (double x : v)
+        sum += x;
+    EXPECT_NEAR(sum / 5000.0, 1.0, 0.3);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(99);
+    Rng child = a.split();
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == child.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SeedAccessorRoundTrips)
+{
+    Rng rng(123456);
+    EXPECT_EQ(rng.seed(), 123456u);
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,120 @@
+/** @file Unit tests for RunningStats and Histogram. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace figlut {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(4.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 4.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 4.0);
+    EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance with n-1 = 7: sum sq dev = 32 -> 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    RunningStats all, a, b;
+    for (int i = 0; i < 100; ++i) {
+        const double v = std::sin(i * 0.7) * 3.0 + i * 0.01;
+        all.add(v);
+        (i < 37 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity)
+{
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean = a.mean();
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.mean(), mean);
+
+    RunningStats b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_EQ(b.mean(), mean);
+}
+
+TEST(Histogram, BinsCountsAndEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    EXPECT_EQ(h.total(), 10u);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(h.binCount(i), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_DOUBLE_EQ(h.binLow(3), 3.0);
+}
+
+TEST(Histogram, UnderAndOverflow)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-0.1);
+    h.add(1.0); // hi edge is exclusive
+    h.add(0.5);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, InvalidConstructionThrows)
+{
+    EXPECT_THROW(Histogram(1.0, 0.0, 4), FatalError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), FatalError);
+}
+
+TEST(Histogram, RenderContainsBars)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    const auto text = h.render(10);
+    EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,69 @@
+/** @file Unit tests for the console table formatter. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/table.h"
+
+namespace figlut {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"engine", "TOPS/W"});
+    t.addRow({"FIGLUT", "0.47"});
+    t.addRow({"FIGNA", "0.33"});
+    const auto text = t.render();
+    EXPECT_NE(text.find("engine"), std::string::npos);
+    EXPECT_NE(text.find("FIGLUT"), std::string::npos);
+    EXPECT_NE(text.find("0.33"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, MismatchedRowThrows)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(TextTable, EmptyHeaderThrows)
+{
+    EXPECT_THROW(TextTable({}), FatalError);
+}
+
+TEST(TextTable, ColumnsArePadded)
+{
+    TextTable t({"x"});
+    t.addRow({"longer-cell"});
+    const auto text = t.render();
+    // Header line must be as wide as the widest cell.
+    const auto first_nl = text.find('\n');
+    const auto second_nl = text.find('\n', first_nl + 1);
+    const auto third_nl = text.find('\n', second_nl + 1);
+    EXPECT_EQ(second_nl - first_nl, third_nl - second_nl);
+}
+
+TEST(TextTable, NumberFormatters)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(1.5, 0), "2");
+    EXPECT_EQ(TextTable::ratio(1.984, 2), "1.98x");
+    EXPECT_EQ(TextTable::pct(0.59, 0), "59%");
+}
+
+TEST(TextTable, RuleInsertsSeparator)
+{
+    TextTable t({"a"});
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    const auto text = t.render();
+    // 7 lines: rule, header, rule, row, rule, row, rule.
+    std::size_t lines = 0;
+    for (char c : text)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 7u);
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,106 @@
+/** @file Tests for the hFFLUT (half LUT + sign decoder). */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/half_lut.h"
+
+namespace figlut {
+namespace {
+
+/** Property: decoded hFFLUT equals the full table for every key. */
+class HalfLutMuSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(HalfLutMuSweep, MatchesFullTableDouble)
+{
+    const int mu = GetParam();
+    Rng rng(101 + static_cast<uint64_t>(mu));
+    const auto xs = rng.normalVector(static_cast<std::size_t>(mu));
+    const auto full = LutD::buildDirect(xs, FpArith::Exact);
+    const auto half = HalfLutD::buildDirect(xs, FpArith::Exact);
+    for (uint32_t key = 0; key < full.entries(); ++key)
+        EXPECT_DOUBLE_EQ(half.value(key), full.value(key))
+            << "mu=" << mu << " key=" << key;
+}
+
+TEST_P(HalfLutMuSweep, MatchesFullTableInteger)
+{
+    const int mu = GetParam();
+    Rng rng(201 + static_cast<uint64_t>(mu));
+    std::vector<int64_t> xs(static_cast<std::size_t>(mu));
+    for (auto &x : xs)
+        x = rng.uniformInt(-100000, 100000);
+    const auto full = LutI::buildDirect(xs);
+    const auto half = HalfLutI::buildDirect(xs);
+    for (uint32_t key = 0; key < full.entries(); ++key)
+        EXPECT_EQ(half.value(key), full.value(key))
+            << "mu=" << mu << " key=" << key;
+}
+
+TEST_P(HalfLutMuSweep, FromFullAgreesWithDirect)
+{
+    const int mu = GetParam();
+    Rng rng(301 + static_cast<uint64_t>(mu));
+    const auto xs = rng.normalVector(static_cast<std::size_t>(mu));
+    const auto full = LutD::buildDirect(xs, FpArith::Exact);
+    const auto a = HalfLutD::fromFull(full);
+    const auto b = HalfLutD::buildDirect(xs, FpArith::Exact);
+    for (uint32_t key = 0; key < full.entries(); ++key)
+        EXPECT_DOUBLE_EQ(a.value(key), b.value(key));
+}
+
+INSTANTIATE_TEST_SUITE_P(Mu, HalfLutMuSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+TEST(HalfLut, StoresExactlyHalf)
+{
+    Rng rng(111);
+    const auto xs = rng.normalVector(4);
+    const auto half = HalfLutD::buildDirect(xs, FpArith::Exact);
+    EXPECT_EQ(half.storedEntries(), 8u);
+    // Stored entries are the MSB=1 keys.
+    const auto full = LutD::buildDirect(xs, FpArith::Exact);
+    for (uint32_t low = 0; low < 8; ++low)
+        EXPECT_DOUBLE_EQ(half.stored(low), full.value(8u | low));
+}
+
+TEST(HalfLut, DecoderUsesExactNegation)
+{
+    // Even in rounded FP modes the mirror entry is the exact negation
+    // (sign-bit flip), so symmetry is bit-perfect.
+    Rng rng(112);
+    const auto xs = rng.normalVector(4);
+    const auto half = HalfLutD::buildDirect(xs, FpArith::Fp16);
+    for (uint32_t key = 0; key < 16; ++key)
+        EXPECT_EQ(half.value(key), -half.value(complementKey(key, 4)));
+}
+
+TEST(HalfLut, SignedZeroSafety)
+{
+    // All-zero activations: every entry reads 0 (sign may differ but
+    // value compares equal).
+    const auto half = HalfLutD::buildDirect({0.0, 0.0, 0.0},
+                                            FpArith::Exact);
+    for (uint32_t key = 0; key < 8; ++key)
+        EXPECT_EQ(half.value(key), 0.0);
+}
+
+TEST(HalfLut, MuOneRejected)
+{
+    EXPECT_THROW(HalfLutD::buildDirect({1.0}, FpArith::Exact),
+                 PanicError);
+    EXPECT_THROW(HalfLutI::buildDirect({1}), PanicError);
+}
+
+TEST(HalfLut, OutOfRangeKeyPanics)
+{
+    Rng rng(113);
+    const auto xs = rng.normalVector(3);
+    const auto half = HalfLutD::buildDirect(xs, FpArith::Exact);
+    EXPECT_THROW(half.value(8), PanicError);
+    EXPECT_THROW(half.stored(4), PanicError);
+}
+
+} // namespace
+} // namespace figlut

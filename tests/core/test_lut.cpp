@@ -1,0 +1,119 @@
+/** @file Tests for the full FFLUT functional model. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/lut.h"
+
+namespace figlut {
+namespace {
+
+TEST(LutD, TableTwoValues)
+{
+    // Table II with x = {1, 10, 100}: key 0 = -111, key 7 = +111 etc.
+    const auto lut = LutD::buildDirect({1.0, 10.0, 100.0},
+                                       FpArith::Exact);
+    EXPECT_EQ(lut.entries(), 8u);
+    EXPECT_DOUBLE_EQ(lut.value(0), -111.0);
+    EXPECT_DOUBLE_EQ(lut.value(1), -1.0 - 10.0 + 100.0);
+    EXPECT_DOUBLE_EQ(lut.value(2), -1.0 + 10.0 - 100.0);
+    EXPECT_DOUBLE_EQ(lut.value(3), -1.0 + 10.0 + 100.0);
+    EXPECT_DOUBLE_EQ(lut.value(4), 1.0 - 10.0 - 100.0);
+    EXPECT_DOUBLE_EQ(lut.value(5), 1.0 - 10.0 + 100.0);
+    EXPECT_DOUBLE_EQ(lut.value(6), 1.0 + 10.0 - 100.0);
+    EXPECT_DOUBLE_EQ(lut.value(7), 111.0);
+}
+
+TEST(LutD, VerticalSymmetry)
+{
+    Rng rng(91);
+    for (int mu = 1; mu <= 8; ++mu) {
+        const auto xs = rng.normalVector(static_cast<std::size_t>(mu));
+        const auto lut = LutD::buildDirect(xs, FpArith::Exact);
+        for (uint32_t key = 0; key < lut.entries(); ++key)
+            EXPECT_DOUBLE_EQ(lut.value(key),
+                             -lut.value(complementKey(key, mu)))
+                << "mu=" << mu << " key=" << key;
+    }
+}
+
+TEST(LutD, MatchesManualSignedSums)
+{
+    Rng rng(92);
+    const int mu = 5;
+    const auto xs = rng.normalVector(mu);
+    const auto lut = LutD::buildDirect(xs, FpArith::Exact);
+    for (uint32_t key = 0; key < lut.entries(); ++key) {
+        double expect = 0.0;
+        for (int j = 0; j < mu; ++j)
+            expect += keySign(key, j, mu) * xs[static_cast<std::size_t>(j)];
+        EXPECT_NEAR(lut.value(key), expect, 1e-12);
+    }
+}
+
+TEST(LutD, Fp32ModeRoundsEachAdd)
+{
+    // A value needing >24 significand bits shows the rounding.
+    const std::vector<double> xs = {1.0f, std::ldexp(1.0, -30)};
+    const auto exact = LutD::buildDirect(xs, FpArith::Exact);
+    const auto fp32 = LutD::buildDirect(xs, FpArith::Fp32);
+    EXPECT_NE(exact.value(3), fp32.value(3));
+    EXPECT_EQ(fp32.value(3), 1.0); // tiny addend absorbed
+}
+
+TEST(LutD, Fp16ModeValuesAreRepresentable)
+{
+    Rng rng(93);
+    const auto xs = rng.normalVector(4);
+    const auto lut = LutD::buildDirect(xs, FpArith::Fp16);
+    for (uint32_t key = 0; key < lut.entries(); ++key) {
+        const double v = lut.value(key);
+        EXPECT_EQ(v, quantizeToFormat(v, ActFormat::FP16));
+    }
+}
+
+TEST(LutI, ExactIntegerEntries)
+{
+    const auto lut = LutI::buildDirect({3, -7, 11, 20});
+    EXPECT_EQ(lut.entries(), 16u);
+    // key b'1010: +3 +7 +11 -20  (bit per element, MSB first)
+    EXPECT_EQ(lut.value(0xA), 3 - (-7) + 11 - 20);
+    EXPECT_EQ(lut.value(0xF), 3 - 7 + 11 + 20);
+    EXPECT_EQ(lut.value(0x0), -(3 - 7 + 11 + 20));
+}
+
+TEST(LutI, SymmetryHoldsExactly)
+{
+    Rng rng(94);
+    for (int mu = 1; mu <= 8; ++mu) {
+        std::vector<int64_t> xs(static_cast<std::size_t>(mu));
+        for (auto &x : xs)
+            x = rng.uniformInt(-1000000, 1000000);
+        const auto lut = LutI::buildDirect(xs);
+        for (uint32_t key = 0; key < lut.entries(); ++key)
+            EXPECT_EQ(lut.value(key),
+                      -lut.value(complementKey(key, mu)));
+    }
+}
+
+TEST(FpAddHelpers, RoundModesMatchFormats)
+{
+    const double v = 1.0 + std::ldexp(1.0, -20);
+    EXPECT_EQ(fpRound(v, FpArith::Exact), v);
+    EXPECT_EQ(fpRound(v, FpArith::Fp32), v); // representable in fp32
+    EXPECT_EQ(fpRound(v, FpArith::Fp16), 1.0);
+    EXPECT_EQ(fpRound(v, FpArith::Bf16), 1.0);
+}
+
+TEST(Lut, OutOfRangeKeyPanics)
+{
+    const auto lut = LutD::buildDirect({1.0, 2.0}, FpArith::Exact);
+    EXPECT_THROW(lut.value(4), PanicError);
+    const auto ilut = LutI::buildDirect({1, 2});
+    EXPECT_THROW(ilut.value(4), PanicError);
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,72 @@
+/** @file Tests for LUT key encoding (paper Table II conventions). */
+
+#include <gtest/gtest.h>
+
+#include "core/lut_key.h"
+
+namespace figlut {
+namespace {
+
+TEST(LutKey, TableTwoExamples)
+{
+    // {-1,-1,-1} -> 0 ... {+1,+1,+1} -> 7, first element is MSB.
+    const uint8_t all_minus[3] = {0, 0, 0};
+    const uint8_t all_plus[3] = {1, 1, 1};
+    const uint8_t mixed[3] = {0, 1, 1}; // {-1,+1,+1} -> b'011 = 3
+    const uint8_t mixed2[3] = {1, 0, 1}; // {+1,-1,+1} -> b'101 = 5
+    EXPECT_EQ(makeKey(all_minus, 3), 0u);
+    EXPECT_EQ(makeKey(all_plus, 3), 7u);
+    EXPECT_EQ(makeKey(mixed, 3), 3u);
+    EXPECT_EQ(makeKey(mixed2, 3), 5u);
+}
+
+TEST(LutKey, SignExtraction)
+{
+    // key 5 = b'101 over mu=3: signs {+, -, +}.
+    EXPECT_EQ(keySign(5, 0, 3), 1);
+    EXPECT_EQ(keySign(5, 1, 3), -1);
+    EXPECT_EQ(keySign(5, 2, 3), 1);
+}
+
+TEST(LutKey, MakeAndExtractRoundTrip)
+{
+    for (int mu = 1; mu <= 8; ++mu) {
+        for (uint32_t key = 0; key < lutEntries(mu); ++key) {
+            uint8_t bits[8];
+            for (int j = 0; j < mu; ++j)
+                bits[j] = keySign(key, j, mu) > 0 ? 1 : 0;
+            EXPECT_EQ(makeKey(bits, mu), key) << "mu=" << mu;
+        }
+    }
+}
+
+TEST(LutKey, ComplementFlipsAllSigns)
+{
+    for (int mu = 2; mu <= 6; ++mu) {
+        for (uint32_t key = 0; key < lutEntries(mu); ++key) {
+            const auto comp = complementKey(key, mu);
+            for (int j = 0; j < mu; ++j)
+                EXPECT_EQ(keySign(comp, j, mu), -keySign(key, j, mu));
+            EXPECT_EQ(complementKey(comp, mu), key);
+        }
+    }
+}
+
+TEST(LutKey, EntriesCount)
+{
+    EXPECT_EQ(lutEntries(1), 2u);
+    EXPECT_EQ(lutEntries(4), 16u);
+    EXPECT_EQ(lutEntries(8), 256u);
+}
+
+TEST(LutKey, InvalidInputsPanic)
+{
+    const uint8_t bits[2] = {0, 2}; // 2 is not a bit
+    EXPECT_THROW(makeKey(bits, 2), PanicError);
+    const uint8_t ok[1] = {1};
+    EXPECT_THROW(makeKey(ok, 0), PanicError);
+    EXPECT_THROW(keySign(0, 3, 3), PanicError);
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,170 @@
+/** @file End-to-end pipelines: quantize -> pack -> functional GEMM ->
+ *  simulate -> energy, across engines. */
+
+#include <gtest/gtest.h>
+
+#include "figlut/figlut.h"
+
+namespace figlut {
+namespace {
+
+TEST(EndToEnd, QuantizeLutGemmSimulateEnergy)
+{
+    // A small transformer-like layer through the whole stack.
+    Rng rng(2001);
+    const std::size_t m = 96, n = 128, batch = 4;
+    const auto weights = syntheticWeights(m, n, rng);
+    const auto x = syntheticActivations(n, batch, rng);
+
+    // 1) Quantize to 3-bit BCQ with offset.
+    BcqConfig qcfg;
+    qcfg.bits = 3;
+    qcfg.useOffset = true;
+    const auto bcq = quantizeBcq(weights, qcfg);
+
+    // 2) Pack and verify the round trip.
+    const auto packed = packBcq(bcq);
+    const auto planes = unpackBcq(packed);
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(planes[static_cast<std::size_t>(i)] ==
+                    bcq.planes[static_cast<std::size_t>(i)]);
+
+    // 3) Functional LUT-GEMM vs oracle.
+    NumericsConfig nc;
+    const auto y = figlutGemm(bcq, x, nc, true);
+    MatrixD xq(n, batch);
+    for (std::size_t i = 0; i < xq.size(); ++i)
+        xq.at(i) = quantizeToFormat(x.at(i), ActFormat::FP16);
+    const auto oracle = oracleGemm(bcq.dequantAll(), xq);
+    EXPECT_LT(compareMatrices(y, oracle).nrmse(), 1e-4);
+
+    // 4) Simulate the same shape on FIGLUT-I.
+    HwConfig hw;
+    hw.engine = EngineKind::FIGLUT_I;
+    GemmShape shape;
+    shape.m = m;
+    shape.n = n;
+    shape.batch = batch;
+    shape.weightBits = 3;
+    const auto sim = simulateGemm(hw, shape);
+    EXPECT_GT(sim.timing.totalCycles, 0.0);
+    EXPECT_GT(sim.energy.totalFj(), 0.0);
+
+    // 5) Functional op counts agree with the analytic profile for the
+    //    dominant term (LUT reads).
+    LutGemmCounters counters;
+    LutGemmConfig lcfg;
+    lcfg.preAligned = true;
+    (void)lutGemm(bcq, x, lcfg, &counters);
+    EXPECT_DOUBLE_EQ(static_cast<double>(counters.lutReads),
+                     sim.profile.lutReads);
+}
+
+TEST(EndToEnd, UniformModelRunsOnBcqEngine)
+{
+    // The Table I interoperability claim, end to end: RTN-quantized
+    // weights execute on the BCQ LUT engine with uniform-quality
+    // results.
+    Rng rng(2002);
+    const auto weights = syntheticWeights(64, 96, rng);
+    const auto x = syntheticActivations(96, 2, rng);
+
+    RtnConfig rcfg;
+    rcfg.bits = 4;
+    const auto rtn = quantizeRtn(weights, rcfg);
+    const auto bcq = uniformToBcq(rtn);
+
+    NumericsConfig nc;
+    const auto y_figlut = figlutGemm(bcq, x, nc, true);
+    const auto y_figna = fignaGemm(rtn, x, nc);
+    // Same quantized weights, same pre-alignment: results agree to
+    // accumulation-order noise.
+    EXPECT_LT(compareMatrices(y_figlut, y_figna).nrmse(), 1e-5);
+}
+
+TEST(EndToEnd, MixedPrecisionPipeline)
+{
+    // Sensitivity-driven allocation -> per-layer quantization -> the
+    // average bit width drives bit-serial cycle counts.
+    Rng rng(2003);
+    const auto &model = optByName("OPT-350M");
+    const auto gemms = layerGemms(model, 8, 2);
+
+    std::vector<LayerBudgetItem> items;
+    for (std::size_t i = 0; i < gemms.size(); ++i) {
+        items.push_back({"g" + std::to_string(i),
+                         gemms[i].m * gemms[i].n,
+                         1.0 + static_cast<double>(i)});
+    }
+    MixedPrecisionConfig mcfg;
+    mcfg.targetAvgBits = 2.4;
+    mcfg.minBits = 2;
+    mcfg.maxBits = 3;
+    const auto plan = allocateBits(items, mcfg);
+    EXPECT_LE(plan.avgBits, 2.4 + 1e-9);
+
+    // Simulate each layer at its assigned bits; cycles must land
+    // between the all-2-bit and all-3-bit extremes.
+    HwConfig hw;
+    hw.engine = EngineKind::FIGLUT_I;
+    auto total_cycles = [&](const std::vector<int> &bits) {
+        double cycles = 0.0;
+        for (std::size_t i = 0; i < gemms.size(); ++i) {
+            GemmShape s = gemms[i];
+            s.weightBits = bits[i];
+            cycles += simulateGemm(hw, s).timing.totalCycles;
+        }
+        return cycles;
+    };
+    const double mixed = total_cycles(plan.bitsPerLayer);
+    const double all2 = total_cycles({2, 2, 2, 2});
+    const double all3 = total_cycles({3, 3, 3, 3});
+    EXPECT_GT(mixed, all2 * 0.999);
+    EXPECT_LT(mixed, all3 * 1.001);
+}
+
+TEST(EndToEnd, DecodeStepAcrossAllEngines)
+{
+    const auto &model = optByName("OPT-125M");
+    WorkloadOptions opts;
+    opts.batch = 8;
+    opts.contextLen = 64;
+    const auto tasks = decodeStepWorkload(model, opts);
+
+    double prev_tops_w = 0.0;
+    for (const auto e : {EngineKind::FPE, EngineKind::IFPU,
+                         EngineKind::FIGNA, EngineKind::FIGLUT_I}) {
+        HwConfig hw;
+        hw.engine = e;
+        Accelerator acc(hw);
+        const auto result = acc.runWorkload(tasks);
+        EXPECT_GT(result.effTops, 0.0) << engineName(e);
+        EXPECT_GT(result.topsPerWatt, prev_tops_w) << engineName(e);
+        prev_tops_w = result.topsPerWatt;
+    }
+}
+
+TEST(EndToEnd, BitExactReproducibility)
+{
+    // Two identical runs through the full stack produce identical
+    // bits — the determinism contract.
+    for (int run = 0; run < 2; ++run) {
+        static MatrixD first;
+        Rng rng(2004);
+        const auto w = syntheticWeights(32, 64, rng);
+        const auto x = syntheticActivations(64, 2, rng);
+        BcqConfig cfg;
+        cfg.bits = 2;
+        cfg.useOffset = true;
+        const auto bcq = quantizeBcq(w, cfg);
+        NumericsConfig nc;
+        const auto y = figlutGemm(bcq, x, nc, true);
+        if (run == 0)
+            first = y;
+        else
+            EXPECT_TRUE(compareMatrices(y, first).identical);
+    }
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,135 @@
+/** @file Failure injection: malformed configurations must fail fast
+ *  with FatalError (user error), never PanicError or silent garbage. */
+
+#include <gtest/gtest.h>
+
+#include "figlut/figlut.h"
+
+namespace figlut {
+namespace {
+
+TEST(FailureInjection, GemmShapeMismatchesAreFatal)
+{
+    Rng rng(4001);
+    const auto w = syntheticWeights(8, 16, rng);
+    BcqConfig cfg;
+    cfg.bits = 2;
+    const auto bcq = quantizeBcq(w, cfg);
+    const MatrixD wrong_x(8, 2, 0.0); // needs 16 rows
+    EXPECT_THROW(lutGemm(bcq, wrong_x, LutGemmConfig{}), FatalError);
+}
+
+TEST(FailureInjection, SimulatorRejectsQ8OnQ4Hardware)
+{
+    HwConfig hw;
+    hw.engine = EngineKind::FIGNA;
+    hw.fixedWeightBits = 4;
+    GemmShape s;
+    s.m = 64;
+    s.n = 64;
+    s.batch = 1;
+    s.weightBits = 8;
+    EXPECT_THROW(simulateGemm(hw, s), FatalError);
+}
+
+TEST(FailureInjection, BitSerialAcceptsAnyPrecisionOnOneConfig)
+{
+    // The flexibility claim: the same FIGLUT hardware handles Q1..Q8.
+    HwConfig hw;
+    hw.engine = EngineKind::FIGLUT_I;
+    GemmShape s;
+    s.m = 64;
+    s.n = 64;
+    s.batch = 1;
+    for (int q = 1; q <= 8; ++q) {
+        s.weightBits = q;
+        EXPECT_NO_THROW(simulateGemm(hw, s)) << "q=" << q;
+    }
+}
+
+TEST(FailureInjection, ZeroDimensionShapes)
+{
+    HwConfig hw;
+    GemmShape s;
+    s.m = 0;
+    s.n = 4;
+    s.batch = 1;
+    EXPECT_THROW(simulateGemm(hw, s), FatalError);
+}
+
+TEST(FailureInjection, BadMuRejectedEverywhere)
+{
+    HwConfig hw;
+    hw.mu = 9;
+    GemmShape s;
+    s.m = 4;
+    s.n = 4;
+    s.batch = 1;
+    EXPECT_THROW(simulateGemm(hw, s), FatalError);
+
+    LutGemmConfig lcfg;
+    lcfg.mu = 12;
+    Rng rng(4002);
+    const auto w = syntheticWeights(4, 8, rng);
+    BcqConfig qcfg;
+    qcfg.bits = 1;
+    const auto bcq = quantizeBcq(w, qcfg);
+    const MatrixD x(8, 1, 1.0);
+    EXPECT_THROW(lutGemm(bcq, x, lcfg), FatalError);
+}
+
+TEST(FailureInjection, ErrorsCarryContext)
+{
+    HwConfig hw;
+    hw.engine = EngineKind::FIGNA;
+    hw.fixedWeightBits = 4;
+    GemmShape s;
+    s.m = 4;
+    s.n = 4;
+    s.batch = 1;
+    s.weightBits = 8;
+    try {
+        simulateGemm(hw, s);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("FIGNA"), std::string::npos);
+        EXPECT_NE(msg.find("8"), std::string::npos);
+    }
+}
+
+TEST(FailureInjection, QuantizerRejectsDegenerateRequests)
+{
+    MatrixD w(2, 2, 1.0);
+    RtnConfig rcfg;
+    rcfg.bits = 12;
+    EXPECT_THROW(quantizeRtn(w, rcfg), FatalError);
+    BcqConfig bcfg;
+    bcfg.bits = -1;
+    EXPECT_THROW(quantizeBcq(w, bcfg), FatalError);
+}
+
+TEST(FailureInjection, PreAlignRejectsInfiniteActivations)
+{
+    // A value that overflows FP16 must be caught at alignment time.
+    EXPECT_THROW(preAlign({70000.0}, ActFormat::FP16), FatalError);
+}
+
+TEST(FailureInjection, WorkloadLevelPropagation)
+{
+    // A bad kernel inside a workload surfaces as FatalError, not a
+    // crash or silent skip.
+    HwConfig hw;
+    hw.engine = EngineKind::FIGNA;
+    Accelerator acc(hw);
+    GemmShape bad;
+    bad.m = 64;
+    bad.n = 64;
+    bad.batch = 1;
+    bad.weightBits = 8; // needs Q8 hardware
+    EXPECT_THROW(acc.runWorkload({KernelTask::makeGemm("bad", bad)}),
+                 FatalError);
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,91 @@
+/** @file Tests for the OPT family descriptors. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "model/opt_family.h"
+
+namespace figlut {
+namespace {
+
+TEST(OptFamily, SevenVariantsInOrder)
+{
+    const auto &family = optFamily();
+    ASSERT_EQ(family.size(), 7u);
+    EXPECT_EQ(family.front().name, "OPT-125M");
+    EXPECT_EQ(family.back().name, "OPT-30B");
+    for (std::size_t i = 1; i < family.size(); ++i)
+        EXPECT_GE(family[i].hidden, family[i - 1].hidden);
+}
+
+TEST(OptFamily, KnownConfigs)
+{
+    const auto &m = optByName("OPT-6.7B");
+    EXPECT_EQ(m.hidden, 4096u);
+    EXPECT_EQ(m.layers, 32u);
+    EXPECT_EQ(m.ffn, 16384u);
+    const auto &s = optByName("OPT-125M");
+    EXPECT_EQ(s.hidden, 768u);
+    EXPECT_EQ(s.layers, 12u);
+}
+
+TEST(OptFamily, FfnIsFourTimesHidden)
+{
+    for (const auto &m : optFamily())
+        EXPECT_EQ(m.ffn, 4u * m.hidden) << m.name;
+}
+
+TEST(OptFamily, GemmParamsPlausible)
+{
+    // Decoder GEMM params are the bulk of the model: OPT-6.7B has
+    // ~6.4B of its 6.7B parameters in decoder GEMMs.
+    const auto &m = optByName("OPT-6.7B");
+    EXPECT_NEAR(m.gemmParams(), 6.44e9, 0.1e9);
+    const auto &b = optByName("OPT-30B");
+    EXPECT_GT(b.gemmParams(), 28e9);
+    EXPECT_LT(b.gemmParams(), 31e9);
+}
+
+TEST(OptFamily, UnknownNameThrows)
+{
+    EXPECT_THROW(optByName("OPT-66B"), FatalError);
+}
+
+TEST(LayerGemms, FourShapesInOrder)
+{
+    const auto &m = optByName("OPT-1.3B");
+    const auto gemms = layerGemms(m, 32, 3);
+    ASSERT_EQ(gemms.size(), 4u);
+    // QKV: 3h x h
+    EXPECT_EQ(gemms[0].m, 3u * 2048);
+    EXPECT_EQ(gemms[0].n, 2048u);
+    // attn out: h x h
+    EXPECT_EQ(gemms[1].m, 2048u);
+    // FC1: 4h x h
+    EXPECT_EQ(gemms[2].m, 8192u);
+    // FC2: h x 4h
+    EXPECT_EQ(gemms[3].n, 8192u);
+    for (const auto &g : gemms) {
+        EXPECT_EQ(g.batch, 32u);
+        EXPECT_EQ(g.weightBits, 3);
+    }
+}
+
+TEST(LayerGemms, ZeroBatchThrows)
+{
+    EXPECT_THROW(layerGemms(optByName("OPT-125M"), 0, 4), FatalError);
+}
+
+TEST(DecodeStepGemms, CountsAndParamTotal)
+{
+    const auto &m = optByName("OPT-2.7B");
+    const auto gemms = decodeStepGemms(m, 8, 4);
+    EXPECT_EQ(gemms.size(), m.layers * 4);
+    double params = 0.0;
+    for (const auto &g : gemms)
+        params += static_cast<double>(g.m) * g.n;
+    EXPECT_DOUBLE_EQ(params, m.gemmParams());
+}
+
+} // namespace
+} // namespace figlut

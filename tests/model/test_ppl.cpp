@@ -1,0 +1,96 @@
+/** @file Tests for the perplexity reference data and proxy. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "model/ppl.h"
+
+namespace figlut {
+namespace {
+
+TEST(PplReference, TableMatchesPaper)
+{
+    const auto &ref = pplReference("OPT-6.7B");
+    EXPECT_DOUBLE_EQ(ref.fp16, 10.86);
+    EXPECT_DOUBLE_EQ(ref.rtn4, 24.13);
+    EXPECT_DOUBLE_EQ(ref.bcq4, 11.08);
+    EXPECT_DOUBLE_EQ(ref.bcq3, 11.80);
+}
+
+TEST(PplReference, OrderingAcrossModels)
+{
+    // Bigger models quantize better: perplexities fall monotonically
+    // from 1.3B to 30B in every column (350M's RTN is an outlier in
+    // the paper's own table, matching it exactly).
+    const auto &table = pplReferenceTable();
+    for (std::size_t i = 2; i < table.size(); ++i) {
+        EXPECT_LT(table[i].fp16, table[i - 1].fp16);
+        EXPECT_LT(table[i].bcq4, table[i - 1].bcq4);
+        EXPECT_LT(table[i].bcq3, table[i - 1].bcq3);
+    }
+}
+
+TEST(PplReference, QuantizationAlwaysCostsPerplexity)
+{
+    for (const auto &row : pplReferenceTable()) {
+        EXPECT_GT(row.bcq4, row.fp16);
+        EXPECT_GT(row.bcq3, row.bcq4);
+        EXPECT_GT(row.rtn4, row.bcq4); // RTN is the weak quantizer
+    }
+}
+
+TEST(PplReference, UnknownModelThrows)
+{
+    EXPECT_THROW(pplReference("GPT-3"), FatalError);
+}
+
+TEST(TableIv, FiglutIDiffersOnlyAt13B)
+{
+    EXPECT_DOUBLE_EQ(tableIvPerplexity("OPT-13B", "FIGLUT-I"), 20.89);
+    EXPECT_DOUBLE_EQ(tableIvPerplexity("OPT-13B", "GPU"), 20.93);
+    EXPECT_DOUBLE_EQ(tableIvPerplexity("OPT-13B", "FIGLUT-F"), 20.93);
+    EXPECT_DOUBLE_EQ(tableIvPerplexity("OPT-6.7B", "FIGLUT-I"), 24.13);
+}
+
+TEST(PplProxy, ExactAtAnchors)
+{
+    const PplProxy proxy(10.86, 0.01, 11.08, 0.03, 11.80);
+    EXPECT_NEAR(proxy.predict(0.01), 11.08, 1e-9);
+    EXPECT_NEAR(proxy.predict(0.03), 11.80, 1e-9);
+}
+
+TEST(PplProxy, MonotoneInError)
+{
+    const PplProxy proxy(10.86, 0.01, 11.08, 0.03, 11.80);
+    double prev = 0.0;
+    for (double err = 0.001; err < 0.3; err *= 1.5) {
+        const double p = proxy.predict(err);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(PplProxy, ZeroErrorGivesFp16Baseline)
+{
+    const PplProxy proxy(10.86, 0.01, 11.08, 0.03, 11.80);
+    EXPECT_DOUBLE_EQ(proxy.predict(0.0), 10.86);
+    EXPECT_DOUBLE_EQ(proxy.predict(-1.0), 10.86);
+}
+
+TEST(PplProxy, ExtrapolationGrowsFast)
+{
+    // 2-bit-scale errors must blow up, as uniform 2-bit does in
+    // Fig. 17.
+    const PplProxy proxy(10.86, 0.01, 11.08, 0.03, 11.80);
+    EXPECT_GT(proxy.predict(0.2), 20.0);
+}
+
+TEST(PplProxy, InvalidAnchorsThrow)
+{
+    EXPECT_THROW(PplProxy(10.0, 0.03, 11.0, 0.01, 12.0), FatalError);
+    EXPECT_THROW(PplProxy(10.0, 0.01, 12.0, 0.03, 11.0), FatalError);
+    EXPECT_THROW(PplProxy(10.0, 0.01, 9.0, 0.03, 11.0), FatalError);
+}
+
+} // namespace
+} // namespace figlut

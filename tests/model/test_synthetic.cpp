@@ -1,0 +1,87 @@
+/** @file Tests for the synthetic data generators. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "model/synthetic.h"
+
+namespace figlut {
+namespace {
+
+TEST(Synthetic, GaussianMatrixMoments)
+{
+    Rng rng(1001);
+    const auto m = gaussianMatrix(100, 100, rng, 2.0, 0.5);
+    double sum = 0.0, sq = 0.0;
+    for (const double v : m) {
+        sum += v;
+        sq += v * v;
+    }
+    const double n = static_cast<double>(m.size());
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 2.0, 0.02);
+    EXPECT_NEAR(sq / n - mean * mean, 0.25, 0.02);
+}
+
+TEST(Synthetic, WeightsHaveRowScaleVariation)
+{
+    Rng rng(1002);
+    const auto w = syntheticWeights(64, 512, rng, 0.02, 0.8);
+    // Per-row RMS should vary by much more than sampling noise.
+    double min_rms = 1e30, max_rms = 0.0;
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+        double sq = 0.0;
+        for (std::size_t c = 0; c < w.cols(); ++c)
+            sq += w(r, c) * w(r, c);
+        const double rms = std::sqrt(sq / static_cast<double>(w.cols()));
+        min_rms = std::min(min_rms, rms);
+        max_rms = std::max(max_rms, rms);
+    }
+    EXPECT_GT(max_rms / min_rms, 3.0);
+}
+
+TEST(Synthetic, ActivationsHaveOutlierChannels)
+{
+    Rng rng(1003);
+    const auto x = syntheticActivations(512, 64, rng, 0.05, 10.0);
+    // Count rows whose RMS is several times the bulk.
+    std::size_t outliers = 0;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        double sq = 0.0;
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            sq += x(r, c) * x(r, c);
+        if (std::sqrt(sq / 64.0) > 5.0)
+            ++outliers;
+    }
+    EXPECT_GT(outliers, 5u);
+    EXPECT_LT(outliers, 60u);
+}
+
+TEST(Synthetic, ZeroOutlierRateGivesCleanBulk)
+{
+    Rng rng(1004);
+    const auto x = syntheticActivations(256, 32, rng, 0.0, 10.0);
+    for (const double v : x)
+        EXPECT_LT(std::fabs(v), 8.0); // ~8 sigma bound
+}
+
+TEST(Synthetic, DeterministicForSameSeed)
+{
+    Rng a(7), b(7);
+    const auto x = syntheticWeights(8, 8, a);
+    const auto y = syntheticWeights(8, 8, b);
+    EXPECT_TRUE(x == y);
+}
+
+TEST(Synthetic, EmptyShapesThrow)
+{
+    Rng rng(1005);
+    EXPECT_THROW(gaussianMatrix(0, 4, rng), FatalError);
+    EXPECT_THROW(syntheticWeights(4, 0, rng), FatalError);
+    EXPECT_THROW(syntheticActivations(0, 0, rng), FatalError);
+}
+
+} // namespace
+} // namespace figlut

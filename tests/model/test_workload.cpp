@@ -1,0 +1,88 @@
+/** @file Tests for transformer-layer workload construction. */
+
+#include <gtest/gtest.h>
+
+#include "model/workload.h"
+
+namespace figlut {
+namespace {
+
+TEST(Workload, LayerContainsFourGemms)
+{
+    const auto &m = optByName("OPT-350M");
+    WorkloadOptions opts;
+    const auto tasks = layerWorkload(m, opts);
+    std::size_t gemms = 0, vectors = 0;
+    for (const auto &t : tasks) {
+        if (t.kind == KernelTask::Kind::Gemm)
+            ++gemms;
+        else
+            ++vectors;
+    }
+    EXPECT_EQ(gemms, 4u);
+    EXPECT_GE(vectors, 5u); // ln1, attention, residuals, ln2, gelu
+}
+
+TEST(Workload, VectorKernelsCanBeDisabled)
+{
+    const auto &m = optByName("OPT-350M");
+    WorkloadOptions opts;
+    opts.includeVector = false;
+    const auto tasks = layerWorkload(m, opts);
+    for (const auto &t : tasks)
+        EXPECT_EQ(t.kind, KernelTask::Kind::Gemm);
+    EXPECT_EQ(tasks.size(), 4u);
+}
+
+TEST(Workload, DecodeStepScalesWithLayers)
+{
+    const auto &m = optByName("OPT-1.3B");
+    WorkloadOptions opts;
+    const auto layer = layerWorkload(m, opts);
+    const auto step = decodeStepWorkload(m, opts);
+    EXPECT_EQ(step.size(), layer.size() * m.layers);
+}
+
+TEST(Workload, GemmShapesCarryOptions)
+{
+    const auto &m = optByName("OPT-350M");
+    WorkloadOptions opts;
+    opts.batch = 7;
+    opts.weightBits = 2;
+    const auto tasks = layerWorkload(m, opts);
+    for (const auto &t : tasks) {
+        if (t.kind != KernelTask::Kind::Gemm)
+            continue;
+        EXPECT_EQ(t.gemm.batch, 7u);
+        EXPECT_EQ(t.gemm.weightBits, 2);
+    }
+}
+
+TEST(Workload, ContextLengthGrowsAttentionCost)
+{
+    const auto &m = optByName("OPT-350M");
+    WorkloadOptions short_ctx;
+    short_ctx.contextLen = 64;
+    WorkloadOptions long_ctx;
+    long_ctx.contextLen = 1024;
+
+    auto attention_ops = [&](const WorkloadOptions &opts) {
+        for (const auto &t : layerWorkload(m, opts))
+            if (t.kind == KernelTask::Kind::Vector &&
+                t.name == "attention")
+                return t.vector.total();
+        return 0.0;
+    };
+    EXPECT_GT(attention_ops(long_ctx), 8.0 * attention_ops(short_ctx));
+}
+
+TEST(Workload, TaskNamesAreSet)
+{
+    const auto &m = optByName("OPT-350M");
+    const auto tasks = layerWorkload(m, WorkloadOptions{});
+    for (const auto &t : tasks)
+        EXPECT_FALSE(t.name.empty());
+}
+
+} // namespace
+} // namespace figlut

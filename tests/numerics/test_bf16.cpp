@@ -1,0 +1,104 @@
+/** @file Tests for the bfloat16 value type. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.h"
+#include "numerics/bf16.h"
+
+namespace figlut {
+namespace {
+
+/** Reference bf16 encoding: round-to-nearest-even on a float's bits. */
+uint16_t
+referenceBf16(float f)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    const uint32_t lsb = (bits >> 16) & 1u;
+    const uint32_t rounding = 0x7FFFu + lsb;
+    return static_cast<uint16_t>((bits + rounding) >> 16);
+}
+
+TEST(Bf16, BasicValues)
+{
+    EXPECT_EQ(Bf16::fromDouble(1.0).toDouble(), 1.0);
+    EXPECT_EQ(Bf16::fromDouble(-2.0).toDouble(), -2.0);
+    EXPECT_TRUE(Bf16::fromDouble(0.0).isZero());
+}
+
+TEST(Bf16, MatchesTruncationReferenceOnNormals)
+{
+    Rng rng(31);
+    for (int i = 0; i < 30000; ++i) {
+        const float f = static_cast<float>(rng.normal(0.0, 50.0));
+        const auto ours = Bf16::fromDouble(static_cast<double>(f));
+        EXPECT_EQ(ours.bits(), referenceBf16(f))
+            << "value " << f;
+    }
+}
+
+TEST(Bf16, WideDynamicRange)
+{
+    // bf16 shares float32's exponent range: 1e30 is finite.
+    EXPECT_FALSE(Bf16::fromDouble(1e30).isInf());
+    EXPECT_TRUE(Bf16::fromDouble(1e40).isInf());
+}
+
+TEST(Bf16, CoarseMantissa)
+{
+    // Only 8 significand bits: 257 rounds to 256.
+    EXPECT_EQ(Bf16::fromDouble(257.0).toDouble(), 256.0);
+    // 258 is representable (256 * 1.0078125).
+    EXPECT_EQ(Bf16::fromDouble(258.0).toDouble(), 258.0);
+}
+
+TEST(Bf16, AddMatchesDoubleThenRound)
+{
+    Rng rng(32);
+    for (int i = 0; i < 20000; ++i) {
+        const auto a = Bf16::fromDouble(rng.normal(0.0, 10.0));
+        const auto b = Bf16::fromDouble(rng.normal(0.0, 10.0));
+        const auto sum = Bf16::add(a, b);
+        const auto expect = Bf16::fromDouble(a.toDouble() + b.toDouble());
+        EXPECT_EQ(sum.bits(), expect.bits());
+    }
+}
+
+TEST(Bf16, MulMatchesDoubleThenRound)
+{
+    Rng rng(33);
+    for (int i = 0; i < 20000; ++i) {
+        const auto a = Bf16::fromDouble(rng.normal(0.0, 3.0));
+        const auto b = Bf16::fromDouble(rng.normal(0.0, 3.0));
+        const auto prod = Bf16::mul(a, b);
+        const auto expect = Bf16::fromDouble(a.toDouble() * b.toDouble());
+        EXPECT_EQ(prod.bits(), expect.bits());
+    }
+}
+
+TEST(Bf16, NanAndInfClassification)
+{
+    EXPECT_TRUE(Bf16::fromDouble(std::nan("")).isNan());
+    EXPECT_TRUE(Bf16::fromDouble(1e40).isInf());
+    EXPECT_FALSE(Bf16::fromDouble(5.0).isInf());
+}
+
+TEST(Bf16, NegateRoundTrips)
+{
+    const auto a = Bf16::fromDouble(7.5);
+    EXPECT_EQ(a.negate().toDouble(), -7.5);
+    EXPECT_EQ(a.negate().negate().bits(), a.bits());
+}
+
+TEST(Bf16, UlpDistanceHelper)
+{
+    const auto a = Bf16::fromDouble(1.0);
+    const auto b = Bf16::fromBits(static_cast<uint16_t>(a.bits() + 2));
+    EXPECT_EQ(ulpDistance(a, b), 2u);
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,117 @@
+/** @file Tests for the binary16 value type. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "numerics/fp16.h"
+
+namespace figlut {
+namespace {
+
+TEST(Fp16, BasicValues)
+{
+    EXPECT_EQ(Fp16::fromDouble(1.0).bits(), 0x3C00u);
+    EXPECT_EQ(Fp16::fromDouble(1.0).toDouble(), 1.0);
+    EXPECT_EQ(Fp16::fromDouble(-0.5).toDouble(), -0.5);
+    EXPECT_TRUE(Fp16::fromDouble(0.0).isZero());
+    EXPECT_TRUE(Fp16::fromDouble(-0.0).isZero());
+}
+
+TEST(Fp16, Classification)
+{
+    EXPECT_TRUE(Fp16::fromDouble(1e9).isInf());
+    EXPECT_TRUE(Fp16::fromDouble(std::nan("")).isNan());
+    EXPECT_FALSE(Fp16::fromDouble(2.0).isNan());
+    EXPECT_FALSE(Fp16::fromDouble(2.0).isInf());
+}
+
+TEST(Fp16, AddMatchesDoubleThenRound)
+{
+    // add(a, b) must equal rounding the exact sum.
+    Rng rng(21);
+    for (int i = 0; i < 20000; ++i) {
+        const auto a = Fp16::fromDouble(rng.normal(0.0, 8.0));
+        const auto b = Fp16::fromDouble(rng.normal(0.0, 8.0));
+        const auto sum = Fp16::add(a, b);
+        const auto expect = Fp16::fromDouble(a.toDouble() + b.toDouble());
+        EXPECT_EQ(sum.bits(), expect.bits());
+    }
+}
+
+TEST(Fp16, AddIsCommutative)
+{
+    Rng rng(22);
+    for (int i = 0; i < 5000; ++i) {
+        const auto a = Fp16::fromDouble(rng.normal(0.0, 100.0));
+        const auto b = Fp16::fromDouble(rng.normal(0.0, 0.01));
+        EXPECT_EQ(Fp16::add(a, b).bits(), Fp16::add(b, a).bits());
+    }
+}
+
+TEST(Fp16, AddCancellationIsExact)
+{
+    const auto a = Fp16::fromDouble(1.5);
+    EXPECT_TRUE(Fp16::add(a, a.negate()).isZero());
+}
+
+TEST(Fp16, SmallAdditionIsAbsorbed)
+{
+    // 2048 + 0.5 rounds back to 2048 in binary16 (ulp at 2048 is 2... 1).
+    const auto big = Fp16::fromDouble(2048.0);
+    const auto small = Fp16::fromDouble(0.5);
+    EXPECT_EQ(Fp16::add(big, small).toDouble(), 2048.0);
+}
+
+TEST(Fp16, MulMatchesDoubleThenRound)
+{
+    Rng rng(23);
+    for (int i = 0; i < 20000; ++i) {
+        const auto a = Fp16::fromDouble(rng.normal(0.0, 4.0));
+        const auto b = Fp16::fromDouble(rng.normal(0.0, 4.0));
+        const auto prod = Fp16::mul(a, b);
+        const auto expect = Fp16::fromDouble(a.toDouble() * b.toDouble());
+        EXPECT_EQ(prod.bits(), expect.bits());
+    }
+}
+
+TEST(Fp16, MulOverflowsToInf)
+{
+    const auto a = Fp16::fromDouble(300.0);
+    EXPECT_TRUE(Fp16::mul(a, a).isInf());
+}
+
+TEST(Fp16, MulUnderflowsToSubnormalOrZero)
+{
+    const auto tiny = Fp16::fromDouble(std::ldexp(1.0, -14));
+    const auto half = Fp16::fromDouble(0.5);
+    // 2^-15 is a representable subnormal.
+    EXPECT_EQ(Fp16::mul(tiny, half).toDouble(), std::ldexp(1.0, -15));
+}
+
+TEST(Fp16, NegateFlipsSignExactly)
+{
+    const auto a = Fp16::fromDouble(3.25);
+    EXPECT_EQ(a.negate().toDouble(), -3.25);
+    EXPECT_EQ(a.negate().negate().bits(), a.bits());
+}
+
+TEST(Fp16, UlpDistanceHelper)
+{
+    const auto a = Fp16::fromDouble(1.0);
+    const auto b = Fp16::fromBits(static_cast<uint16_t>(a.bits() + 3));
+    EXPECT_EQ(ulpDistance(a, b), 3u);
+}
+
+TEST(Fp16, ToFloatIsExactWidening)
+{
+    Rng rng(24);
+    for (int i = 0; i < 10000; ++i) {
+        const auto h = Fp16::fromDouble(rng.normal(0.0, 16.0));
+        EXPECT_EQ(static_cast<double>(h.toFloat()), h.toDouble());
+    }
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,74 @@
+/** @file Tests for the runtime ActFormat descriptor. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "numerics/fp16.h"
+#include "numerics/fp_format.h"
+
+namespace figlut {
+namespace {
+
+TEST(ActFormat, NamesAndWidths)
+{
+    EXPECT_EQ(actFormatName(ActFormat::FP16), "FP16");
+    EXPECT_EQ(actFormatName(ActFormat::BF16), "BF16");
+    EXPECT_EQ(actFormatName(ActFormat::FP32), "FP32");
+    EXPECT_EQ(significandBits(ActFormat::FP16), 11);
+    EXPECT_EQ(significandBits(ActFormat::BF16), 8);
+    EXPECT_EQ(significandBits(ActFormat::FP32), 24);
+    EXPECT_EQ(storageBits(ActFormat::FP16), 16);
+    EXPECT_EQ(storageBits(ActFormat::BF16), 16);
+    EXPECT_EQ(storageBits(ActFormat::FP32), 32);
+}
+
+TEST(ActFormat, QuantizeMatchesFp16Type)
+{
+    for (const double v : {0.1, -3.7, 1234.5, 1e-5, 65504.0}) {
+        EXPECT_EQ(quantizeToFormat(v, ActFormat::FP16),
+                  Fp16::fromDouble(v).toDouble());
+    }
+}
+
+TEST(ActFormat, QuantizeFp32MatchesFloatCast)
+{
+    for (const double v : {0.1, -3.7, 1e20, 1e-30}) {
+        EXPECT_EQ(quantizeToFormat(v, ActFormat::FP32),
+                  static_cast<double>(static_cast<float>(v)));
+    }
+}
+
+TEST(ActFormat, QuantizeIsIdempotent)
+{
+    for (const auto fmt : kAllActFormats) {
+        const double q = quantizeToFormat(0.123456789, fmt);
+        EXPECT_EQ(quantizeToFormat(q, fmt), q)
+            << actFormatName(fmt);
+    }
+}
+
+TEST(ActFormat, EncodeMatchesBitPatterns)
+{
+    EXPECT_EQ(encodeFormat(1.0, ActFormat::FP16), 0x3C00u);
+    EXPECT_EQ(encodeFormat(1.0, ActFormat::BF16), 0x3F80u);
+    EXPECT_EQ(encodeFormat(1.0f, ActFormat::FP32), 0x3F800000u);
+}
+
+TEST(ActFormat, ParseAcceptsCaseInsensitive)
+{
+    EXPECT_EQ(parseActFormat("fp16"), ActFormat::FP16);
+    EXPECT_EQ(parseActFormat("Bf16"), ActFormat::BF16);
+    EXPECT_EQ(parseActFormat("FP32"), ActFormat::FP32);
+    EXPECT_THROW(parseActFormat("fp8"), FatalError);
+}
+
+TEST(ActFormat, SpecsAreConsistent)
+{
+    for (const auto fmt : kAllActFormats) {
+        const auto &spec = actFormatSpec(fmt);
+        EXPECT_EQ(spec.mantBits + 1, significandBits(fmt));
+    }
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,158 @@
+/** @file Tests for mantissa pre-alignment (iFPU/FIGNA/FIGLUT-I path). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "numerics/prealign.h"
+
+namespace figlut {
+namespace {
+
+TEST(PreAlign, AllZeroBlock)
+{
+    const auto block = preAlign({0.0, 0.0, 0.0}, ActFormat::FP16);
+    EXPECT_TRUE(block.allZero);
+    for (const auto m : block.mantissas)
+        EXPECT_EQ(m, 0);
+}
+
+TEST(PreAlign, SingleValueIsExact)
+{
+    const auto block = preAlign({1.5}, ActFormat::FP16, 24);
+    EXPECT_FALSE(block.allZero);
+    EXPECT_DOUBLE_EQ(block.valueAt(0), 1.5);
+}
+
+TEST(PreAlign, PowerOfTwoValuesAreExact)
+{
+    const std::vector<double> vals = {4.0, 2.0, 1.0, 0.5, 0.25};
+    const auto block = preAlign(vals, ActFormat::FP16, 24);
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        EXPECT_DOUBLE_EQ(block.valueAt(i), vals[i]);
+    EXPECT_EQ(block.sharedExp, 2); // 4.0 = 1.0 * 2^2
+}
+
+TEST(PreAlign, Fp16ValuesExactWith24FracBits)
+{
+    // Any fp16 value within 13 octaves of the max is exactly
+    // representable on a 24-bit-aligned datapath (10 mantissa bits +
+    // 14 shift <= 24).
+    Rng rng(41);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<double> vals(16);
+        for (auto &v : vals)
+            v = quantizeToFormat(rng.normal(0.0, 2.0), ActFormat::FP16);
+        const auto block = preAlign(vals, ActFormat::FP16, 24);
+        for (std::size_t i = 0; i < vals.size(); ++i) {
+            if (vals[i] == 0.0)
+                continue;
+            int e = 0;
+            (void)std::frexp(std::fabs(vals[i]), &e);
+            if (block.sharedExp - (e - 1) <= 13)
+                EXPECT_DOUBLE_EQ(block.valueAt(i), vals[i])
+                    << "element " << i;
+        }
+    }
+}
+
+TEST(PreAlign, NarrowDatapathLosesSmallValues)
+{
+    // With only 8 fraction bits, a value 2^-9 below the max vanishes.
+    const auto block = preAlign({1.0, std::ldexp(1.0, -9)},
+                                ActFormat::FP16, 8);
+    EXPECT_DOUBLE_EQ(block.valueAt(0), 1.0);
+    EXPECT_DOUBLE_EQ(block.valueAt(1), 0.0);
+}
+
+TEST(PreAlign, TruncateVsRneRounding)
+{
+    // Second value scales to exactly 1.5 on a 5-fraction-bit datapath:
+    // truncation floors to 1, RNE resolves the tie upward to 2.
+    const std::vector<double> vals = {1.0, 0.046875};
+    const auto trunc = preAlign(vals, ActFormat::FP16, 5,
+                                AlignRounding::Truncate);
+    const auto rne = preAlign(vals, ActFormat::FP16, 5,
+                              AlignRounding::NearestEven);
+    EXPECT_LE(trunc.mantissas[1], rne.mantissas[1]);
+    EXPECT_EQ(trunc.mantissas[1], 1);  // floor(1.5) = 1
+    EXPECT_EQ(rne.mantissas[1], 2);    // RNE(1.5) = 2
+}
+
+TEST(PreAlign, SharedExpTracksMaximum)
+{
+    const auto block = preAlign({0.25, -64.0, 3.0}, ActFormat::FP16, 24);
+    EXPECT_EQ(block.sharedExp, 6); // 64 = 2^6
+}
+
+TEST(PreAlign, RejectsNonFinite)
+{
+    EXPECT_THROW(preAlign({1.0, 1e9}, ActFormat::FP16, 24), FatalError);
+    // (1e9 overflows fp16 to inf)
+}
+
+TEST(PreAlign, RejectsBadFracBits)
+{
+    EXPECT_THROW(preAlign({1.0}, ActFormat::FP16, 1), FatalError);
+    EXPECT_THROW(preAlign({1.0}, ActFormat::FP16, 61), FatalError);
+}
+
+TEST(AlignedDot, MatchesDoubleDotExactly)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<double> vals(32);
+        for (auto &v : vals)
+            v = quantizeToFormat(rng.normal(0.0, 1.0), ActFormat::FP16);
+        const auto block = preAlign(vals, ActFormat::FP16, 24);
+
+        std::vector<int32_t> w(32);
+        for (auto &wi : w)
+            wi = static_cast<int32_t>(rng.uniformInt(-8, 7));
+
+        double expect = 0.0;
+        for (std::size_t i = 0; i < vals.size(); ++i)
+            expect += block.valueAt(i) * w[i];
+        EXPECT_DOUBLE_EQ(alignedDot(block, w), expect);
+    }
+}
+
+TEST(AlignedDot, LengthMismatchPanics)
+{
+    const auto block = preAlign({1.0, 2.0}, ActFormat::FP16, 24);
+    EXPECT_THROW(alignedDot(block, {1}), PanicError);
+}
+
+TEST(AlignedSignedSum, MatchesManualSum)
+{
+    const auto block = preAlign({1.0, 2.0, 4.0}, ActFormat::FP16, 24);
+    const auto sum = alignedSignedSum(block, {1, -1, 1});
+    EXPECT_DOUBLE_EQ(static_cast<double>(sum) * block.scale(), 3.0);
+}
+
+TEST(AlignedSignedSum, RejectsBadSigns)
+{
+    const auto block = preAlign({1.0}, ActFormat::FP16, 24);
+    EXPECT_THROW(alignedSignedSum(block, {0}), PanicError);
+}
+
+TEST(PreAlign, WorksForAllFormats)
+{
+    Rng rng(43);
+    for (const auto fmt : kAllActFormats) {
+        std::vector<double> vals(8);
+        for (auto &v : vals)
+            v = quantizeToFormat(rng.normal(0.0, 1.0), fmt);
+        const auto block = preAlign(vals, fmt, 30);
+        for (std::size_t i = 0; i < vals.size(); ++i) {
+            EXPECT_NEAR(block.valueAt(i), vals[i],
+                        std::ldexp(std::fabs(vals[i]) + 1.0, -20))
+                << actFormatName(fmt);
+        }
+    }
+}
+
+} // namespace
+} // namespace figlut

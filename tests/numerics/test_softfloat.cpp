@@ -1,0 +1,139 @@
+/** @file Tests for the generic IEEE rounding machinery. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "numerics/softfloat.h"
+
+namespace figlut {
+namespace {
+
+TEST(FpSpec, Fp16Layout)
+{
+    EXPECT_EQ(kFp16Spec.bias(), 15);
+    EXPECT_EQ(kFp16Spec.maxExp(), 15);
+    EXPECT_EQ(kFp16Spec.minExp(), -14);
+    EXPECT_EQ(kFp16Spec.totalBits(), 16);
+}
+
+TEST(FpSpec, Bf16Layout)
+{
+    EXPECT_EQ(kBf16Spec.bias(), 127);
+    EXPECT_EQ(kBf16Spec.minExp(), -126);
+    EXPECT_EQ(kBf16Spec.totalBits(), 16);
+}
+
+TEST(RoundToFormat, ExactSmallIntegers)
+{
+    for (int i = -100; i <= 100; ++i) {
+        const auto bits = roundToFormat(static_cast<double>(i), kFp16Spec);
+        EXPECT_EQ(decodeFormat(bits, kFp16Spec), static_cast<double>(i))
+            << "integer " << i;
+    }
+}
+
+TEST(RoundToFormat, SignedZeros)
+{
+    EXPECT_EQ(roundToFormat(0.0, kFp16Spec), 0x0000u);
+    EXPECT_EQ(roundToFormat(-0.0, kFp16Spec), 0x8000u);
+}
+
+TEST(RoundToFormat, KnownFp16Patterns)
+{
+    EXPECT_EQ(roundToFormat(1.0, kFp16Spec), 0x3C00u);
+    EXPECT_EQ(roundToFormat(-2.0, kFp16Spec), 0xC000u);
+    EXPECT_EQ(roundToFormat(65504.0, kFp16Spec), 0x7BFFu); // max normal
+    EXPECT_EQ(roundToFormat(5.960464477539063e-08, kFp16Spec), 0x0001u);
+}
+
+TEST(RoundToFormat, OverflowToInfinity)
+{
+    EXPECT_EQ(roundToFormat(1e6, kFp16Spec), 0x7C00u);
+    EXPECT_EQ(roundToFormat(-1e6, kFp16Spec), 0xFC00u);
+    // 65520 rounds up past max normal -> inf.
+    EXPECT_EQ(roundToFormat(65520.0, kFp16Spec), 0x7C00u);
+    // 65519.99 rounds down to max normal.
+    EXPECT_EQ(roundToFormat(65519.99, kFp16Spec), 0x7BFFu);
+}
+
+TEST(RoundToFormat, InfinityAndNan)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(roundToFormat(inf, kFp16Spec), 0x7C00u);
+    EXPECT_EQ(roundToFormat(-inf, kFp16Spec), 0xFC00u);
+    const auto nan_bits = roundToFormat(std::nan(""), kFp16Spec);
+    EXPECT_TRUE(std::isnan(decodeFormat(nan_bits, kFp16Spec)));
+}
+
+TEST(RoundToFormat, SubnormalRange)
+{
+    // Smallest subnormal is 2^-24; half of it ties to even -> 0.
+    const double min_sub = std::ldexp(1.0, -24);
+    EXPECT_EQ(roundToFormat(min_sub, kFp16Spec), 0x0001u);
+    EXPECT_EQ(roundToFormat(min_sub * 0.5, kFp16Spec), 0x0000u);
+    EXPECT_EQ(roundToFormat(min_sub * 0.75, kFp16Spec), 0x0001u);
+    // 1.5 * min_sub ties between 1 and 2 -> even (2).
+    EXPECT_EQ(roundToFormat(min_sub * 1.5, kFp16Spec), 0x0002u);
+}
+
+TEST(RoundToFormat, SubnormalRoundsUpToNormal)
+{
+    // Just below the smallest normal (2^-14) rounds up into it.
+    const double min_normal = std::ldexp(1.0, -14);
+    const double just_below = min_normal * (1.0 - 1e-9);
+    EXPECT_EQ(roundToFormat(just_below, kFp16Spec), 0x0400u);
+}
+
+TEST(RoundToFormat, TieToEvenOnMantissaBoundary)
+{
+    // 1 + 2^-11 is exactly between 1.0 and 1+2^-10: ties to even (1.0).
+    EXPECT_EQ(roundToFormat(1.0 + std::ldexp(1.0, -11), kFp16Spec),
+              0x3C00u);
+    // 1 + 3*2^-11 ties between 1+2^-10 and 1+2^-9 -> even (1+2^-9).
+    EXPECT_EQ(roundToFormat(1.0 + 3.0 * std::ldexp(1.0, -11), kFp16Spec),
+              0x3C02u);
+}
+
+TEST(DecodeFormat, RoundTripAllFp16Patterns)
+{
+    // Exhaustive: every finite bit pattern decodes and re-encodes to
+    // itself (canonical NaN excepted).
+    for (uint32_t bits = 0; bits < 0x10000u; ++bits) {
+        const double v = decodeFormat(bits, kFp16Spec);
+        if (std::isnan(v))
+            continue;
+        EXPECT_EQ(roundToFormat(v, kFp16Spec), bits)
+            << "pattern 0x" << std::hex << bits;
+    }
+}
+
+TEST(DecodeFormat, RoundTripAllBf16Patterns)
+{
+    for (uint32_t bits = 0; bits < 0x10000u; ++bits) {
+        const double v = decodeFormat(bits, kBf16Spec);
+        if (std::isnan(v))
+            continue;
+        EXPECT_EQ(roundToFormat(v, kBf16Spec), bits)
+            << "pattern 0x" << std::hex << bits;
+    }
+}
+
+TEST(UlpDistance, AdjacentAndSignedPatterns)
+{
+    EXPECT_EQ(ulpDistance(0x3C00u, 0x3C00u, kFp16Spec), 0u);
+    EXPECT_EQ(ulpDistance(0x3C00u, 0x3C01u, kFp16Spec), 1u);
+    // +0 and -0 are adjacent on the monotone line (both map to 0).
+    EXPECT_EQ(ulpDistance(0x0000u, 0x8000u, kFp16Spec), 0u);
+    // +min_sub vs -min_sub is 2 ulps apart.
+    EXPECT_EQ(ulpDistance(0x0001u, 0x8001u, kFp16Spec), 2u);
+}
+
+TEST(UlpDistance, NanIsMaximal)
+{
+    EXPECT_EQ(ulpDistance(0x7E00u, 0x3C00u, kFp16Spec), ~0u);
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,213 @@
+/** @file Tests for binary-coding quantization. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "model/synthetic.h"
+#include "quant/bcq.h"
+
+namespace figlut {
+namespace {
+
+TEST(Bcq, PlanesAreBinary)
+{
+    Rng rng(61);
+    const auto w = syntheticWeights(8, 64, rng);
+    BcqConfig cfg;
+    cfg.bits = 3;
+    const auto t = quantizeBcq(w, cfg);
+    ASSERT_EQ(t.planes.size(), 3u);
+    for (const auto &plane : t.planes)
+        for (std::size_t i = 0; i < plane.size(); ++i)
+            EXPECT_LE(plane.at(i), 1);
+}
+
+TEST(Bcq, SignConvention)
+{
+    Rng rng(62);
+    const auto w = syntheticWeights(4, 32, rng);
+    const auto t = quantizeBcq(w, BcqConfig{});
+    for (int i = 0; i < t.bits; ++i)
+        for (std::size_t r = 0; r < t.rows; ++r)
+            for (std::size_t c = 0; c < t.cols; ++c) {
+                const auto s = t.sign(i, r, c);
+                EXPECT_TRUE(s == 1 || s == -1);
+                EXPECT_EQ(s == 1,
+                          t.planes[static_cast<std::size_t>(i)](r, c) ==
+                              1);
+            }
+}
+
+TEST(Bcq, OneBitMatchesSignTimesMeanAbs)
+{
+    // q=1 greedy+LS on a symmetric row: alpha = mean(|w|) exactly
+    // after the final refit, codes = sign(w).
+    MatrixD w(1, 4);
+    w(0, 0) = 1.0;
+    w(0, 1) = -2.0;
+    w(0, 2) = 3.0;
+    w(0, 3) = -4.0;
+    BcqConfig cfg;
+    cfg.bits = 1;
+    const auto t = quantizeBcq(w, cfg);
+    EXPECT_NEAR(t.alphas[0](0, 0), 2.5, 1e-9);
+    EXPECT_EQ(t.sign(0, 0, 0), 1);
+    EXPECT_EQ(t.sign(0, 0, 1), -1);
+    EXPECT_EQ(t.sign(0, 0, 2), 1);
+    EXPECT_EQ(t.sign(0, 0, 3), -1);
+}
+
+TEST(Bcq, TwoLevelRowIsExactWithOneBit)
+{
+    // Values {-a, +a} are exactly representable with q=1.
+    MatrixD w(1, 8);
+    for (std::size_t c = 0; c < 8; ++c)
+        w(0, c) = (c % 2 == 0) ? 0.7 : -0.7;
+    BcqConfig cfg;
+    cfg.bits = 1;
+    const auto t = quantizeBcq(w, cfg);
+    EXPECT_NEAR(bcqMse(w, t), 0.0, 1e-18);
+}
+
+TEST(Bcq, FourLevelRowIsExactWithTwoBits)
+{
+    // Levels {-3, -1, +1, +3} = +/-2 +/-1 exactly.
+    MatrixD w(1, 8);
+    const double levels[4] = {-3.0, -1.0, 1.0, 3.0};
+    for (std::size_t c = 0; c < 8; ++c)
+        w(0, c) = levels[c % 4];
+    BcqConfig cfg;
+    cfg.bits = 2;
+    const auto t = quantizeBcq(w, cfg);
+    EXPECT_NEAR(bcqMse(w, t), 0.0, 1e-15);
+}
+
+TEST(Bcq, MoreBitsNeverWorse)
+{
+    Rng rng(63);
+    const auto w = syntheticWeights(8, 128, rng);
+    double prev = 1e30;
+    for (int bits = 1; bits <= 6; ++bits) {
+        BcqConfig cfg;
+        cfg.bits = bits;
+        const double mse = bcqMse(w, quantizeBcq(w, cfg));
+        EXPECT_LE(mse, prev * 1.0001) << "bits " << bits;
+        prev = mse;
+    }
+}
+
+TEST(Bcq, AlternatingImprovesOnGreedy)
+{
+    Rng rng(64);
+    const auto w = syntheticWeights(16, 128, rng);
+    BcqConfig greedy;
+    greedy.bits = 3;
+    greedy.iterations = 0;
+    BcqConfig refined;
+    refined.bits = 3;
+    refined.iterations = 12;
+    EXPECT_LT(bcqMse(w, quantizeBcq(w, refined)),
+              bcqMse(w, quantizeBcq(w, greedy)));
+}
+
+TEST(Bcq, OffsetHelpsAsymmetricData)
+{
+    Rng rng(65);
+    // Strongly shifted weights: the offset absorbs the mean.
+    const auto w = gaussianMatrix(8, 128, rng, 0.5, 0.1);
+    BcqConfig plain;
+    plain.bits = 2;
+    BcqConfig offset;
+    offset.bits = 2;
+    offset.useOffset = true;
+    EXPECT_LT(bcqMse(w, quantizeBcq(w, offset)),
+              bcqMse(w, quantizeBcq(w, plain)));
+}
+
+TEST(Bcq, OffsetFieldZeroWithoutOffset)
+{
+    Rng rng(66);
+    const auto w = syntheticWeights(4, 32, rng);
+    const auto t = quantizeBcq(w, BcqConfig{});
+    EXPECT_FALSE(t.hasOffset);
+    for (std::size_t i = 0; i < t.offsets.size(); ++i)
+        EXPECT_EQ(t.offsets.at(i), 0.0);
+}
+
+TEST(Bcq, GroupingReducesError)
+{
+    Rng rng(67);
+    MatrixD w(4, 256);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 256; ++c)
+            w(r, c) = rng.normal(0.0, c < 128 ? 0.01 : 1.0);
+    BcqConfig whole;
+    whole.bits = 2;
+    BcqConfig grouped = whole;
+    grouped.groupSize = 128;
+    EXPECT_LT(bcqMse(w, quantizeBcq(w, grouped)),
+              bcqMse(w, quantizeBcq(w, whole)));
+}
+
+TEST(Bcq, BetterThanNaiveSignQuantForGaussians)
+{
+    // The alternating optimizer must beat a single-alpha sign
+    // quantizer at q=3 by a wide margin.
+    Rng rng(68);
+    const auto w = gaussianMatrix(8, 256, rng, 0.0, 1.0);
+    BcqConfig cfg;
+    cfg.bits = 3;
+    const double mse = bcqMse(w, quantizeBcq(w, cfg));
+    // Optimal 3-bit non-uniform quantization of a Gaussian has
+    // SQNR ~ 14-16 dB; demand at least 10 dB.
+    EXPECT_LT(mse, 0.1);
+}
+
+TEST(Bcq, StorageBitsAccounting)
+{
+    Rng rng(69);
+    const auto w = syntheticWeights(8, 64, rng);
+    BcqConfig cfg;
+    cfg.bits = 3;
+    cfg.useOffset = true;
+    const auto t = quantizeBcq(w, cfg);
+    // 3 planes * 8 * 64 bits + (3 alphas + 1 offset) * 8 rows * 16 bits
+    EXPECT_EQ(t.storageBits(16), 3u * 8 * 64 + 4u * 8 * 16);
+}
+
+TEST(Bcq, InvalidConfigThrows)
+{
+    MatrixD w(2, 2, 1.0);
+    BcqConfig cfg;
+    cfg.bits = 0;
+    EXPECT_THROW(quantizeBcq(w, cfg), FatalError);
+    cfg.bits = 9;
+    EXPECT_THROW(quantizeBcq(w, cfg), FatalError);
+    EXPECT_THROW(quantizeBcq(MatrixD{}, BcqConfig{}), FatalError);
+}
+
+/** Property sweep: alternating optimization is monotone per round. */
+class BcqIterationSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BcqIterationSweep, MoreIterationsNeverWorse)
+{
+    Rng rng(70);
+    const auto w = syntheticWeights(8, 96, rng);
+    BcqConfig fewer;
+    fewer.bits = 3;
+    fewer.iterations = GetParam();
+    BcqConfig more = fewer;
+    more.iterations = GetParam() + 4;
+    EXPECT_LE(bcqMse(w, quantizeBcq(w, more)),
+              bcqMse(w, quantizeBcq(w, fewer)) * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Iters, BcqIterationSweep,
+                         ::testing::Values(0, 1, 2, 4, 8));
+
+} // namespace
+} // namespace figlut

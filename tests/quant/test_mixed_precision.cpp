@@ -1,0 +1,140 @@
+/** @file Tests for sensitivity-driven mixed-precision allocation. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "quant/mixed_precision.h"
+
+namespace figlut {
+namespace {
+
+std::vector<LayerBudgetItem>
+uniformLayers(std::size_t count, std::size_t params, double sens)
+{
+    std::vector<LayerBudgetItem> layers;
+    for (std::size_t i = 0; i < count; ++i)
+        layers.push_back({"layer" + std::to_string(i), params, sens});
+    return layers;
+}
+
+TEST(MixedPrecision, HitsTargetAverage)
+{
+    const auto layers = uniformLayers(10, 1000, 1.0);
+    MixedPrecisionConfig cfg;
+    cfg.targetAvgBits = 2.4;
+    cfg.minBits = 2;
+    cfg.maxBits = 3;
+    const auto plan = allocateBits(layers, cfg);
+    EXPECT_NEAR(plan.avgBits, 2.4, 0.101); // 10 layers: 0.1 granularity
+    EXPECT_LE(plan.avgBits, 2.4 + 1e-9);   // budget is a hard cap
+}
+
+TEST(MixedPrecision, SensitiveLayersGetBitsFirst)
+{
+    auto layers = uniformLayers(4, 1000, 1.0);
+    layers[2].sensitivity = 100.0;
+    MixedPrecisionConfig cfg;
+    cfg.targetAvgBits = 2.25; // budget for exactly one upgrade
+    cfg.minBits = 2;
+    cfg.maxBits = 4;
+    const auto plan = allocateBits(layers, cfg);
+    EXPECT_EQ(plan.bitsPerLayer[2], 3);
+    EXPECT_EQ(plan.bitsPerLayer[0], 2);
+    EXPECT_EQ(plan.bitsPerLayer[1], 2);
+    EXPECT_EQ(plan.bitsPerLayer[3], 2);
+}
+
+TEST(MixedPrecision, AllBitsInRange)
+{
+    auto layers = uniformLayers(7, 333, 1.0);
+    layers[0].sensitivity = 50.0;
+    layers[1].sensitivity = 25.0;
+    MixedPrecisionConfig cfg;
+    cfg.targetAvgBits = 3.0;
+    cfg.minBits = 2;
+    cfg.maxBits = 4;
+    const auto plan = allocateBits(layers, cfg);
+    for (const int b : plan.bitsPerLayer) {
+        EXPECT_GE(b, 2);
+        EXPECT_LE(b, 4);
+    }
+}
+
+TEST(MixedPrecision, TargetAtFloorGivesAllMin)
+{
+    const auto layers = uniformLayers(5, 100, 1.0);
+    MixedPrecisionConfig cfg;
+    cfg.targetAvgBits = 2.0;
+    cfg.minBits = 2;
+    cfg.maxBits = 4;
+    const auto plan = allocateBits(layers, cfg);
+    for (const int b : plan.bitsPerLayer)
+        EXPECT_EQ(b, 2);
+    EXPECT_DOUBLE_EQ(plan.avgBits, 2.0);
+}
+
+TEST(MixedPrecision, TargetAtCeilingGivesAllMax)
+{
+    const auto layers = uniformLayers(5, 100, 1.0);
+    MixedPrecisionConfig cfg;
+    cfg.targetAvgBits = 4.0;
+    cfg.minBits = 2;
+    cfg.maxBits = 4;
+    const auto plan = allocateBits(layers, cfg);
+    for (const int b : plan.bitsPerLayer)
+        EXPECT_EQ(b, 4);
+}
+
+TEST(MixedPrecision, UnevenLayerSizesRespectBudget)
+{
+    std::vector<LayerBudgetItem> layers = {
+        {"big", 10000, 5.0},
+        {"small1", 100, 4.0},
+        {"small2", 100, 3.0},
+    };
+    MixedPrecisionConfig cfg;
+    cfg.targetAvgBits = 2.02; // ~204 upgrade-bits: only the smalls fit
+    cfg.minBits = 2;
+    cfg.maxBits = 4;
+    const auto plan = allocateBits(layers, cfg);
+    EXPECT_EQ(plan.bitsPerLayer[0], 2);
+    EXPECT_GE(plan.bitsPerLayer[1], 3);
+    EXPECT_LE(plan.avgBits, 2.02 + 1e-9);
+}
+
+TEST(MixedPrecision, Deterministic)
+{
+    const auto layers = uniformLayers(9, 777, 2.0);
+    MixedPrecisionConfig cfg;
+    cfg.targetAvgBits = 2.5;
+    const auto a = allocateBits(layers, cfg);
+    const auto b = allocateBits(layers, cfg);
+    EXPECT_EQ(a.bitsPerLayer, b.bitsPerLayer);
+}
+
+TEST(MixedPrecision, AverageBitsHelper)
+{
+    const auto layers = uniformLayers(2, 100, 1.0);
+    EXPECT_DOUBLE_EQ(averageBits(layers, {2, 4}), 3.0);
+}
+
+TEST(MixedPrecision, InvalidInputsThrow)
+{
+    MixedPrecisionConfig cfg;
+    EXPECT_THROW(allocateBits({}, cfg), FatalError);
+
+    auto layers = uniformLayers(2, 10, 1.0);
+    cfg.targetAvgBits = 9.0;
+    EXPECT_THROW(allocateBits(layers, cfg), FatalError);
+    cfg.targetAvgBits = 2.4;
+    cfg.minBits = 5;
+    cfg.maxBits = 4;
+    EXPECT_THROW(allocateBits(layers, cfg), FatalError);
+
+    layers[0].paramCount = 0;
+    MixedPrecisionConfig ok;
+    EXPECT_THROW(allocateBits(layers, ok), FatalError);
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,89 @@
+/** @file Tests for bit-plane packing and footprint accounting. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "model/synthetic.h"
+#include "quant/packing.h"
+
+namespace figlut {
+namespace {
+
+BcqTensor
+makeTensor(std::size_t rows, std::size_t cols, int bits, uint64_t seed)
+{
+    Rng rng(seed);
+    const auto w = syntheticWeights(rows, cols, rng);
+    BcqConfig cfg;
+    cfg.bits = bits;
+    cfg.iterations = 2;
+    return quantizeBcq(w, cfg);
+}
+
+TEST(Packing, RoundTripExact)
+{
+    const auto t = makeTensor(8, 100, 3, 81);
+    const auto packed = packBcq(t);
+    const auto planes = unpackBcq(packed);
+    ASSERT_EQ(planes.size(), 3u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(planes[static_cast<std::size_t>(i)] ==
+                    t.planes[static_cast<std::size_t>(i)]);
+}
+
+TEST(Packing, BitAccessorMatchesMatrix)
+{
+    const auto t = makeTensor(4, 130, 2, 82);
+    const auto packed = packBcq(t);
+    for (int i = 0; i < 2; ++i)
+        for (std::size_t r = 0; r < 4; ++r)
+            for (std::size_t c = 0; c < 130; ++c)
+                EXPECT_EQ(packed.planes[static_cast<std::size_t>(i)]
+                              .bit(r, c),
+                          t.planes[static_cast<std::size_t>(i)](r, c));
+}
+
+TEST(Packing, WordGeometry)
+{
+    const auto t = makeTensor(2, 130, 1, 83);
+    const auto packed = packBcq(t);
+    // 130 columns need 3 words of 64.
+    EXPECT_EQ(packed.planes[0].wordsPerRow, 3u);
+    EXPECT_EQ(packed.planes[0].words.size(), 6u);
+    EXPECT_EQ(packed.planeBytes(), 6u * 8);
+}
+
+TEST(Packing, OutOfRangePanics)
+{
+    const auto t = makeTensor(2, 64, 1, 84);
+    const auto packed = packBcq(t);
+    EXPECT_THROW(packed.planes[0].bit(2, 0), PanicError);
+    EXPECT_THROW(packed.planes[0].bit(0, 64), PanicError);
+}
+
+TEST(Footprint, BcqWeightBytes)
+{
+    // 64x64, q=3, per-row groups, with offset:
+    // planes: 3*64*64/8 = 1536 B; meta: (3+1)*64 entries * 2 B = 512 B.
+    EXPECT_EQ(bcqWeightBytes(64, 64, 3, 0, true), 1536u + 512u);
+    // Without offset: meta = 3*64*2 = 384 B.
+    EXPECT_EQ(bcqWeightBytes(64, 64, 3, 0, false), 1536u + 384u);
+}
+
+TEST(Footprint, GroupedMetaScales)
+{
+    // group 16 -> 4 groups/row: meta entries x4.
+    EXPECT_EQ(bcqWeightBytes(64, 64, 2, 16, false),
+              2u * 64 * 64 / 8 + 2u * 64 * 4 * 2);
+}
+
+TEST(Footprint, ActivationBytes)
+{
+    EXPECT_EQ(activationBytes(128, 32, 16), 128u * 32 * 2);
+    EXPECT_EQ(activationBytes(128, 32, 32), 128u * 32 * 4);
+    // Rounds up on non-byte widths.
+    EXPECT_EQ(activationBytes(3, 1, 10), 4u);
+}
+
+} // namespace
+} // namespace figlut

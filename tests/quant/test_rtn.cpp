@@ -1,0 +1,167 @@
+/** @file Tests for RTN uniform quantization. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "model/synthetic.h"
+#include "quant/rtn.h"
+
+namespace figlut {
+namespace {
+
+TEST(Rtn, CodesStayInRange)
+{
+    Rng rng(51);
+    const auto w = syntheticWeights(16, 64, rng);
+    for (int bits = 1; bits <= 8; ++bits) {
+        RtnConfig cfg;
+        cfg.bits = bits;
+        const auto t = quantizeRtn(w, cfg);
+        const int qmax = (1 << bits) - 1;
+        for (std::size_t i = 0; i < t.codes.size(); ++i)
+            EXPECT_LE(t.codes.at(i), qmax);
+    }
+}
+
+TEST(Rtn, RangeEndpointsAreExact)
+{
+    // min/max chosen so the zero point is integral: scale = 1.875/15
+    // = 0.125 and zp = 8, putting both endpoints exactly on codes.
+    MatrixD w(1, 4);
+    w(0, 0) = -1.0;
+    w(0, 1) = 0.875;
+    w(0, 2) = 0.0;
+    w(0, 3) = 0.5;
+    RtnConfig cfg;
+    cfg.bits = 4;
+    const auto t = quantizeRtn(w, cfg);
+    EXPECT_NEAR(t.dequant(0, 0), -1.0, 1e-12);
+    EXPECT_NEAR(t.dequant(0, 1), 0.875, 1e-12);
+    EXPECT_NEAR(t.dequant(0, 2), 0.0, 1e-12);
+    EXPECT_NEAR(t.dequant(0, 3), 0.5, 1e-12);
+}
+
+TEST(Rtn, ConstantGroupIsExact)
+{
+    MatrixD w(2, 8, 0.37);
+    RtnConfig cfg;
+    cfg.bits = 3;
+    const auto t = quantizeRtn(w, cfg);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 8; ++c)
+            EXPECT_NEAR(t.dequant(r, c), 0.37, 1e-12);
+}
+
+TEST(Rtn, ErrorBoundedByHalfStep)
+{
+    Rng rng(52);
+    const auto w = gaussianMatrix(8, 128, rng, 0.0, 0.1);
+    RtnConfig cfg;
+    cfg.bits = 4;
+    const auto t = quantizeRtn(w, cfg);
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+        for (std::size_t c = 0; c < w.cols(); ++c) {
+            const double step = t.scales(r, 0);
+            EXPECT_LE(std::fabs(w(r, c) - t.dequant(r, c)),
+                      0.5 * step + 1e-12);
+        }
+    }
+}
+
+TEST(Rtn, MoreBitsNeverWorse)
+{
+    Rng rng(53);
+    const auto w = syntheticWeights(8, 256, rng);
+    double prev = 1e30;
+    for (int bits = 1; bits <= 8; ++bits) {
+        RtnConfig cfg;
+        cfg.bits = bits;
+        const double mse = rtnMse(w, quantizeRtn(w, cfg));
+        EXPECT_LE(mse, prev * 1.0001) << "bits " << bits;
+        prev = mse;
+    }
+}
+
+TEST(Rtn, GroupingReducesError)
+{
+    Rng rng(54);
+    // Rows with wildly varying column-block scales benefit from groups.
+    MatrixD w(4, 256);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 256; ++c)
+            w(r, c) = rng.normal(0.0, c < 128 ? 0.01 : 1.0);
+
+    RtnConfig whole;
+    whole.bits = 3;
+    RtnConfig grouped;
+    grouped.bits = 3;
+    grouped.groupSize = 128;
+    EXPECT_LT(rtnMse(w, quantizeRtn(w, grouped)),
+              rtnMse(w, quantizeRtn(w, whole)));
+}
+
+TEST(Rtn, GroupCountAndMapping)
+{
+    Rng rng(55);
+    const auto w = gaussianMatrix(2, 100, rng);
+    RtnConfig cfg;
+    cfg.bits = 4;
+    cfg.groupSize = 32;
+    const auto t = quantizeRtn(w, cfg);
+    EXPECT_EQ(t.groupsPerRow(), 4u); // ceil(100/32)
+    EXPECT_EQ(t.groupOfCol(0), 0u);
+    EXPECT_EQ(t.groupOfCol(31), 0u);
+    EXPECT_EQ(t.groupOfCol(32), 1u);
+    EXPECT_EQ(t.groupOfCol(99), 3u);
+}
+
+TEST(Rtn, SymmetricModeCentresZeroPoint)
+{
+    Rng rng(56);
+    const auto w = gaussianMatrix(4, 64, rng, 0.0, 0.2);
+    RtnConfig cfg;
+    cfg.bits = 4;
+    cfg.symmetric = true;
+    const auto t = quantizeRtn(w, cfg);
+    for (std::size_t r = 0; r < 4; ++r)
+        EXPECT_EQ(t.zeroPoints(r, 0), 7); // (2^4-1)/2
+}
+
+TEST(Rtn, InvalidConfigThrows)
+{
+    MatrixD w(2, 2, 1.0);
+    RtnConfig cfg;
+    cfg.bits = 0;
+    EXPECT_THROW(quantizeRtn(w, cfg), FatalError);
+    cfg.bits = 9;
+    EXPECT_THROW(quantizeRtn(w, cfg), FatalError);
+    EXPECT_THROW(quantizeRtn(MatrixD{}, RtnConfig{}), FatalError);
+}
+
+/** Parameterized sweep: dequant error shrinks ~2x per extra bit. */
+class RtnBitSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RtnBitSweep, ErrorScalesWithStep)
+{
+    const int bits = GetParam();
+    Rng rng(57);
+    const auto w = gaussianMatrix(16, 512, rng, 0.0, 1.0);
+    RtnConfig cfg;
+    cfg.bits = bits;
+    const double rmse = std::sqrt(rtnMse(w, quantizeRtn(w, cfg)));
+    // Uniform quantization RMSE ~ step / sqrt(12); step ~ range/2^bits.
+    // Check the order of magnitude (range ~ 8 sigma here).
+    const double step = 8.0 / ((1 << bits) - 1);
+    EXPECT_LT(rmse, step);
+    EXPECT_GT(rmse, step / 12.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, RtnBitSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,114 @@
+/** @file Tests for the exact uniform -> BCQ conversion (paper Fig. 1). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "model/synthetic.h"
+#include "quant/uniform_to_bcq.h"
+
+namespace figlut {
+namespace {
+
+TEST(UniformToBcq, CodeLevelRoundTrip)
+{
+    Rng rng(71);
+    const auto w = syntheticWeights(8, 64, rng);
+    for (int bits = 1; bits <= 8; ++bits) {
+        RtnConfig cfg;
+        cfg.bits = bits;
+        const auto rtn = quantizeRtn(w, cfg);
+        const auto bcq = uniformToBcq(rtn);
+        for (std::size_t r = 0; r < rtn.rows; ++r)
+            for (std::size_t c = 0; c < rtn.cols; ++c)
+                EXPECT_EQ(bcqToUniformCode(bcq, r, c), rtn.codes(r, c))
+                    << "bits=" << bits << " (" << r << "," << c << ")";
+    }
+}
+
+TEST(UniformToBcq, DequantValuesAgree)
+{
+    Rng rng(72);
+    const auto w = syntheticWeights(16, 128, rng);
+    RtnConfig cfg;
+    cfg.bits = 4;
+    const auto rtn = quantizeRtn(w, cfg);
+    const auto bcq = uniformToBcq(rtn);
+    for (std::size_t r = 0; r < rtn.rows; ++r) {
+        for (std::size_t c = 0; c < rtn.cols; ++c) {
+            EXPECT_NEAR(bcq.dequant(r, c), rtn.dequant(r, c),
+                        1e-12 * (1.0 + std::fabs(rtn.dequant(r, c))));
+        }
+    }
+}
+
+TEST(UniformToBcq, AlphasArePowersOfTwoTimesHalfScale)
+{
+    Rng rng(73);
+    const auto w = syntheticWeights(4, 32, rng);
+    RtnConfig cfg;
+    cfg.bits = 4;
+    const auto rtn = quantizeRtn(w, cfg);
+    const auto bcq = uniformToBcq(rtn);
+    for (std::size_t r = 0; r < rtn.rows; ++r) {
+        const double s = rtn.scales(r, 0);
+        for (int i = 0; i < 4; ++i)
+            EXPECT_DOUBLE_EQ(
+                bcq.alphas[static_cast<std::size_t>(i)](r, 0),
+                s * std::ldexp(1.0, i - 1));
+    }
+}
+
+TEST(UniformToBcq, OffsetAbsorbsZeroPoint)
+{
+    Rng rng(74);
+    const auto w = syntheticWeights(4, 32, rng);
+    RtnConfig cfg;
+    cfg.bits = 3;
+    const auto rtn = quantizeRtn(w, cfg);
+    const auto bcq = uniformToBcq(rtn);
+    EXPECT_TRUE(bcq.hasOffset);
+    for (std::size_t r = 0; r < rtn.rows; ++r) {
+        const double s = rtn.scales(r, 0);
+        const double zp = rtn.zeroPoints(r, 0);
+        EXPECT_DOUBLE_EQ(bcq.offsets(r, 0), s * (3.5 - zp));
+    }
+}
+
+TEST(UniformToBcq, GroupStructureCarriesOver)
+{
+    Rng rng(75);
+    const auto w = syntheticWeights(4, 96, rng);
+    RtnConfig cfg;
+    cfg.bits = 2;
+    cfg.groupSize = 32;
+    const auto rtn = quantizeRtn(w, cfg);
+    const auto bcq = uniformToBcq(rtn);
+    EXPECT_EQ(bcq.groupSize, 32u);
+    EXPECT_EQ(bcq.groupsPerRow(), 3u);
+    // Spot-check group-2 dequant equality.
+    for (std::size_t c = 64; c < 96; ++c)
+        EXPECT_NEAR(bcq.dequant(1, c), rtn.dequant(1, c), 1e-12);
+}
+
+TEST(UniformToBcq, MidCodeMapsToOffsetOnly)
+{
+    // Uniform code u with all plane bits expressing u: plane i bit is
+    // bit i of the code.
+    Rng rng(76);
+    const auto w = syntheticWeights(2, 16, rng);
+    RtnConfig cfg;
+    cfg.bits = 4;
+    const auto rtn = quantizeRtn(w, cfg);
+    const auto bcq = uniformToBcq(rtn);
+    for (std::size_t c = 0; c < 16; ++c) {
+        const auto code = rtn.codes(0, c);
+        for (int i = 0; i < 4; ++i)
+            EXPECT_EQ(bcq.planes[static_cast<std::size_t>(i)](0, c),
+                      (code >> i) & 1);
+    }
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,95 @@
+/** @file Tests for the whole-accelerator system model. */
+
+#include <gtest/gtest.h>
+
+#include "model/opt_family.h"
+#include "model/workload.h"
+#include "sim/accelerator.h"
+
+namespace figlut {
+namespace {
+
+HwConfig
+hw(EngineKind e = EngineKind::FIGLUT_I)
+{
+    HwConfig h;
+    h.engine = e;
+    return h;
+}
+
+TEST(Accelerator, RunGemmDelegates)
+{
+    Accelerator acc(hw());
+    GemmShape s;
+    s.m = 256;
+    s.n = 256;
+    s.batch = 8;
+    const auto direct = simulateGemm(hw(), s);
+    const auto via = acc.runGemm(s);
+    EXPECT_DOUBLE_EQ(via.timing.totalCycles, direct.timing.totalCycles);
+    EXPECT_DOUBLE_EQ(via.energy.totalFj(), direct.energy.totalFj());
+}
+
+TEST(Accelerator, WorkloadAggregatesKernels)
+{
+    Accelerator acc(hw());
+    GemmShape s;
+    s.m = 128;
+    s.n = 128;
+    s.batch = 4;
+    std::vector<KernelTask> tasks = {
+        KernelTask::makeGemm("a", s),
+        KernelTask::makeVector("v", residualOps(512)),
+        KernelTask::makeGemm("b", s),
+    };
+    const auto result = acc.runWorkload(tasks);
+    EXPECT_EQ(result.gemmResults.size(), 2u);
+    EXPECT_GT(result.vpuCycles, 0.0);
+    EXPECT_NEAR(result.totalCycles,
+                result.gemmCycles + result.vpuCycles, 1e-9);
+    EXPECT_GT(result.axiBytes, 0.0);
+    EXPECT_GT(result.effTops, 0.0);
+    EXPECT_GT(result.powerW, 0.0);
+}
+
+TEST(Accelerator, EmptyWorkloadThrows)
+{
+    Accelerator acc(hw());
+    EXPECT_THROW(acc.runWorkload({}), FatalError);
+}
+
+TEST(Accelerator, InvalidConfigThrowsAtConstruction)
+{
+    HwConfig bad = hw();
+    bad.mu = 1;
+    EXPECT_THROW(Accelerator{bad}, FatalError);
+}
+
+TEST(Accelerator, DecodeStepGemmsDominateRuntime)
+{
+    // The paper's premise: GEMM dominates LLM inference. Weight GEMMs
+    // scale with hidden^2 while decode attention scales with
+    // batch*ctx*hidden, so the premise holds from ~1B upward.
+    const auto &model = optByName("OPT-1.3B");
+    WorkloadOptions opts;
+    opts.batch = 16;
+    opts.contextLen = 128;
+    Accelerator acc(hw());
+    const auto result = acc.runWorkload(decodeStepWorkload(model, opts));
+    EXPECT_GT(result.gemmCycles, 2.0 * result.vpuCycles);
+}
+
+TEST(Accelerator, AxiTrafficMatchesActivationsAndOutputs)
+{
+    Accelerator acc(hw());
+    GemmShape s;
+    s.m = 100;
+    s.n = 200;
+    s.batch = 2;
+    const auto result = acc.runWorkload({KernelTask::makeGemm("g", s)});
+    // FP16: (n + m) * batch * 2 bytes.
+    EXPECT_DOUBLE_EQ(result.axiBytes, (200.0 + 100.0) * 2 * 2);
+}
+
+} // namespace
+} // namespace figlut

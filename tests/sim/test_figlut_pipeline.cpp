@@ -1,0 +1,166 @@
+/** @file Tests for the cycle-stepped FIGLUT PE pipeline. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/figlut_pipeline.h"
+
+namespace figlut {
+namespace {
+
+struct Tile
+{
+    std::vector<Matrix<uint8_t>> planes;
+    std::vector<int64_t> acts;
+};
+
+Tile
+randomTile(const FiglutPipelineConfig &cfg, std::size_t chunks,
+           uint64_t seed)
+{
+    Rng rng(seed);
+    Tile tile;
+    const std::size_t cols = chunks * static_cast<std::size_t>(cfg.mu);
+    tile.planes.assign(static_cast<std::size_t>(cfg.planes),
+                       Matrix<uint8_t>(static_cast<std::size_t>(cfg.k),
+                                       cols, 0));
+    for (auto &plane : tile.planes)
+        for (auto &bit : plane)
+            bit = rng.flip() ? 1 : 0;
+    tile.acts.resize(cols);
+    for (auto &a : tile.acts)
+        a = rng.uniformInt(-100000, 100000);
+    return tile;
+}
+
+/** Reference: plane-serial signed sums. */
+Matrix<int64_t>
+reference(const FiglutPipelineConfig &cfg, const Tile &tile)
+{
+    Matrix<int64_t> out(static_cast<std::size_t>(cfg.k),
+                        static_cast<std::size_t>(cfg.planes), 0);
+    for (std::size_t p = 0; p < out.cols(); ++p)
+        for (std::size_t r = 0; r < out.rows(); ++r) {
+            int64_t acc = 0;
+            for (std::size_t c = 0; c < tile.acts.size(); ++c)
+                acc += tile.planes[p](r, c) ? tile.acts[c]
+                                            : -tile.acts[c];
+            out(r, p) = acc;
+        }
+    return out;
+}
+
+TEST(FiglutPipeline, FunctionalMatchesReference)
+{
+    FiglutPipelineConfig cfg;
+    cfg.mu = 4;
+    cfg.k = 8;
+    cfg.planes = 3;
+    const auto tile = randomTile(cfg, 6, 6001);
+    FiglutPipelineSim sim(cfg);
+    const auto run = sim.runTile(tile.planes, tile.acts);
+    EXPECT_TRUE(run.psums == reference(cfg, tile));
+}
+
+TEST(FiglutPipeline, CyclesMatchClosedForm)
+{
+    FiglutPipelineConfig cfg;
+    cfg.generatorDepth = 2;
+    for (const std::size_t chunks : {1u, 2u, 5u, 16u}) {
+        const auto tile = randomTile(cfg, chunks, 6002 + chunks);
+        FiglutPipelineSim sim(cfg);
+        const auto run = sim.runTile(tile.planes, tile.acts);
+        EXPECT_EQ(run.cycles,
+                  FiglutPipelineSim::expectedCycles(
+                      chunks, cfg.generatorDepth))
+            << "chunks=" << chunks;
+    }
+}
+
+TEST(FiglutPipeline, OneBuildPerChunkKReadsEach)
+{
+    FiglutPipelineConfig cfg;
+    cfg.k = 16;
+    cfg.planes = 4;
+    const std::size_t chunks = 8;
+    const auto tile = randomTile(cfg, chunks, 6003);
+    FiglutPipelineSim sim(cfg);
+    const auto run = sim.runTile(tile.planes, tile.acts);
+    EXPECT_EQ(run.lutBuilds, chunks);
+    // k RACs x planes read every table once: the conflict-free
+    // concurrent-read property.
+    EXPECT_EQ(run.lutReads, chunks * 16u * 4u);
+}
+
+/** Property sweep over mu and depth. */
+struct PipeCase
+{
+    int mu;
+    int depth;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<PipeCase>
+{};
+
+TEST_P(PipelineSweep, FunctionalAndCycleExact)
+{
+    const auto param = GetParam();
+    FiglutPipelineConfig cfg;
+    cfg.mu = param.mu;
+    cfg.k = 4;
+    cfg.planes = 2;
+    cfg.generatorDepth = param.depth;
+    const std::size_t chunks = 5;
+    const auto tile = randomTile(
+        cfg, chunks,
+        7000 + static_cast<uint64_t>(param.mu * 10 + param.depth));
+    FiglutPipelineSim sim(cfg);
+    const auto run = sim.runTile(tile.planes, tile.acts);
+    EXPECT_TRUE(run.psums == reference(cfg, tile));
+    EXPECT_EQ(run.cycles,
+              FiglutPipelineSim::expectedCycles(chunks, param.depth));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MuDepth, PipelineSweep,
+    ::testing::Values(PipeCase{2, 1}, PipeCase{2, 3}, PipeCase{4, 1},
+                      PipeCase{4, 2}, PipeCase{4, 4}, PipeCase{6, 2},
+                      PipeCase{8, 2}));
+
+TEST(FiglutPipeline, LongerPipelineOnlyAddsLatency)
+{
+    FiglutPipelineConfig shallow;
+    shallow.generatorDepth = 1;
+    FiglutPipelineConfig deep = shallow;
+    deep.generatorDepth = 6;
+    const auto tile = randomTile(shallow, 10, 6004);
+    const auto a = FiglutPipelineSim(shallow).runTile(tile.planes,
+                                                      tile.acts);
+    const auto b = FiglutPipelineSim(deep).runTile(tile.planes,
+                                                   tile.acts);
+    EXPECT_TRUE(a.psums == b.psums);
+    EXPECT_EQ(b.cycles - a.cycles, 5u);
+}
+
+TEST(FiglutPipeline, InvalidInputsThrow)
+{
+    FiglutPipelineConfig cfg;
+    FiglutPipelineSim sim(cfg);
+    const auto tile = randomTile(cfg, 2, 6005);
+
+    // Wrong plane count.
+    auto fewer = tile.planes;
+    fewer.pop_back();
+    EXPECT_THROW(sim.runTile(fewer, tile.acts), FatalError);
+    // Activation count not a multiple of mu.
+    auto acts = tile.acts;
+    acts.pop_back();
+    EXPECT_THROW(sim.runTile(tile.planes, acts), FatalError);
+    // Bad geometry.
+    FiglutPipelineConfig bad;
+    bad.mu = 1;
+    EXPECT_THROW(FiglutPipelineSim{bad}, FatalError);
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,162 @@
+/** @file Tests for the per-engine operation profiles. */
+
+#include <gtest/gtest.h>
+
+#include "sim/op_counts.h"
+
+namespace figlut {
+namespace {
+
+GemmShape
+shape(std::size_t m, std::size_t n, std::size_t b, int q)
+{
+    GemmShape s;
+    s.m = m;
+    s.n = n;
+    s.batch = b;
+    s.weightBits = q;
+    return s;
+}
+
+HwConfig
+hw(EngineKind e)
+{
+    HwConfig h;
+    h.engine = e;
+    return h;
+}
+
+TEST(OpCounts, FpeMulAddPerMac)
+{
+    const auto s = shape(128, 128, 8, 4);
+    const auto p = gemmOpProfile(hw(EngineKind::FPE), s);
+    EXPECT_DOUBLE_EQ(p.fpMulOps, s.macs());
+    EXPECT_DOUBLE_EQ(p.fpAddOps, s.macs());
+    EXPECT_DOUBLE_EQ(p.dequantOps, 128.0 * 128.0);
+    EXPECT_EQ(p.lutReads, 0.0);
+    EXPECT_EQ(p.intMulOps, 0.0);
+}
+
+TEST(OpCounts, FignaIntegerMacs)
+{
+    const auto s = shape(128, 128, 8, 4);
+    const auto p = gemmOpProfile(hw(EngineKind::FIGNA), s);
+    EXPECT_DOUBLE_EQ(p.intMulOps, s.macs());
+    EXPECT_EQ(p.intMulBitsA, 24); // FP16 aligned width
+    EXPECT_EQ(p.intMulBitsB, 4);
+    EXPECT_GT(p.prealignOps, 0.0);
+    EXPECT_GT(p.i2fOps, 0.0);
+    EXPECT_EQ(p.fpMulOps, 0.0);
+}
+
+TEST(OpCounts, IfpuAddsScaleWithQ)
+{
+    const auto p2 = gemmOpProfile(hw(EngineKind::IFPU),
+                                  shape(64, 256, 4, 2));
+    const auto p4 = gemmOpProfile(hw(EngineKind::IFPU),
+                                  shape(64, 256, 4, 4));
+    EXPECT_DOUBLE_EQ(p4.intAddOps, 2.0 * p2.intAddOps);
+}
+
+TEST(OpCounts, FiglutReadsReplaceMuAdds)
+{
+    const auto s = shape(64, 256, 4, 4);
+    const auto ifpu = gemmOpProfile(hw(EngineKind::IFPU), s);
+    const auto fig = gemmOpProfile(hw(EngineKind::FIGLUT_I), s);
+    // One RAC read covers mu=4 binary adds.
+    EXPECT_DOUBLE_EQ(fig.lutReads, ifpu.intAddOps / 4.0);
+    EXPECT_DOUBLE_EQ(fig.intAddOps, fig.lutReads);
+}
+
+TEST(OpCounts, FiglutGeneratorAmortized)
+{
+    const auto s = shape(4096, 4096, 32, 4);
+    const auto p = gemmOpProfile(hw(EngineKind::FIGLUT_I), s);
+    // Generator adds must be far fewer than the adds they replace.
+    EXPECT_LT(p.generatorAdds, 0.05 * s.macs() * 4);
+    EXPECT_GT(p.generatorAdds, 0.0);
+    EXPECT_GT(p.lutBuilds, 0.0);
+    EXPECT_GT(p.lutWriteBits, 0.0);
+}
+
+TEST(OpCounts, FiglutFUsesFpRacs)
+{
+    const auto s = shape(64, 256, 4, 4);
+    const auto p = gemmOpProfile(hw(EngineKind::FIGLUT_F), s);
+    EXPECT_DOUBLE_EQ(p.fpAddOps, p.lutReads);
+    EXPECT_EQ(p.intAddOps, 0.0);
+    EXPECT_EQ(p.prealignOps, 0.0);
+    EXPECT_EQ(p.lutValueBits, 32);
+}
+
+TEST(OpCounts, DramTrafficScalesWithQForBitSerial)
+{
+    const auto p2 = gemmOpProfile(hw(EngineKind::FIGLUT_I),
+                                  shape(1024, 1024, 32, 2));
+    const auto p4 = gemmOpProfile(hw(EngineKind::FIGLUT_I),
+                                  shape(1024, 1024, 32, 4));
+    // Weight planes dominate: traffic close to 2x (activations and
+    // outputs are q-independent).
+    EXPECT_GT(p4.traffic.dramBits, 1.6 * p2.traffic.dramBits);
+}
+
+TEST(OpCounts, FixedEnginePadsDramTraffic)
+{
+    // FIGNA must move padded 4-bit planes even for q=2 weights.
+    const auto figna = gemmOpProfile(hw(EngineKind::FIGNA),
+                                     shape(1024, 1024, 32, 2));
+    const auto figlut = gemmOpProfile(hw(EngineKind::FIGLUT_I),
+                                      shape(1024, 1024, 32, 2));
+    EXPECT_GT(figna.traffic.dramBits, figlut.traffic.dramBits);
+}
+
+TEST(OpCounts, SramTrafficIncludesPsumSpills)
+{
+    // Multi-K-tile shapes spill partial sums.
+    const auto one_tile = gemmOpProfile(hw(EngineKind::FPE),
+                                        shape(64, 64, 8, 4));
+    const auto many_tiles = gemmOpProfile(hw(EngineKind::FPE),
+                                          shape(64, 1024, 8, 4));
+    const double per_weight_bit_one =
+        one_tile.traffic.sramReadBits / (64.0 * 64.0);
+    const double per_weight_bit_many =
+        many_tiles.traffic.sramReadBits / (64.0 * 1024.0);
+    EXPECT_GT(per_weight_bit_many, per_weight_bit_one);
+}
+
+TEST(OpCounts, RegisterCyclesPositiveForAllEngines)
+{
+    const auto s = shape(256, 256, 8, 4);
+    for (const auto e : kAllEngines) {
+        const auto p = gemmOpProfile(hw(e), s);
+        EXPECT_GT(p.registerBitCycles, 0.0) << engineName(e);
+        EXPECT_GT(p.vpuOps, 0.0) << engineName(e);
+    }
+}
+
+TEST(OpCounts, PeRegisterBitsOrdering)
+{
+    // iFPU's binary array carries the most pipeline state per lane;
+    // FPE the least per MAC.
+    HwConfig ifpu = hw(EngineKind::IFPU);
+    HwConfig figlut = hw(EngineKind::FIGLUT_I);
+    // Per binary lane: iFPU has ~full psum per PE; FIGLUT's psum is
+    // shared across mu lanes.
+    const double ifpu_bits_per_lane = peRegisterBits(ifpu);
+    const double figlut_bits_per_lane =
+        static_cast<double>(peRegisterBits(figlut)) / (32.0 * 4.0);
+    EXPECT_GT(ifpu_bits_per_lane, figlut_bits_per_lane);
+}
+
+TEST(OpCounts, OffsetFreeShapesSkipVpuOffset)
+{
+    auto s = shape(64, 64, 4, 4);
+    s.hasOffset = false;
+    const auto without = gemmOpProfile(hw(EngineKind::FIGLUT_I), s);
+    s.hasOffset = true;
+    const auto with = gemmOpProfile(hw(EngineKind::FIGLUT_I), s);
+    EXPECT_GT(with.vpuOps, without.vpuOps);
+}
+
+} // namespace
+} // namespace figlut

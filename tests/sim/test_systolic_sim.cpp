@@ -1,0 +1,167 @@
+/** @file Detailed systolic simulator: functional and cycle-exactness
+ *  tests, including cross-validation of the analytic timing model. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/systolic_sim.h"
+#include "sim/timing_model.h"
+
+namespace figlut {
+namespace {
+
+Matrix<int32_t>
+randomInts(std::size_t rows, std::size_t cols, Rng &rng, int lo, int hi)
+{
+    Matrix<int32_t> m(rows, cols);
+    for (auto &v : m)
+        v = static_cast<int32_t>(rng.uniformInt(lo, hi));
+    return m;
+}
+
+/** Reference: out(c, b) = sum_r w(r, c) * x(r, b). */
+Matrix<int64_t>
+reference(const Matrix<int32_t> &w, const Matrix<int32_t> &x)
+{
+    Matrix<int64_t> out(w.cols(), x.cols(), 0);
+    for (std::size_t c = 0; c < w.cols(); ++c)
+        for (std::size_t b = 0; b < x.cols(); ++b) {
+            int64_t acc = 0;
+            for (std::size_t r = 0; r < w.rows(); ++r)
+                acc += static_cast<int64_t>(w(r, c)) * x(r, b);
+            out(c, b) = acc;
+        }
+    return out;
+}
+
+TEST(SystolicSim, OneByOneArray)
+{
+    SystolicSim sim({1, 1});
+    Matrix<int32_t> w(1, 1, 3);
+    Matrix<int32_t> x(1, 2);
+    x(0, 0) = 5;
+    x(0, 1) = -7;
+    const auto run = sim.runTile(w, x);
+    EXPECT_EQ(run.outputs(0, 0), 15);
+    EXPECT_EQ(run.outputs(0, 1), -21);
+    EXPECT_EQ(run.cycles, SystolicSim::expectedCycles(1, 1, 2));
+}
+
+TEST(SystolicSim, FunctionalMatchesReference)
+{
+    Rng rng(801);
+    SystolicSim sim({8, 8});
+    const auto w = randomInts(8, 8, rng, -50, 50);
+    const auto x = randomInts(8, 5, rng, -100, 100);
+    const auto run = sim.runTile(w, x);
+    EXPECT_TRUE(run.outputs == reference(w, x));
+}
+
+TEST(SystolicSim, MacEventCountIsExact)
+{
+    Rng rng(802);
+    SystolicSim sim({4, 6});
+    const auto w = randomInts(4, 6, rng, -5, 5);
+    const auto x = randomInts(4, 3, rng, -5, 5);
+    const auto run = sim.runTile(w, x);
+    EXPECT_EQ(run.macEvents, 4u * 6 * 3);
+}
+
+/** Property sweep over geometries and batch sizes. */
+struct GeomCase
+{
+    int rows;
+    int cols;
+    std::size_t batch;
+};
+
+class SystolicGeometry : public ::testing::TestWithParam<GeomCase>
+{};
+
+TEST_P(SystolicGeometry, CyclesMatchClosedForm)
+{
+    const auto p = GetParam();
+    Rng rng(900 + static_cast<uint64_t>(p.rows * 31 + p.cols));
+    SystolicSim sim({p.rows, p.cols});
+    const auto w = randomInts(static_cast<std::size_t>(p.rows),
+                              static_cast<std::size_t>(p.cols), rng,
+                              -9, 9);
+    const auto x = randomInts(static_cast<std::size_t>(p.rows), p.batch,
+                              rng, -9, 9);
+    const auto run = sim.runTile(w, x);
+    EXPECT_EQ(run.cycles,
+              SystolicSim::expectedCycles(p.rows, p.cols, p.batch));
+    EXPECT_TRUE(run.outputs == reference(w, x));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SystolicGeometry,
+    ::testing::Values(GeomCase{1, 4, 3}, GeomCase{4, 1, 3},
+                      GeomCase{2, 2, 1}, GeomCase{3, 5, 7},
+                      GeomCase{5, 3, 7}, GeomCase{8, 8, 16},
+                      GeomCase{16, 4, 2}, GeomCase{4, 16, 33},
+                      GeomCase{12, 12, 12}));
+
+TEST(SystolicSim, CrossValidatesAnalyticTimingModel)
+{
+    // The analytic model's per-tile cycle formula (batch + fill) must
+    // equal the detailed simulator's measured cycles for the
+    // fixed-precision engine geometry.
+    Rng rng(803);
+    for (const std::size_t batch : {1u, 8u, 32u}) {
+        const int rows = 16, cols = 16;
+        SystolicSim sim({rows, cols});
+        const auto w = randomInts(rows, cols, rng, -3, 3);
+        const auto x = randomInts(rows, batch, rng, -3, 3);
+        const auto run = sim.runTile(w, x);
+
+        // Analytic: one 16x16 tile of a hypothetical engine.
+        const double fill = rows + cols - 2;
+        EXPECT_EQ(static_cast<double>(run.cycles),
+                  static_cast<double>(batch) + fill);
+    }
+}
+
+TEST(SystolicSim, AnalyticFpeFillMatchesDetailedAtFullSize)
+{
+    // tileWalk's FPE fill must equal the detailed closed form for the
+    // 64x64 array.
+    HwConfig hw;
+    hw.engine = EngineKind::FPE;
+    GemmShape s;
+    s.m = 64;
+    s.n = 64;
+    s.batch = 32;
+    s.weightBits = 4;
+    const auto walk = tileWalk(hw, s);
+    EXPECT_EQ(walk.cyclesPerTile,
+              static_cast<double>(
+                  SystolicSim::expectedCycles(64, 64, 32)));
+}
+
+TEST(SystolicSim, InvalidInputsThrow)
+{
+    SystolicSim sim({2, 2});
+    Matrix<int32_t> w(2, 2, 1);
+    Matrix<int32_t> bad_w(3, 2, 1);
+    Matrix<int32_t> x(2, 1, 1);
+    Matrix<int32_t> bad_x(3, 1, 1);
+    EXPECT_THROW(sim.runTile(bad_w, x), FatalError);
+    EXPECT_THROW(sim.runTile(w, bad_x), FatalError);
+    EXPECT_THROW(sim.runTile(w, Matrix<int32_t>(2, 0)), FatalError);
+    EXPECT_THROW(SystolicSim({0, 4}), FatalError);
+}
+
+TEST(SystolicSim, ZeroWeightsGiveZeroOutputs)
+{
+    SystolicSim sim({4, 4});
+    Matrix<int32_t> w(4, 4, 0);
+    Rng rng(804);
+    const auto x = randomInts(4, 4, rng, -9, 9);
+    const auto run = sim.runTile(w, x);
+    for (std::size_t i = 0; i < run.outputs.size(); ++i)
+        EXPECT_EQ(run.outputs.at(i), 0);
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,155 @@
+/** @file Tests for the analytic timing model. */
+
+#include <gtest/gtest.h>
+
+#include "sim/timing_model.h"
+
+namespace figlut {
+namespace {
+
+GemmShape
+shape(std::size_t m, std::size_t n, std::size_t b, int q)
+{
+    GemmShape s;
+    s.m = m;
+    s.n = n;
+    s.batch = b;
+    s.weightBits = q;
+    return s;
+}
+
+HwConfig
+hw(EngineKind e, int fixed = 4)
+{
+    HwConfig h;
+    h.engine = e;
+    h.fixedWeightBits = fixed;
+    return h;
+}
+
+TEST(TileWalk, FpeSingleTile)
+{
+    const auto w = tileWalk(hw(EngineKind::FPE), shape(64, 64, 32, 4));
+    EXPECT_EQ(w.tilesM, 1u);
+    EXPECT_EQ(w.tilesK, 1u);
+    EXPECT_DOUBLE_EQ(w.fillCycles, 126.0); // 64 + 64 - 2
+    EXPECT_DOUBLE_EQ(w.computeCycles, 32.0 + 126.0);
+}
+
+TEST(TileWalk, FpeTileCounts)
+{
+    const auto w = tileWalk(hw(EngineKind::FPE),
+                            shape(200, 130, 8, 4));
+    EXPECT_EQ(w.tilesM, 4u); // ceil(200/64)
+    EXPECT_EQ(w.tilesK, 3u); // ceil(130/64)
+}
+
+TEST(TileWalk, IfpuPlaneDimensionActsAsKCapacity)
+{
+    // q=4: N*q binary columns over 256-lane tiles.
+    const auto w4 = tileWalk(hw(EngineKind::IFPU),
+                             shape(64, 256, 16, 4));
+    EXPECT_EQ(w4.tilesK, 4u); // 256*4/256
+    // q=2 halves the binary columns -> half the tiles.
+    const auto w2 = tileWalk(hw(EngineKind::IFPU),
+                             shape(64, 256, 16, 2));
+    EXPECT_EQ(w2.tilesK, 2u);
+    // q=8 doubles them.
+    const auto w8 = tileWalk(hw(EngineKind::IFPU),
+                             shape(64, 256, 16, 8));
+    EXPECT_EQ(w8.tilesK, 8u);
+}
+
+TEST(TileWalk, FiglutCoversSameTileAsIfpu)
+{
+    // 2 rows * 32 RACs = 64 outputs; 16 cols * mu 4 * 4 planes = 256
+    // binary columns: identical tile counts to iFPU.
+    const auto fig = tileWalk(hw(EngineKind::FIGLUT_I),
+                              shape(512, 1024, 32, 4));
+    const auto ifpu = tileWalk(hw(EngineKind::IFPU),
+                               shape(512, 1024, 32, 4));
+    EXPECT_EQ(fig.tilesM, ifpu.tilesM);
+    EXPECT_EQ(fig.tilesK, ifpu.tilesK);
+}
+
+TEST(TileWalk, FiglutShallowerFill)
+{
+    const auto fig = tileWalk(hw(EngineKind::FIGLUT_I),
+                              shape(64, 256, 32, 4));
+    const auto ifpu = tileWalk(hw(EngineKind::IFPU),
+                               shape(64, 256, 32, 4));
+    EXPECT_LT(fig.fillCycles, ifpu.fillCycles);
+}
+
+TEST(TileWalk, BitSerialCyclesScaleWithQ)
+{
+    // Large shape so rounding is negligible: cycles ~ q.
+    const auto c2 = tileWalk(hw(EngineKind::FIGLUT_I),
+                             shape(4096, 4096, 32, 2)).computeCycles;
+    const auto c4 = tileWalk(hw(EngineKind::FIGLUT_I),
+                             shape(4096, 4096, 32, 4)).computeCycles;
+    const auto c8 = tileWalk(hw(EngineKind::FIGLUT_I),
+                             shape(4096, 4096, 32, 8)).computeCycles;
+    // Slightly under 2x because the per-M-pass fill is q-independent.
+    EXPECT_NEAR(c4 / c2, 2.0, 0.05);
+    EXPECT_NEAR(c8 / c4, 2.0, 0.05);
+}
+
+TEST(TileWalk, FixedEnginesInsensitiveToSubFourQ)
+{
+    const auto c2 = tileWalk(hw(EngineKind::FIGNA),
+                             shape(1024, 1024, 32, 2)).computeCycles;
+    const auto c4 = tileWalk(hw(EngineKind::FIGNA),
+                             shape(1024, 1024, 32, 4)).computeCycles;
+    EXPECT_DOUBLE_EQ(c2, c4);
+}
+
+TEST(Timing, ComputeBoundWhenTrafficSmall)
+{
+    const auto t = gemmTiming(hw(EngineKind::FPE),
+                              shape(256, 256, 64, 4), 1024.0);
+    EXPECT_GT(t.computeCycles, t.dramCycles);
+    EXPECT_GE(t.totalCycles, t.computeCycles);
+}
+
+TEST(Timing, MemoryBoundWhenTrafficHuge)
+{
+    const auto t = gemmTiming(hw(EngineKind::FPE),
+                              shape(64, 64, 1, 4), 1e9);
+    EXPECT_GT(t.dramCycles, t.computeCycles);
+    EXPECT_GE(t.totalCycles, t.dramCycles);
+}
+
+TEST(Timing, UtilizationBounded)
+{
+    const auto t = gemmTiming(hw(EngineKind::FIGLUT_I),
+                              shape(4096, 4096, 32, 4), 1e6);
+    EXPECT_GT(t.utilization, 0.0);
+    EXPECT_LE(t.utilization, 1.0);
+}
+
+TEST(Timing, LargerBatchImprovesUtilization)
+{
+    // Fill cycles amortize over the batch (the paper's low-batch
+    // effective-TOPS effect in Table V); large batches approach peak.
+    const auto small = gemmTiming(hw(EngineKind::FIGNA),
+                                  shape(4096, 4096, 1, 4), 0.0);
+    const auto large = gemmTiming(hw(EngineKind::FIGNA),
+                                  shape(4096, 4096, 64, 4), 0.0);
+    EXPECT_GT(large.utilization, 2.0 * small.utilization);
+    EXPECT_GT(large.utilization, 0.9);
+    EXPECT_LT(small.utilization, 0.5);
+}
+
+TEST(Timing, SecondsFollowFrequency)
+{
+    auto h = hw(EngineKind::FPE);
+    const auto s = shape(64, 64, 32, 4);
+    const auto base = gemmTiming(h, s, 0.0);
+    h.tech.freqMhz = 200.0;
+    const auto fast = gemmTiming(h, s, 0.0);
+    EXPECT_NEAR(base.seconds / fast.seconds, 2.0, 1e-9);
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,73 @@
+/** @file Tests for the VPU op-count and energy models. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sim/vpu.h"
+
+namespace figlut {
+namespace {
+
+const TechParams &tech = TechParams::default28nm();
+
+TEST(Vpu, SoftmaxScalesWithElements)
+{
+    const auto small = softmaxOps(4, 128);
+    const auto large = softmaxOps(4, 256);
+    EXPECT_NEAR(large.total() / small.total(), 2.0, 0.05);
+    EXPECT_GT(small.specials, 0.0);
+}
+
+TEST(Vpu, LayerNormCounts)
+{
+    const auto ops = layerNormOps(2, 100);
+    EXPECT_DOUBLE_EQ(ops.adds, 2.0 * 300.0);
+    EXPECT_DOUBLE_EQ(ops.muls, 2.0 * 200.0);
+    EXPECT_DOUBLE_EQ(ops.specials, 2.0);
+}
+
+TEST(Vpu, GeluAndResidual)
+{
+    const auto g = geluOps(10);
+    EXPECT_DOUBLE_EQ(g.specials, 10.0);
+    const auto r = residualOps(10);
+    EXPECT_DOUBLE_EQ(r.adds, 10.0);
+    EXPECT_DOUBLE_EQ(r.total(), 10.0);
+}
+
+TEST(Vpu, MergeAccumulates)
+{
+    VpuOpCounts a = residualOps(5);
+    a.merge(geluOps(2));
+    EXPECT_DOUBLE_EQ(a.adds, 5.0 + 4.0);
+    EXPECT_DOUBLE_EQ(a.specials, 2.0);
+}
+
+TEST(Vpu, EnergyWeightsSpecialsHigher)
+{
+    VpuOpCounts adds_only;
+    adds_only.adds = 10;
+    VpuOpCounts specials_only;
+    specials_only.specials = 10;
+    EXPECT_GT(vpuEnergyFj(specials_only, tech),
+              4.0 * vpuEnergyFj(adds_only, tech));
+}
+
+TEST(Vpu, CyclesRespectLanes)
+{
+    VpuOpCounts ops;
+    ops.adds = 640;
+    EXPECT_DOUBLE_EQ(vpuCycles(ops, 64), 10.0);
+    EXPECT_DOUBLE_EQ(vpuCycles(ops, 128), 5.0);
+    ops.specials = 64; // 4 lane-cycles each
+    EXPECT_DOUBLE_EQ(vpuCycles(ops, 64), 14.0);
+}
+
+TEST(Vpu, ZeroLanesPanics)
+{
+    VpuOpCounts ops;
+    EXPECT_THROW(vpuCycles(ops, 0), PanicError);
+}
+
+} // namespace
+} // namespace figlut
