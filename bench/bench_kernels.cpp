@@ -90,6 +90,42 @@ BM_LutGemm(benchmark::State &state)
 }
 BENCHMARK(BM_LutGemm)->Arg(2)->Arg(4);
 
+/**
+ * Threaded LUT-GEMM on a large shape. Arg 0 runs the Reference
+ * backend as the baseline; Arg t >= 1 runs the Threaded backend with
+ * t workers. The speedup at t threads is the items_per_second ratio
+ * against the Arg(0) row (>= 2x expected at 4 threads on >= 4 cores);
+ * outputs are bit-identical across all rows by construction.
+ */
+void
+BM_LutGemmThreaded(benchmark::State &state)
+{
+    const int threads = static_cast<int>(state.range(0));
+    const std::size_t m = 1024, n = 1024, batch = 8;
+    const auto tensor = benchTensor(m, n, 4);
+    Rng rng(8);
+    const auto x = syntheticActivations(n, batch, rng);
+    LutGemmConfig cfg;
+    cfg.preAligned = true;
+    cfg.backend = threads == 0 ? LutGemmBackend::Reference
+                               : LutGemmBackend::Threaded;
+    cfg.threads = threads;
+    cfg.blockRows = 64;
+    for (auto _ : state) {
+        auto y = lutGemm(tensor, x, cfg);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * m * n * batch));
+}
+BENCHMARK(BM_LutGemmThreaded)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_ReferenceGemm(benchmark::State &state)
 {

@@ -53,6 +53,13 @@ struct NumericsConfig
     FpArith accum = FpArith::Fp32; ///< accumulate precision
     int alignFracBits = 24;        ///< pre-aligned datapath width
     int mu = 4;                    ///< LUT group size (FIGLUT only)
+
+    // Host execution policy of the LUT-GEMM kernel (results are
+    // backend-invariant). Only figlutGemm honours these; the scalar
+    // FPE/iFPU/FIGNA kernels ignore them.
+    LutGemmBackend backend = LutGemmBackend::Reference;
+    int threads = 0;    ///< Threaded backend: workers, <= 0 = hardware
+    int blockRows = 64; ///< Threaded backend: rows per work item
 };
 
 /** Double-precision oracle on already-dequantized weights. */

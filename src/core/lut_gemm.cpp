@@ -1,9 +1,12 @@
 #include "core/lut_gemm.h"
 
+#include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <optional>
 
 #include "common/logging.h"
+#include "core/parallel.h"
 
 namespace figlut {
 
@@ -69,6 +72,265 @@ chunkKey(const BcqTensor &w, int plane, std::size_t r, std::size_t c0,
     return key;
 }
 
+/** FP-path tables and the group activation sum for the offset term. */
+struct FpGroupLuts
+{
+    FpChunkLuts luts;
+    double sumx = 0.0;
+};
+
+/** Integer-path tables plus the shared pre-alignment scale. */
+struct IntGroupLuts
+{
+    IntChunkLuts luts;
+    int64_t sumMant = 0;
+    double scale = 1.0;
+};
+
+/**
+ * Shared kernel state: both backends execute processRows(), which
+ * walks one M-tile through every (batch column, group) pair, building
+ * each LUT set once and reusing it across all rows of the tile before
+ * moving on — the cache-blocked (M-tile x chunk) traversal. The
+ * Reference backend calls it with the full row range; the Threaded
+ * backend dispatches one call per blockRows-sized tile.
+ *
+ * Bit-identity across backends holds because each output element
+ * y(r, b) is touched only by the work item owning row r, and its
+ * accumulation order (columns, then groups, then planes/chunks) and
+ * every intermediate value are independent of the tiling.
+ */
+class LutGemmKernel
+{
+  public:
+    LutGemmKernel(const BcqTensor &weights, const MatrixD &xq,
+                  const LutGemmConfig &config)
+        : w_(weights), xq_(xq), config_(config)
+    {
+        if (config_.useGeneratorTree && config_.mu >= 2)
+            generator_.emplace(config_.mu, config_.arith);
+    }
+
+    void
+    processRows(BlockRange rows, MatrixD &y, LutGemmCounters &cnt) const
+    {
+        const std::size_t batch = xq_.cols();
+        const std::size_t groups = w_.groupsPerRow();
+        for (std::size_t b = 0; b < batch; ++b) {
+            for (std::size_t g = 0; g < groups; ++g) {
+                if (!config_.preAligned) {
+                    const auto group = buildFpGroup(b, g, cnt);
+                    accumulateFp(rows, b, g, group, y, cnt);
+                } else {
+                    const auto group = buildIntGroup(b, g, cnt);
+                    accumulateInt(rows, b, g, group, y, cnt);
+                }
+            }
+        }
+    }
+
+  private:
+    /** Column range [c0, c1) and chunk count of group g. */
+    void
+    groupExtent(std::size_t g, std::size_t &c0, std::size_t &c1,
+                std::size_t &chunks) const
+    {
+        c0 = g * w_.groupSize;
+        c1 = std::min(w_.cols, c0 + w_.groupSize);
+        chunks = (c1 - c0 + config_.mu - 1) /
+                 static_cast<std::size_t>(config_.mu);
+    }
+
+    FpGroupLuts
+    buildFpGroup(std::size_t b, std::size_t g, LutGemmCounters &cnt) const
+    {
+        const int mu = config_.mu;
+        std::size_t c0 = 0, c1 = 0, chunks = 0;
+        groupExtent(g, c0, c1, chunks);
+
+        FpGroupLuts group;
+        group.luts.useHalf = config_.useHalfLut;
+        for (std::size_t ch = 0; ch < chunks; ++ch) {
+            const auto vals = chunkValues(xq_, b, c0 + ch * mu, c1, mu);
+            ++cnt.lutGenerations;
+            if (generator_) {
+                cnt.generatorAdds += generator_->stats().treeAdds;
+                auto h = generator_->generateHalf(vals);
+                if (config_.useHalfLut) {
+                    group.luts.half.push_back(std::move(h));
+                } else {
+                    // Mirror out to a full table.
+                    std::vector<double> full(lutEntries(mu));
+                    for (uint32_t k = 0; k < full.size(); ++k)
+                        full[k] = h.value(k);
+                    group.luts.full.emplace_back(mu, std::move(full));
+                }
+            } else {
+                cnt.generatorAdds +=
+                    static_cast<uint64_t>(lutEntries(mu)) *
+                    static_cast<uint64_t>(mu - 1);
+                auto fulllut = LutD::buildDirect(vals, config_.arith);
+                if (config_.useHalfLut) {
+                    group.luts.half.push_back(HalfLutD::fromFull(fulllut));
+                } else {
+                    group.luts.full.push_back(std::move(fulllut));
+                }
+            }
+        }
+
+        // Offset needs sum(x) over the group (VPU side).
+        if (w_.hasOffset) {
+            for (std::size_t c = c0; c < c1; ++c)
+                group.sumx = fpAdd(group.sumx, xq_(c, b), config_.arith);
+        }
+        return group;
+    }
+
+    IntGroupLuts
+    buildIntGroup(std::size_t b, std::size_t g, LutGemmCounters &cnt) const
+    {
+        const int mu = config_.mu;
+        std::size_t c0 = 0, c1 = 0, chunks = 0;
+        groupExtent(g, c0, c1, chunks);
+
+        std::vector<double> group_vals(c1 - c0);
+        for (std::size_t c = c0; c < c1; ++c)
+            group_vals[c - c0] = xq_(c, b);
+        const AlignedBlock block = preAlign(
+            group_vals, config_.actFormat, config_.alignFracBits);
+
+        IntGroupLuts group;
+        group.luts.useHalf = config_.useHalfLut;
+        for (std::size_t ch = 0; ch < chunks; ++ch) {
+            std::vector<int64_t> ms(static_cast<std::size_t>(mu), 0);
+            for (int j = 0; j < mu; ++j) {
+                const std::size_t c = ch * mu + static_cast<std::size_t>(j);
+                if (c < block.mantissas.size())
+                    ms[static_cast<std::size_t>(j)] = block.mantissas[c];
+            }
+            ++cnt.lutGenerations;
+            if (generator_) {
+                cnt.generatorAdds += generator_->stats().treeAdds;
+                auto h = generator_->generateHalfInt(ms);
+                if (config_.useHalfLut) {
+                    group.luts.half.push_back(std::move(h));
+                } else {
+                    std::vector<int64_t> full(lutEntries(mu));
+                    for (uint32_t k = 0; k < full.size(); ++k)
+                        full[k] = h.value(k);
+                    group.luts.full.emplace_back(mu, std::move(full));
+                }
+            } else {
+                cnt.generatorAdds +=
+                    static_cast<uint64_t>(lutEntries(mu)) *
+                    static_cast<uint64_t>(mu - 1);
+                auto fulllut = LutI::buildDirect(ms);
+                if (config_.useHalfLut) {
+                    group.luts.half.push_back(HalfLutI::fromFull(fulllut));
+                } else {
+                    group.luts.full.push_back(std::move(fulllut));
+                }
+            }
+        }
+
+        if (w_.hasOffset) {
+            for (const auto mv : block.mantissas)
+                group.sumMant += mv;
+        }
+        group.scale = block.scale();
+        return group;
+    }
+
+    void
+    accumulateFp(BlockRange rows, std::size_t b, std::size_t g,
+                 const FpGroupLuts &group, MatrixD &y,
+                 LutGemmCounters &cnt) const
+    {
+        const int mu = config_.mu;
+        const int q = w_.bits;
+        std::size_t c0 = 0, c1 = 0, chunks = 0;
+        groupExtent(g, c0, c1, chunks);
+
+        for (std::size_t r = rows.begin; r < rows.end; ++r) {
+            double row_acc = 0.0;
+            for (int i = 0; i < q; ++i) {
+                double psum = 0.0;
+                for (std::size_t ch = 0; ch < chunks; ++ch) {
+                    const uint32_t key =
+                        chunkKey(w_, i, r, c0 + ch * mu, c1, mu);
+                    psum = fpAdd(psum, group.luts.read(ch, key),
+                                 config_.arith);
+                    ++cnt.lutReads;
+                    ++cnt.racAccumulates;
+                }
+                const double alpha =
+                    w_.alphas[static_cast<std::size_t>(i)](r, g);
+                row_acc = fpAdd(row_acc,
+                                fpRound(alpha * psum, config_.arith),
+                                config_.arith);
+                ++cnt.scaleMuls;
+            }
+            if (w_.hasOffset) {
+                row_acc = fpAdd(
+                    row_acc,
+                    fpRound(w_.offsets(r, g) * group.sumx, config_.arith),
+                    config_.arith);
+                ++cnt.offsetOps;
+            }
+            y(r, b) = fpAdd(y(r, b), row_acc, config_.arith);
+        }
+    }
+
+    void
+    accumulateInt(BlockRange rows, std::size_t b, std::size_t g,
+                  const IntGroupLuts &group, MatrixD &y,
+                  LutGemmCounters &cnt) const
+    {
+        const int mu = config_.mu;
+        const int q = w_.bits;
+        std::size_t c0 = 0, c1 = 0, chunks = 0;
+        groupExtent(g, c0, c1, chunks);
+
+        for (std::size_t r = rows.begin; r < rows.end; ++r) {
+            double row_acc = 0.0;
+            for (int i = 0; i < q; ++i) {
+                int64_t psum = 0;
+                for (std::size_t ch = 0; ch < chunks; ++ch) {
+                    const uint32_t key =
+                        chunkKey(w_, i, r, c0 + ch * mu, c1, mu);
+                    psum += group.luts.read(ch, key);
+                    ++cnt.lutReads;
+                    ++cnt.racAccumulates;
+                }
+                const double alpha =
+                    w_.alphas[static_cast<std::size_t>(i)](r, g);
+                row_acc = fpAdd(
+                    row_acc,
+                    fpRound(alpha * (static_cast<double>(psum) *
+                                     group.scale),
+                            config_.arith),
+                    config_.arith);
+                ++cnt.scaleMuls;
+            }
+            if (w_.hasOffset) {
+                const double sumx =
+                    static_cast<double>(group.sumMant) * group.scale;
+                row_acc = fpAdd(
+                    row_acc,
+                    fpRound(w_.offsets(r, g) * sumx, config_.arith),
+                    config_.arith);
+                ++cnt.offsetOps;
+            }
+            y(r, b) = fpAdd(y(r, b), row_acc, config_.arith);
+        }
+    }
+
+    const BcqTensor &w_;
+    const MatrixD &xq_;
+    const LutGemmConfig &config_;
+    std::optional<LutGenerator> generator_;
+};
+
 } // namespace
 
 MatrixD
@@ -82,201 +344,63 @@ lutGemm(const BcqTensor &weights, const MatrixD &x,
               weights.cols, " but activations have ", x.rows(), " rows");
     if (config.useHalfLut && config.mu < 2)
         fatal("hFFLUT requires mu >= 2 (mu=1 tables have no half)");
+    if (config.backend == LutGemmBackend::Threaded && config.blockRows < 1)
+        fatal("LUT-GEMM threaded backend needs blockRows >= 1, got ",
+              config.blockRows);
+    if (config.threads > kMaxLutGemmThreads)
+        fatal("LUT-GEMM threads must be <= ", kMaxLutGemmThreads,
+              ", got ", config.threads);
 
     const std::size_t m = weights.rows;
     const std::size_t n = weights.cols;
     const std::size_t batch = x.cols();
-    const std::size_t groups = weights.groupsPerRow();
-    const int mu = config.mu;
-    const int q = weights.bits;
 
     LutGemmCounters local;
     LutGemmCounters &cnt = counters ? *counters : local;
 
-    std::optional<LutGenerator> generator;
-    if (config.useGeneratorTree && mu >= 2)
-        generator.emplace(mu, config.arith);
+    // Activations in their storage format, shared by every work item.
+    MatrixD xq(n, batch);
+    for (std::size_t i = 0; i < xq.size(); ++i)
+        xq.at(i) = quantizeToFormat(x.at(i), config.actFormat);
 
+    const LutGemmKernel kernel(weights, xq, config);
     MatrixD y(m, batch, 0.0);
 
-    for (std::size_t b = 0; b < batch; ++b) {
-        // Activation column in its storage format.
-        std::vector<double> xb(n);
-        for (std::size_t c = 0; c < n; ++c)
-            xb[c] = quantizeToFormat(x(c, b), config.actFormat);
-
-        for (std::size_t g = 0; g < groups; ++g) {
-            const std::size_t c0 = g * weights.groupSize;
-            const std::size_t c1 = std::min(n, c0 + weights.groupSize);
-            const std::size_t chunks = (c1 - c0 + mu - 1) / mu;
-
-            if (!config.preAligned) {
-                // ---- FIGLUT-F: FP tables, FP accumulation ----
-                FpChunkLuts luts;
-                luts.useHalf = config.useHalfLut;
-                for (std::size_t ch = 0; ch < chunks; ++ch) {
-                    const auto vals = chunkValues(
-                        x, b, c0 + ch * mu, c1, mu);
-                    // Values must first live in the activation format.
-                    std::vector<double> fmt_vals(vals.size());
-                    for (std::size_t j = 0; j < vals.size(); ++j)
-                        fmt_vals[j] = quantizeToFormat(
-                            vals[j], config.actFormat);
-                    ++cnt.lutGenerations;
-                    if (generator) {
-                        cnt.generatorAdds += generator->stats().treeAdds;
-                        auto h = generator->generateHalf(fmt_vals);
-                        if (config.useHalfLut) {
-                            luts.half.push_back(std::move(h));
-                        } else {
-                            // Mirror out to a full table.
-                            std::vector<double> full(lutEntries(mu));
-                            for (uint32_t k = 0; k < full.size(); ++k)
-                                full[k] = h.value(k);
-                            luts.full.emplace_back(mu, std::move(full));
-                        }
-                    } else {
-                        cnt.generatorAdds +=
-                            static_cast<uint64_t>(lutEntries(mu)) *
-                            static_cast<uint64_t>(mu - 1);
-                        auto fulllut =
-                            LutD::buildDirect(fmt_vals, config.arith);
-                        if (config.useHalfLut) {
-                            luts.half.push_back(
-                                HalfLutD::fromFull(fulllut));
-                        } else {
-                            luts.full.push_back(std::move(fulllut));
-                        }
-                    }
-                }
-
-                // Offset needs sum(x) over the group (VPU side).
-                double sumx = 0.0;
-                if (weights.hasOffset) {
-                    for (std::size_t c = c0; c < c1; ++c)
-                        sumx = fpAdd(sumx, xb[c], config.arith);
-                }
-
-                for (std::size_t r = 0; r < m; ++r) {
-                    double row_acc = 0.0;
-                    for (int i = 0; i < q; ++i) {
-                        double psum = 0.0;
-                        for (std::size_t ch = 0; ch < chunks; ++ch) {
-                            const uint32_t key = chunkKey(
-                                weights, i, r, c0 + ch * mu, c1, mu);
-                            psum = fpAdd(psum, luts.read(ch, key),
-                                         config.arith);
-                            ++cnt.lutReads;
-                            ++cnt.racAccumulates;
-                        }
-                        const double alpha =
-                            weights.alphas[static_cast<std::size_t>(i)](
-                                r, g);
-                        row_acc = fpAdd(
-                            row_acc,
-                            fpRound(alpha * psum, config.arith),
-                            config.arith);
-                        ++cnt.scaleMuls;
-                    }
-                    if (weights.hasOffset) {
-                        row_acc = fpAdd(
-                            row_acc,
-                            fpRound(weights.offsets(r, g) * sumx,
-                                    config.arith),
-                            config.arith);
-                        ++cnt.offsetOps;
-                    }
-                    y(r, b) = fpAdd(y(r, b), row_acc, config.arith);
-                }
-            } else {
-                // ---- FIGLUT-I: pre-aligned integer tables ----
-                std::vector<double> group_vals(xb.begin() + c0,
-                                               xb.begin() + c1);
-                const AlignedBlock block = preAlign(
-                    group_vals, config.actFormat, config.alignFracBits);
-
-                IntChunkLuts luts;
-                luts.useHalf = config.useHalfLut;
-                for (std::size_t ch = 0; ch < chunks; ++ch) {
-                    std::vector<int64_t> ms(
-                        static_cast<std::size_t>(mu), 0);
-                    for (int j = 0; j < mu; ++j) {
-                        const std::size_t c = ch * mu +
-                                              static_cast<std::size_t>(j);
-                        if (c < block.mantissas.size())
-                            ms[static_cast<std::size_t>(j)] =
-                                block.mantissas[c];
-                    }
-                    ++cnt.lutGenerations;
-                    if (generator) {
-                        cnt.generatorAdds += generator->stats().treeAdds;
-                        auto h = generator->generateHalfInt(ms);
-                        if (config.useHalfLut) {
-                            luts.half.push_back(std::move(h));
-                        } else {
-                            std::vector<int64_t> full(lutEntries(mu));
-                            for (uint32_t k = 0; k < full.size(); ++k)
-                                full[k] = h.value(k);
-                            luts.full.emplace_back(mu, std::move(full));
-                        }
-                    } else {
-                        cnt.generatorAdds +=
-                            static_cast<uint64_t>(lutEntries(mu)) *
-                            static_cast<uint64_t>(mu - 1);
-                        auto fulllut = LutI::buildDirect(ms);
-                        if (config.useHalfLut) {
-                            luts.half.push_back(
-                                HalfLutI::fromFull(fulllut));
-                        } else {
-                            luts.full.push_back(std::move(fulllut));
-                        }
-                    }
-                }
-
-                int64_t sum_mant = 0;
-                if (weights.hasOffset) {
-                    for (const auto mv : block.mantissas)
-                        sum_mant += mv;
-                }
-                const double scale = block.scale();
-
-                for (std::size_t r = 0; r < m; ++r) {
-                    double row_acc = 0.0;
-                    for (int i = 0; i < q; ++i) {
-                        int64_t psum = 0;
-                        for (std::size_t ch = 0; ch < chunks; ++ch) {
-                            const uint32_t key = chunkKey(
-                                weights, i, r, c0 + ch * mu, c1, mu);
-                            psum += luts.read(ch, key);
-                            ++cnt.lutReads;
-                            ++cnt.racAccumulates;
-                        }
-                        const double alpha =
-                            weights.alphas[static_cast<std::size_t>(i)](
-                                r, g);
-                        row_acc = fpAdd(
-                            row_acc,
-                            fpRound(alpha * (static_cast<double>(psum) *
-                                             scale),
-                                    config.arith),
-                            config.arith);
-                        ++cnt.scaleMuls;
-                    }
-                    if (weights.hasOffset) {
-                        const double sumx =
-                            static_cast<double>(sum_mant) * scale;
-                        row_acc = fpAdd(
-                            row_acc,
-                            fpRound(weights.offsets(r, g) * sumx,
-                                    config.arith),
-                            config.arith);
-                        ++cnt.offsetOps;
-                    }
-                    y(r, b) = fpAdd(y(r, b), row_acc, config.arith);
-                }
-            }
-        }
+    if (config.backend == LutGemmBackend::Reference) {
+        kernel.processRows(BlockRange{0, m}, y, cnt);
+        return y;
     }
+
+    // The pool is per-call on purpose: wait() and the captured first
+    // exception are pool-global, so sharing a static pool between
+    // concurrent lutGemm callers would entangle their completion and
+    // error states. Spawn cost is microseconds against the row work a
+    // threaded call is worth dispatching in the first place. Workers
+    // beyond one per block would only idle, so clamp.
+    const std::size_t blocks =
+        (m + static_cast<std::size_t>(config.blockRows) - 1) /
+        static_cast<std::size_t>(config.blockRows);
+    const int workers = static_cast<int>(
+        std::min<std::size_t>(
+            static_cast<std::size_t>(resolveThreadCount(config.threads)),
+            std::max<std::size_t>(blocks, 1)));
+    ThreadPool pool(workers);
+    std::mutex counterMutex;
+    pool.parallelForBlocked(
+        m, static_cast<std::size_t>(config.blockRows),
+        [&](BlockRange rows) {
+            // Rows partition the output: no two work items share an
+            // element of y, so only the counter merge needs a lock.
+            LutGemmCounters blockCnt;
+            kernel.processRows(rows, y, blockCnt);
+            std::lock_guard<std::mutex> lock(counterMutex);
+            cnt.lutGenerations += blockCnt.lutGenerations;
+            cnt.generatorAdds += blockCnt.generatorAdds;
+            cnt.lutReads += blockCnt.lutReads;
+            cnt.racAccumulates += blockCnt.racAccumulates;
+            cnt.scaleMuls += blockCnt.scaleMuls;
+            cnt.offsetOps += blockCnt.offsetOps;
+        });
     return y;
 }
 

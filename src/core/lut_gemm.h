@@ -33,6 +33,24 @@
 
 namespace figlut {
 
+/**
+ * Execution backend of the functional kernel.
+ *
+ * Both backends produce bit-identical outputs: every output row
+ * accumulates its (batch, group, plane) contributions in the same
+ * order through the same emulated-FP operations, and LUT contents are
+ * a deterministic function of the activations. They differ only in
+ * traversal: Reference streams all M rows per (column, group) LUT set
+ * on one thread; Threaded carves M into blockRows-row work items,
+ * rebuilding the (column, group) LUT sets per block so each set stays
+ * cache-hot for exactly the rows of its block.
+ */
+enum class LutGemmBackend
+{
+    Reference, ///< single-threaded scalar loop (differential oracle)
+    Threaded,  ///< cache-blocked row tiles on a ThreadPool work queue
+};
+
 /** Configuration of the functional LUT-GEMM kernel. */
 struct LutGemmConfig
 {
@@ -43,9 +61,26 @@ struct LutGemmConfig
     int alignFracBits = 24;                ///< aligned mantissa fraction
     bool useHalfLut = true;                ///< hFFLUT + decoder
     bool useGeneratorTree = true;          ///< tree generator vs direct
+
+    LutGemmBackend backend = LutGemmBackend::Reference;
+    int threads = 0;   ///< Threaded: worker count, <= 0 = hardware
+    int blockRows = 64;///< Threaded: output rows per work item (M-tile)
 };
 
-/** Operation counters filled in by the kernel (drive energy models). */
+/** Upper bound on LutGemmConfig::threads (guards typo'd counts). */
+inline constexpr int kMaxLutGemmThreads = 1024;
+
+/**
+ * Operation counters filled in by the kernel (drive energy models).
+ *
+ * Counts report the work the selected backend actually performed: the
+ * Threaded backend rebuilds each (column, group) LUT set once per row
+ * block, so its lutGenerations/generatorAdds are ceil(M / blockRows)
+ * TIMES the Reference backend's. Hardware energy models must derive
+ * LUT-build counts analytically (as sim/engine_sim does), never from
+ * Threaded-backend counters. Read/accumulate/scale/offset counts are
+ * identical across backends.
+ */
 struct LutGemmCounters
 {
     uint64_t lutGenerations = 0; ///< LUTs built (per chunk, batch, plane reuse excluded)

@@ -70,6 +70,28 @@ HwConfig::describe() const
 }
 
 void
+ExecConfig::validate() const
+{
+    if (backend == LutGemmBackend::Threaded && blockRows < 1)
+        fatal("threaded execution needs blockRows >= 1, got ", blockRows);
+    if (threads > kMaxLutGemmThreads)
+        fatal("threaded execution supports at most ", kMaxLutGemmThreads,
+              " workers, got ", threads);
+}
+
+NumericsConfig
+HwConfig::numerics() const
+{
+    NumericsConfig nc;
+    nc.actFormat = actFormat;
+    nc.mu = mu;
+    nc.backend = exec.backend;
+    nc.threads = exec.threads;
+    nc.blockRows = exec.blockRows;
+    return nc;
+}
+
+void
 HwConfig::validate() const
 {
     if (mu < 2 || mu > 8)
@@ -81,6 +103,7 @@ HwConfig::validate() const
               fixedWeightBits);
     if (tech.freqMhz <= 0.0)
         fatal("clock frequency must be positive");
+    exec.validate();
 }
 
 } // namespace figlut

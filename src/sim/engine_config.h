@@ -43,6 +43,24 @@ struct GemmShape
     void validate() const;
 };
 
+/**
+ * Host-side execution policy for the LUT-GEMM functional kernel
+ * backing the FIGLUT engines. This configures the *simulator's*
+ * software (which backend runs the numerics, on how many threads),
+ * not the modeled hardware; results are backend-invariant by
+ * construction. The non-LUT engine kernels (FPE/iFPU/FIGNA) are
+ * scalar and ignore this policy.
+ */
+struct ExecConfig
+{
+    LutGemmBackend backend = LutGemmBackend::Reference;
+    int threads = 0;    ///< Threaded backend: workers, <= 0 = hardware
+    int blockRows = 64; ///< Threaded backend: rows per M-tile work item
+
+    /** Validate invariants; throws FatalError on bad input. */
+    void validate() const;
+};
+
 /** Engine hardware configuration. */
 struct HwConfig
 {
@@ -63,6 +81,7 @@ struct HwConfig
      */
     int fixedWeightBits = 4;
     TechParams tech = TechParams::default28nm();
+    ExecConfig exec; ///< host execution of the functional kernels
 
     /** True for the bit-serial engines (iFPU, FIGLUT). */
     bool bitSerial() const;
@@ -82,6 +101,12 @@ struct HwConfig
 
     /** Display name like "FIGLUT-I(FP16)". */
     std::string describe() const;
+
+    /**
+     * Numerics settings for this engine's functional kernels, with
+     * the host execution policy (exec) plumbed through.
+     */
+    NumericsConfig numerics() const;
 
     /** Validate invariants; throws FatalError on bad input. */
     void validate() const;

@@ -71,8 +71,9 @@ TEST(TechParams, FanoutOptimumAtThirtyTwo)
         return tech.fanoutMultiplier(k) / static_cast<double>(k);
     };
     for (int k = 2; k <= 1024; k *= 2) {
-        if (k != 32)
+        if (k != 32) {
             EXPECT_GT(per_reader(k), per_reader(32)) << "k=" << k;
+        }
     }
     EXPECT_LT(per_reader(32), per_reader(31));
     EXPECT_LT(per_reader(32), per_reader(33));

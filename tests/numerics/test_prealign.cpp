@@ -51,9 +51,10 @@ TEST(PreAlign, Fp16ValuesExactWith24FracBits)
                 continue;
             int e = 0;
             (void)std::frexp(std::fabs(vals[i]), &e);
-            if (block.sharedExp - (e - 1) <= 13)
+            if (block.sharedExp - (e - 1) <= 13) {
                 EXPECT_DOUBLE_EQ(block.valueAt(i), vals[i])
                     << "element " << i;
+            }
         }
     }
 }

@@ -69,8 +69,9 @@ TEST(TileScheduler, BcqQ8IteratesPlaneGroupsFirst)
     EXPECT_EQ(seq[0].plane, 0);
     EXPECT_EQ(seq[1].plane, 1);
     // Then the K tile advances.
-    if (seq.size() > 2)
+    if (seq.size() > 2) {
         EXPECT_EQ(seq[2].plane, 0);
+    }
 }
 
 TEST(TileScheduler, QFourFitsInOneGroup)
