@@ -5,10 +5,20 @@
  * generator), hFFLUT decode, LUT-GEMM vs the dequantize+FP reference,
  * and the quantizers. These measure the *simulator's* software speed,
  * not modeled hardware.
+ *
+ * Besides the stock google-benchmark CLI, `--json <path>` writes a
+ * machine-readable {name, ns_per_iter, lut_reads_per_s} array for
+ * perf-trajectory recording (see bench_util.h); CI's Release bench
+ * smoke step relies on it.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
 #include "figlut/figlut.h"
 
 using namespace figlut;
@@ -25,6 +35,21 @@ benchTensor(std::size_t m, std::size_t n, int bits)
     cfg.useOffset = true;
     cfg.iterations = 2;
     return quantizeBcq(w, cfg);
+}
+
+/**
+ * Attach the RAC read-rate counter: reads per lutGemm call times the
+ * iteration count, reported as a rate ("lut_reads_per_s" in console
+ * output and in the --json records). The per-call read count is the
+ * kernel's own closed-form accounting.
+ */
+void
+setLutReadRate(benchmark::State &state, const LutGemmCounters &perCall)
+{
+    state.counters["lut_reads_per_s"] = benchmark::Counter(
+        static_cast<double>(perCall.lutReads) *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
 }
 
 void
@@ -82,11 +107,14 @@ BM_LutGemm(benchmark::State &state)
     const auto x = syntheticActivations(256, 4, rng);
     LutGemmConfig cfg;
     cfg.preAligned = true;
+    LutGemmCounters perCall;
+    (void)lutGemm(tensor, x, cfg, &perCall);
     for (auto _ : state) {
         auto y = lutGemm(tensor, x, cfg);
         benchmark::DoNotOptimize(y.data());
     }
     state.SetItemsProcessed(state.iterations() * 128 * 256 * 4 * bits);
+    setLutReadRate(state, perCall);
 }
 BENCHMARK(BM_LutGemm)->Arg(2)->Arg(4);
 
@@ -111,12 +139,15 @@ BM_LutGemmThreaded(benchmark::State &state)
                                : LutGemmBackend::Threaded;
     cfg.threads = threads;
     cfg.blockRows = 64;
+    LutGemmCounters perCall;
+    (void)lutGemm(tensor, x, cfg, &perCall);
     for (auto _ : state) {
         auto y = lutGemm(tensor, x, cfg);
         benchmark::DoNotOptimize(y.data());
     }
     state.SetItemsProcessed(
         static_cast<int64_t>(state.iterations() * m * n * batch));
+    setLutReadRate(state, perCall);
 }
 BENCHMARK(BM_LutGemmThreaded)
     ->Arg(0)
@@ -125,6 +156,71 @@ BENCHMARK(BM_LutGemmThreaded)
     ->Arg(4)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * Packed-key LUT-GEMM on the same 1024x1024x8 shape as
+ * BM_LutGemmThreaded, with the one-time key packing amortized via the
+ * pre-packed overload (the repeated-inference scenario). Compare the
+ * Arg(t) row against BM_LutGemmThreaded/t at equal thread count for
+ * the packed-layout speedup (>= 2x expected); outputs are
+ * bit-identical across all backends by construction.
+ */
+void
+BM_LutGemmPacked(benchmark::State &state)
+{
+    const int threads = static_cast<int>(state.range(0));
+    const std::size_t m = 1024, n = 1024, batch = 8;
+    const auto tensor = benchTensor(m, n, 4);
+    Rng rng(8);
+    const auto x = syntheticActivations(n, batch, rng);
+    LutGemmConfig cfg;
+    cfg.preAligned = true;
+    cfg.backend = LutGemmBackend::Packed;
+    cfg.threads = threads;
+    cfg.blockRows = 64;
+    const auto packed = packLutKeys(tensor, cfg.mu);
+    LutGemmCounters perCall;
+    (void)lutGemm(tensor, x, cfg, packed, &perCall);
+    for (auto _ : state) {
+        auto y = lutGemm(tensor, x, cfg, packed);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * m * n * batch));
+    setLutReadRate(state, perCall);
+}
+BENCHMARK(BM_LutGemmPacked)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Small-shape packed smoke: one fast configuration for CI's Release
+ * bench step (--json artifact), so the perf harness cannot rot.
+ */
+void
+BM_LutGemmPackedSmoke(benchmark::State &state)
+{
+    const auto tensor = benchTensor(128, 256, 4);
+    Rng rng(9);
+    const auto x = syntheticActivations(256, 4, rng);
+    LutGemmConfig cfg;
+    cfg.preAligned = true;
+    cfg.backend = LutGemmBackend::Packed;
+    cfg.threads = 1;
+    const auto packed = packLutKeys(tensor, cfg.mu);
+    LutGemmCounters perCall;
+    (void)lutGemm(tensor, x, cfg, packed, &perCall);
+    for (auto _ : state) {
+        auto y = lutGemm(tensor, x, cfg, packed);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 128 * 256 * 4);
+    setLutReadRate(state, perCall);
+}
+BENCHMARK(BM_LutGemmPackedSmoke);
 
 void
 BM_ReferenceGemm(benchmark::State &state)
@@ -194,6 +290,76 @@ BM_DetailedSystolicTile(benchmark::State &state)
 }
 BENCHMARK(BM_DetailedSystolicTile);
 
+/**
+ * Console reporter that additionally captures every per-iteration run
+ * into JsonBenchRecords for the --json output mode.
+ */
+class JsonCaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        // Only plain iteration runs are recorded (no aggregates). No
+        // error filter: these benchmarks never SkipWithError, and the
+        // error field's API changed across google-benchmark versions.
+        for (const auto &run : runs) {
+            if (run.run_type != Run::RT_Iteration)
+                continue;
+            figlut::bench::JsonBenchRecord rec;
+            rec.name = run.benchmark_name();
+            rec.nsPerIter =
+                run.iterations > 0
+                    ? run.real_accumulated_time * 1e9 /
+                          static_cast<double>(run.iterations)
+                    : run.real_accumulated_time * 1e9;
+            const auto it = run.counters.find("lut_reads_per_s");
+            if (it != run.counters.end())
+                rec.lutReadsPerS = it->second.value;
+            records_.push_back(std::move(rec));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    const std::vector<figlut::bench::JsonBenchRecord> &
+    records() const
+    {
+        return records_;
+    }
+
+  private:
+    std::vector<figlut::bench::JsonBenchRecord> records_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel our own --json <path> flag off before handing the argv to
+    // google-benchmark, which rejects flags it does not know.
+    std::string json_path;
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+        return 1;
+
+    if (json_path.empty()) {
+        benchmark::RunSpecifiedBenchmarks();
+    } else {
+        JsonCaptureReporter reporter;
+        benchmark::RunSpecifiedBenchmarks(&reporter);
+        figlut::bench::writeBenchJson(json_path, reporter.records());
+    }
+    benchmark::Shutdown();
+    return 0;
+}

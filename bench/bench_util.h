@@ -1,18 +1,24 @@
 /**
  * @file
  * Shared helpers for the table/figure reproduction binaries: banner
- * printing and CSV output into ./bench_out/.
+ * printing, CSV output into ./bench_out/, and the machine-readable
+ * JSON records behind bench_kernels' --json mode (used by CI and by
+ * BENCH_*.json perf trajectories).
  */
 
 #ifndef FIGLUT_BENCH_BENCH_UTIL_H
 #define FIGLUT_BENCH_BENCH_UTIL_H
 
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/csv.h"
+#include "common/logging.h"
 
 namespace figlut::bench {
 
@@ -32,6 +38,63 @@ openCsv(const std::string &name, std::vector<std::string> header)
     std::filesystem::create_directories("bench_out");
     return std::make_unique<CsvWriter>("bench_out/" + name,
                                        std::move(header));
+}
+
+/** One benchmark measurement for the --json output mode. */
+struct JsonBenchRecord
+{
+    std::string name;          ///< full benchmark name (args included)
+    double nsPerIter = 0.0;    ///< wall-clock nanoseconds per iteration
+    double lutReadsPerS = 0.0; ///< RAC table reads per second (0 = n/a)
+};
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Write benchmark records as a JSON array of
+ * {name, ns_per_iter, lut_reads_per_s} objects to path.
+ */
+inline void
+writeBenchJson(const std::string &path,
+               const std::vector<JsonBenchRecord> &records)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open bench JSON output file: ", path);
+    out << "[\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto &r = records[i];
+        out << "  {\"name\": \"" << jsonEscape(r.name)
+            << "\", \"ns_per_iter\": " << r.nsPerIter
+            << ", \"lut_reads_per_s\": " << r.lutReadsPerS << "}"
+            << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    if (!out.flush())
+        fatal("failed writing bench JSON output file: ", path);
 }
 
 } // namespace figlut::bench

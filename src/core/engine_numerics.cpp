@@ -196,6 +196,7 @@ figlutGemm(const BcqTensor &weights, const MatrixD &x,
     cfg.backend = config.backend;
     cfg.threads = config.threads;
     cfg.blockRows = config.blockRows;
+    cfg.instrument = config.instrument;
     return lutGemm(weights, x, cfg, counters);
 }
 

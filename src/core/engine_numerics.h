@@ -58,8 +58,9 @@ struct NumericsConfig
     // backend-invariant). Only figlutGemm honours these; the scalar
     // FPE/iFPU/FIGNA kernels ignore them.
     LutGemmBackend backend = LutGemmBackend::Reference;
-    int threads = 0;    ///< Threaded backend: workers, <= 0 = hardware
-    int blockRows = 64; ///< Threaded backend: rows per work item
+    int threads = 0;    ///< Threaded/Packed backend: workers, <= 0 = hw
+    int blockRows = 64; ///< Threaded/Packed backend: rows per work item
+    bool instrument = false; ///< per-read counters vs closed form
 };
 
 /** Double-precision oracle on already-dequantized weights. */

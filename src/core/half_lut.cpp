@@ -122,4 +122,37 @@ HalfLutI::value(uint32_t key) const
     return sign > 0 ? half_[idx] : -half_[idx];
 }
 
+namespace {
+
+/**
+ * Shared expansion: every MSB = 0 key reads from its (MSB = 1)
+ * complement, negated — writes only touch the lower half, reads only
+ * the upper, so in-place is safe.
+ */
+template <typename T>
+void
+expandHalfDecodeInPlaceImpl(T *buf, int mu)
+{
+    FIGLUT_ASSERT(mu >= 2 && mu <= kMaxMu,
+                  "hFFLUT expansion needs mu in [2, ", kMaxMu, "], got ",
+                  mu);
+    const uint32_t halfEntries = lutEntries(mu - 1);
+    for (uint32_t key = 0; key < halfEntries; ++key)
+        buf[key] = -buf[complementKey(key, mu)];
+}
+
+} // namespace
+
+void
+expandHalfDecodeInPlace(double *buf, int mu)
+{
+    expandHalfDecodeInPlaceImpl(buf, mu);
+}
+
+void
+expandHalfDecodeInPlace(int64_t *buf, int mu)
+{
+    expandHalfDecodeInPlaceImpl(buf, mu);
+}
+
 } // namespace figlut

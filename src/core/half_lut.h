@@ -81,6 +81,18 @@ class HalfLutI
     std::vector<int64_t> half_;
 };
 
+/**
+ * In-place decode expansion for the flat LUT arenas: buf holds 2^mu
+ * entries whose upper half (keys with MSB = 1) is authoritative, and
+ * every MSB = 0 entry is rewritten to what the hFFLUT decoder would
+ * return for that key, -buf[complement(key)]. After this pass a plain
+ * buf[key] read is bit-identical to HalfLut{D,I}::value(key) on a half
+ * table taken from the same upper entries — the per-read sign-decode
+ * branch hoisted to build time.
+ */
+void expandHalfDecodeInPlace(double *buf, int mu);
+void expandHalfDecodeInPlace(int64_t *buf, int mu);
+
 } // namespace figlut
 
 #endif // FIGLUT_CORE_HALF_LUT_H

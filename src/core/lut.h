@@ -44,6 +44,14 @@ class LutD
     /** Build by direct enumeration (mu-1 adds per entry). */
     static LutD buildDirect(const std::vector<double> &xs, FpArith mode);
 
+    /**
+     * Direct enumeration into caller-owned storage: writes the 2^mu
+     * entries to out with no allocation. Backs the flat LUT arenas of
+     * the LUT-GEMM kernel; values are identical to buildDirect().
+     */
+    static void buildDirectInto(const double *xs, int mu, FpArith mode,
+                                double *out);
+
     int mu() const { return mu_; }
     uint32_t entries() const { return lutEntries(mu_); }
 
@@ -71,6 +79,9 @@ class LutI
   public:
     /** Build by direct enumeration over integer mantissas (exact). */
     static LutI buildDirect(const std::vector<int64_t> &xs);
+
+    /** Direct enumeration into caller-owned storage (2^mu entries). */
+    static void buildDirectInto(const int64_t *xs, int mu, int64_t *out);
 
     int mu() const { return mu_; }
     uint32_t entries() const { return lutEntries(mu_); }

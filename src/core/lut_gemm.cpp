@@ -1,7 +1,6 @@
 #include "core/lut_gemm.h"
 
 #include <algorithm>
-#include <cmath>
 #include <mutex>
 #include <optional>
 
@@ -12,45 +11,95 @@ namespace figlut {
 
 namespace {
 
-/** Per-chunk LUT handles for one activation column of one group. */
-struct FpChunkLuts
+/** Column range, chunk count, and flat chunk base of one scale group. */
+struct GroupGeom
 {
-    std::vector<HalfLutD> half;
-    std::vector<LutD> full;
-    bool useHalf = false;
+    std::size_t c0 = 0;       ///< first column
+    std::size_t c1 = 0;       ///< one past last column
+    std::size_t chunks = 0;   ///< mu-chunks in the group (tail padded)
+    std::size_t chunkBase = 0;///< first global chunk index
+};
 
-    double
-    read(std::size_t chunk, uint32_t key) const
+/**
+ * Flat LUT arena: contiguous chunk slabs with a fixed 2^mu stride.
+ * Every slab stores the *decoded* full table — in half-LUT mode the
+ * hFFLUT sign decode is applied once per entry at build time — so the
+ * hot loop's read is a single branch-free index. The buffer is grown
+ * once and reused across (batch, group) iterations instead of
+ * reallocating per group.
+ */
+template <typename T>
+struct LutArena
+{
+    std::vector<T> values;
+    std::size_t stride = 0;
+
+    void
+    ensure(std::size_t chunks, std::size_t entryStride)
     {
-        return useHalf ? half[chunk].value(key) : full[chunk].value(key);
+        stride = entryStride;
+        if (values.size() < chunks * entryStride)
+            values.resize(chunks * entryStride);
+    }
+
+    T *chunk(std::size_t ch) { return values.data() + ch * stride; }
+    const T *
+    chunk(std::size_t ch) const
+    {
+        return values.data() + ch * stride;
     }
 };
 
-struct IntChunkLuts
+/**
+ * Reusable per-worker scratch: LUT arenas, the mu-element chunk
+ * staging slots, and the packed-backend tile accumulators. One
+ * Scratch lives per worker thread (or per Reference call) so nothing
+ * here is shared; reuse keeps the hot loops allocation-free.
+ */
+struct Scratch
 {
-    std::vector<HalfLutI> half;
-    std::vector<LutI> full;
-    bool useHalf = false;
-
-    int64_t
-    read(std::size_t chunk, uint32_t key) const
-    {
-        return useHalf ? half[chunk].value(key) : full[chunk].value(key);
-    }
+    LutArena<double> fp;           ///< FP group arena
+    LutArena<int64_t> ig;          ///< integer group arena
+    std::vector<double> xs;        ///< mu activation slots of one chunk
+    std::vector<int64_t> ms;       ///< mu mantissa slots of one chunk
+    std::vector<double> groupVals; ///< group activations for preAlign
+    std::vector<double> fpPsum;    ///< packed tile: per-row plane sums
+    std::vector<int64_t> intPsum;  ///< packed tile: integer plane sums
+    std::vector<double> rowAcc;    ///< packed tile: per-row group accum
+    double sumx = 0.0;             ///< group sum(x) for the offset term
+    int64_t sumMant = 0;           ///< integer-path mantissa sum
+    double scale = 1.0;            ///< integer-path shared scale
 };
 
-/** Extract the padded mu-chunk of activations [c0, c0+mu) within group. */
-std::vector<double>
-chunkValues(const MatrixD &x, std::size_t b, std::size_t c0,
-            std::size_t c_end, int mu)
+/**
+ * Packed-backend per-column tables: the LUT arenas of every chunk of
+ * one activation column (indexed by global chunk), plus the per-group
+ * VPU-side terms. Built exactly once per (batch column) and then read
+ * by every row tile — unlike the Threaded backend, no per-tile LUT
+ * rebuild happens.
+ */
+struct FpColumnTables
 {
-    std::vector<double> xs(static_cast<std::size_t>(mu), 0.0);
-    for (int j = 0; j < mu; ++j) {
-        const std::size_t c = c0 + static_cast<std::size_t>(j);
-        if (c < c_end)
-            xs[static_cast<std::size_t>(j)] = x(c, b);
-    }
-    return xs;
+    LutArena<double> arena;
+    std::vector<double> sumx; ///< per group
+};
+
+struct IntColumnTables
+{
+    LutArena<int64_t> arena;
+    std::vector<int64_t> sumMant; ///< per group
+    std::vector<double> scale;    ///< per group
+};
+
+void
+mergeCounters(LutGemmCounters &dst, const LutGemmCounters &src)
+{
+    dst.lutGenerations += src.lutGenerations;
+    dst.generatorAdds += src.generatorAdds;
+    dst.lutReads += src.lutReads;
+    dst.racAccumulates += src.racAccumulates;
+    dst.scaleMuls += src.scaleMuls;
+    dst.offsetOps += src.offsetOps;
 }
 
 /** Key for (row, plane) over the chunk starting at c0 (tail padded 1). */
@@ -72,33 +121,24 @@ chunkKey(const BcqTensor &w, int plane, std::size_t r, std::size_t c0,
     return key;
 }
 
-/** FP-path tables and the group activation sum for the offset term. */
-struct FpGroupLuts
-{
-    FpChunkLuts luts;
-    double sumx = 0.0;
-};
-
-/** Integer-path tables plus the shared pre-alignment scale. */
-struct IntGroupLuts
-{
-    IntChunkLuts luts;
-    int64_t sumMant = 0;
-    double scale = 1.0;
-};
-
 /**
- * Shared kernel state: both backends execute processRows(), which
- * walks one M-tile through every (batch column, group) pair, building
- * each LUT set once and reusing it across all rows of the tile before
- * moving on — the cache-blocked (M-tile x chunk) traversal. The
- * Reference backend calls it with the full row range; the Threaded
- * backend dispatches one call per blockRows-sized tile.
+ * Shared kernel state for all three backends. Reference and Threaded
+ * execute processRows() — the cache-blocked (M-tile x chunk)
+ * traversal that rebuilds each (column, group) LUT arena per tile.
+ * The Packed backend instead reads pre-packed [plane][chunk][row] key
+ * arrays and per-column LUT arenas built once, via
+ * accumulatePacked*().
  *
  * Bit-identity across backends holds because each output element
  * y(r, b) is touched only by the work item owning row r, and its
  * accumulation order (columns, then groups, then planes/chunks) and
- * every intermediate value are independent of the tiling.
+ * every intermediate value are independent of the traversal: LUT
+ * arena entries equal the (half-)LUT decoded reads of the Reference
+ * tables entry for entry.
+ *
+ * The Instr template flag selects per-operation counter increments;
+ * the fast path (Instr = false) never touches counters inside the
+ * loops — the caller adds the closed-form totals afterwards.
  */
 class LutGemmKernel
 {
@@ -109,217 +149,448 @@ class LutGemmKernel
     {
         if (config_.useGeneratorTree && config_.mu >= 2)
             generator_.emplace(config_.mu, config_.arith);
+        addsPerGeneration_ =
+            generator_
+                ? generator_->stats().treeAdds
+                : static_cast<uint64_t>(lutEntries(config_.mu)) *
+                      static_cast<uint64_t>(config_.mu - 1);
+
+        // Group geometry, hoisted out of every per-(batch, group) and
+        // per-row loop: computed once per kernel.
+        const std::size_t groups = w_.groupsPerRow();
+        geom_.reserve(groups);
+        std::size_t base = 0;
+        for (std::size_t g = 0; g < groups; ++g) {
+            GroupGeom gg;
+            gg.c0 = g * w_.groupSize;
+            gg.c1 = std::min(w_.cols, gg.c0 + w_.groupSize);
+            gg.chunks = (gg.c1 - gg.c0 +
+                         static_cast<std::size_t>(config_.mu) - 1) /
+                        static_cast<std::size_t>(config_.mu);
+            gg.chunkBase = base;
+            base += gg.chunks;
+            geom_.push_back(gg);
+        }
+        totalChunks_ = base;
     }
 
+    std::size_t groups() const { return geom_.size(); }
+    std::size_t totalChunks() const { return totalChunks_; }
+    uint64_t addsPerGeneration() const { return addsPerGeneration_; }
+
+    template <bool Instr>
     void
-    processRows(BlockRange rows, MatrixD &y, LutGemmCounters &cnt) const
+    processRows(BlockRange rows, MatrixD &y, LutGemmCounters &cnt,
+                Scratch &s) const
     {
         const std::size_t batch = xq_.cols();
-        const std::size_t groups = w_.groupsPerRow();
         for (std::size_t b = 0; b < batch; ++b) {
-            for (std::size_t g = 0; g < groups; ++g) {
+            for (std::size_t g = 0; g < geom_.size(); ++g) {
+                const GroupGeom &gg = geom_[g];
                 if (!config_.preAligned) {
-                    const auto group = buildFpGroup(b, g, cnt);
-                    accumulateFp(rows, b, g, group, y, cnt);
+                    buildFpGroup<Instr>(b, gg, s, cnt);
+                    accumulateFp<Instr>(rows, b, g, gg, s, y, cnt);
                 } else {
-                    const auto group = buildIntGroup(b, g, cnt);
-                    accumulateInt(rows, b, g, group, y, cnt);
+                    buildIntGroup<Instr>(b, gg, s, cnt);
+                    accumulateInt<Instr>(rows, b, g, gg, s, y, cnt);
                 }
             }
+        }
+    }
+
+    /** Build all LUT arenas + VPU terms of activation column b. */
+    template <bool Instr>
+    void
+    buildFpColumn(std::size_t b, FpColumnTables &t, Scratch &s,
+                  LutGemmCounters &cnt) const
+    {
+        t.arena.ensure(totalChunks_, lutEntries(config_.mu));
+        t.sumx.assign(geom_.size(), 0.0);
+        for (std::size_t g = 0; g < geom_.size(); ++g) {
+            const GroupGeom &gg = geom_[g];
+            for (std::size_t ch = 0; ch < gg.chunks; ++ch) {
+                loadChunkValues(b, gg, ch, s.xs);
+                fillFpChunk(s.xs.data(), t.arena.chunk(gg.chunkBase + ch));
+                if constexpr (Instr) {
+                    ++cnt.lutGenerations;
+                    cnt.generatorAdds += addsPerGeneration_;
+                }
+            }
+            if (w_.hasOffset) {
+                double sx = 0.0;
+                for (std::size_t c = gg.c0; c < gg.c1; ++c)
+                    sx = fpAdd(sx, xq_(c, b), config_.arith);
+                t.sumx[g] = sx;
+            }
+        }
+    }
+
+    template <bool Instr>
+    void
+    buildIntColumn(std::size_t b, IntColumnTables &t, Scratch &s,
+                   LutGemmCounters &cnt) const
+    {
+        t.arena.ensure(totalChunks_, lutEntries(config_.mu));
+        t.sumMant.assign(geom_.size(), 0);
+        t.scale.assign(geom_.size(), 1.0);
+        for (std::size_t g = 0; g < geom_.size(); ++g) {
+            const GroupGeom &gg = geom_[g];
+            const AlignedBlock block = alignGroup(b, gg, s);
+            for (std::size_t ch = 0; ch < gg.chunks; ++ch) {
+                loadChunkMantissas(block, ch, s.ms);
+                fillIntChunk(s.ms.data(),
+                             t.arena.chunk(gg.chunkBase + ch));
+                if constexpr (Instr) {
+                    ++cnt.lutGenerations;
+                    cnt.generatorAdds += addsPerGeneration_;
+                }
+            }
+            if (w_.hasOffset) {
+                int64_t sm = 0;
+                for (const auto mv : block.mantissas)
+                    sm += mv;
+                t.sumMant[g] = sm;
+            }
+            t.scale[g] = block.scale();
+        }
+    }
+
+    /**
+     * Packed FP accumulate over one row tile: per (group, plane,
+     * chunk), a linear walk over the tile's pre-packed keys with one
+     * branch-free arena read each. Per-row operation order is
+     * identical to the Reference backend's (chunks, then planes, then
+     * offset, then the y fold), so outputs are bit-identical.
+     */
+    template <bool Instr>
+    void
+    accumulatePackedFp(BlockRange rows, std::size_t b,
+                       const PackedLutKeys &pk, const FpColumnTables &t,
+                       MatrixD &y, LutGemmCounters &cnt, Scratch &s) const
+    {
+        const int q = w_.bits;
+        const FpArith arith = config_.arith;
+        const std::size_t tile = rows.size();
+        s.fpPsum.resize(tile);
+        s.rowAcc.resize(tile);
+        double *psum = s.fpPsum.data();
+        double *acc = s.rowAcc.data();
+        for (std::size_t g = 0; g < geom_.size(); ++g) {
+            const GroupGeom &gg = geom_[g];
+            std::fill(acc, acc + tile, 0.0);
+            for (int i = 0; i < q; ++i) {
+                std::fill(psum, psum + tile, 0.0);
+                for (std::size_t ch = 0; ch < gg.chunks; ++ch) {
+                    const std::size_t chunk = gg.chunkBase + ch;
+                    const uint32_t *keys =
+                        pk.chunkKeys(i, chunk) + rows.begin;
+                    const double *lut = t.arena.chunk(chunk);
+                    for (std::size_t r = 0; r < tile; ++r) {
+                        psum[r] = fpAdd(psum[r], lut[keys[r]], arith);
+                        if constexpr (Instr) {
+                            ++cnt.lutReads;
+                            ++cnt.racAccumulates;
+                        }
+                    }
+                }
+                const auto &alpha =
+                    w_.alphas[static_cast<std::size_t>(i)];
+                for (std::size_t r = 0; r < tile; ++r) {
+                    acc[r] = fpAdd(acc[r],
+                                   fpRound(alpha(rows.begin + r, g) *
+                                               psum[r],
+                                           arith),
+                                   arith);
+                    if constexpr (Instr)
+                        ++cnt.scaleMuls;
+                }
+            }
+            if (w_.hasOffset) {
+                for (std::size_t r = 0; r < tile; ++r) {
+                    acc[r] = fpAdd(
+                        acc[r],
+                        fpRound(w_.offsets(rows.begin + r, g) * t.sumx[g],
+                                arith),
+                        arith);
+                    if constexpr (Instr)
+                        ++cnt.offsetOps;
+                }
+            }
+            for (std::size_t r = 0; r < tile; ++r)
+                y(rows.begin + r, b) =
+                    fpAdd(y(rows.begin + r, b), acc[r], arith);
+        }
+    }
+
+    template <bool Instr>
+    void
+    accumulatePackedInt(BlockRange rows, std::size_t b,
+                        const PackedLutKeys &pk,
+                        const IntColumnTables &t, MatrixD &y,
+                        LutGemmCounters &cnt, Scratch &s) const
+    {
+        const int q = w_.bits;
+        const FpArith arith = config_.arith;
+        const std::size_t tile = rows.size();
+        s.intPsum.resize(tile);
+        s.rowAcc.resize(tile);
+        int64_t *psum = s.intPsum.data();
+        double *acc = s.rowAcc.data();
+        for (std::size_t g = 0; g < geom_.size(); ++g) {
+            const GroupGeom &gg = geom_[g];
+            const double scale = t.scale[g];
+            std::fill(acc, acc + tile, 0.0);
+            for (int i = 0; i < q; ++i) {
+                std::fill(psum, psum + tile, int64_t{0});
+                for (std::size_t ch = 0; ch < gg.chunks; ++ch) {
+                    const std::size_t chunk = gg.chunkBase + ch;
+                    const uint32_t *keys =
+                        pk.chunkKeys(i, chunk) + rows.begin;
+                    const int64_t *lut = t.arena.chunk(chunk);
+                    for (std::size_t r = 0; r < tile; ++r) {
+                        psum[r] += lut[keys[r]];
+                        if constexpr (Instr) {
+                            ++cnt.lutReads;
+                            ++cnt.racAccumulates;
+                        }
+                    }
+                }
+                const auto &alpha =
+                    w_.alphas[static_cast<std::size_t>(i)];
+                for (std::size_t r = 0; r < tile; ++r) {
+                    acc[r] = fpAdd(
+                        acc[r],
+                        fpRound(alpha(rows.begin + r, g) *
+                                    (static_cast<double>(psum[r]) *
+                                     scale),
+                                arith),
+                        arith);
+                    if constexpr (Instr)
+                        ++cnt.scaleMuls;
+                }
+            }
+            if (w_.hasOffset) {
+                const double sumx =
+                    static_cast<double>(t.sumMant[g]) * scale;
+                for (std::size_t r = 0; r < tile; ++r) {
+                    acc[r] = fpAdd(
+                        acc[r],
+                        fpRound(w_.offsets(rows.begin + r, g) * sumx,
+                                arith),
+                        arith);
+                    if constexpr (Instr)
+                        ++cnt.offsetOps;
+                }
+            }
+            for (std::size_t r = 0; r < tile; ++r)
+                y(rows.begin + r, b) =
+                    fpAdd(y(rows.begin + r, b), acc[r], arith);
         }
     }
 
   private:
-    /** Column range [c0, c1) and chunk count of group g. */
+    /** Stage the padded mu-chunk of activations into s (reused). */
     void
-    groupExtent(std::size_t g, std::size_t &c0, std::size_t &c1,
-                std::size_t &chunks) const
-    {
-        c0 = g * w_.groupSize;
-        c1 = std::min(w_.cols, c0 + w_.groupSize);
-        chunks = (c1 - c0 + config_.mu - 1) /
-                 static_cast<std::size_t>(config_.mu);
-    }
-
-    FpGroupLuts
-    buildFpGroup(std::size_t b, std::size_t g, LutGemmCounters &cnt) const
+    loadChunkValues(std::size_t b, const GroupGeom &gg, std::size_t ch,
+                    std::vector<double> &xs) const
     {
         const int mu = config_.mu;
-        std::size_t c0 = 0, c1 = 0, chunks = 0;
-        groupExtent(g, c0, c1, chunks);
+        xs.resize(static_cast<std::size_t>(mu));
+        const std::size_t cBase =
+            gg.c0 + ch * static_cast<std::size_t>(mu);
+        for (int j = 0; j < mu; ++j) {
+            const std::size_t c = cBase + static_cast<std::size_t>(j);
+            xs[static_cast<std::size_t>(j)] =
+                c < gg.c1 ? xq_(c, b) : 0.0;
+        }
+    }
 
-        FpGroupLuts group;
-        group.luts.useHalf = config_.useHalfLut;
-        for (std::size_t ch = 0; ch < chunks; ++ch) {
-            const auto vals = chunkValues(xq_, b, c0 + ch * mu, c1, mu);
-            ++cnt.lutGenerations;
-            if (generator_) {
-                cnt.generatorAdds += generator_->stats().treeAdds;
-                auto h = generator_->generateHalf(vals);
-                if (config_.useHalfLut) {
-                    group.luts.half.push_back(std::move(h));
-                } else {
-                    // Mirror out to a full table.
-                    std::vector<double> full(lutEntries(mu));
-                    for (uint32_t k = 0; k < full.size(); ++k)
-                        full[k] = h.value(k);
-                    group.luts.full.emplace_back(mu, std::move(full));
-                }
-            } else {
-                cnt.generatorAdds +=
-                    static_cast<uint64_t>(lutEntries(mu)) *
-                    static_cast<uint64_t>(mu - 1);
-                auto fulllut = LutD::buildDirect(vals, config_.arith);
-                if (config_.useHalfLut) {
-                    group.luts.half.push_back(HalfLutD::fromFull(fulllut));
-                } else {
-                    group.luts.full.push_back(std::move(fulllut));
-                }
+    /** Stage the padded mu-chunk of aligned mantissas into s (reused). */
+    void
+    loadChunkMantissas(const AlignedBlock &block, std::size_t ch,
+                       std::vector<int64_t> &ms) const
+    {
+        const int mu = config_.mu;
+        ms.resize(static_cast<std::size_t>(mu));
+        for (int j = 0; j < mu; ++j) {
+            const std::size_t c = ch * static_cast<std::size_t>(mu) +
+                                  static_cast<std::size_t>(j);
+            ms[static_cast<std::size_t>(j)] =
+                c < block.mantissas.size() ? block.mantissas[c] : 0;
+        }
+    }
+
+    /** Pre-align one group's activations (integer path). */
+    AlignedBlock
+    alignGroup(std::size_t b, const GroupGeom &gg, Scratch &s) const
+    {
+        s.groupVals.resize(gg.c1 - gg.c0);
+        for (std::size_t c = gg.c0; c < gg.c1; ++c)
+            s.groupVals[c - gg.c0] = xq_(c, b);
+        return preAlign(s.groupVals, config_.actFormat,
+                        config_.alignFracBits);
+    }
+
+    /**
+     * Fill one arena slab with the decoded full table for the chunk:
+     * generator tree order when enabled, else direct enumeration with
+     * the hFFLUT decode applied at build time in half-LUT mode. The
+     * slab is bit-identical to the corresponding (half-)LUT reads.
+     */
+    void
+    fillFpChunk(const double *xs, double *out) const
+    {
+        if (generator_) {
+            generator_->generateFullInto(xs, out);
+            return;
+        }
+        LutD::buildDirectInto(xs, config_.mu, config_.arith, out);
+        if (config_.useHalfLut)
+            expandHalfDecodeInPlace(out, config_.mu);
+    }
+
+    void
+    fillIntChunk(const int64_t *ms, int64_t *out) const
+    {
+        if (generator_) {
+            generator_->generateFullIntInto(ms, out);
+            return;
+        }
+        LutI::buildDirectInto(ms, config_.mu, out);
+        if (config_.useHalfLut)
+            expandHalfDecodeInPlace(out, config_.mu);
+    }
+
+    template <bool Instr>
+    void
+    buildFpGroup(std::size_t b, const GroupGeom &gg, Scratch &s,
+                 LutGemmCounters &cnt) const
+    {
+        s.fp.ensure(gg.chunks, lutEntries(config_.mu));
+        for (std::size_t ch = 0; ch < gg.chunks; ++ch) {
+            loadChunkValues(b, gg, ch, s.xs);
+            fillFpChunk(s.xs.data(), s.fp.chunk(ch));
+            if constexpr (Instr) {
+                // Accumulated after the generation it accounts for:
+                // the counters always reflect completed builds.
+                ++cnt.lutGenerations;
+                cnt.generatorAdds += addsPerGeneration_;
             }
         }
-
         // Offset needs sum(x) over the group (VPU side).
+        s.sumx = 0.0;
         if (w_.hasOffset) {
-            for (std::size_t c = c0; c < c1; ++c)
-                group.sumx = fpAdd(group.sumx, xq_(c, b), config_.arith);
+            for (std::size_t c = gg.c0; c < gg.c1; ++c)
+                s.sumx = fpAdd(s.sumx, xq_(c, b), config_.arith);
         }
-        return group;
     }
 
-    IntGroupLuts
-    buildIntGroup(std::size_t b, std::size_t g, LutGemmCounters &cnt) const
+    template <bool Instr>
+    void
+    buildIntGroup(std::size_t b, const GroupGeom &gg, Scratch &s,
+                  LutGemmCounters &cnt) const
     {
-        const int mu = config_.mu;
-        std::size_t c0 = 0, c1 = 0, chunks = 0;
-        groupExtent(g, c0, c1, chunks);
-
-        std::vector<double> group_vals(c1 - c0);
-        for (std::size_t c = c0; c < c1; ++c)
-            group_vals[c - c0] = xq_(c, b);
-        const AlignedBlock block = preAlign(
-            group_vals, config_.actFormat, config_.alignFracBits);
-
-        IntGroupLuts group;
-        group.luts.useHalf = config_.useHalfLut;
-        for (std::size_t ch = 0; ch < chunks; ++ch) {
-            std::vector<int64_t> ms(static_cast<std::size_t>(mu), 0);
-            for (int j = 0; j < mu; ++j) {
-                const std::size_t c = ch * mu + static_cast<std::size_t>(j);
-                if (c < block.mantissas.size())
-                    ms[static_cast<std::size_t>(j)] = block.mantissas[c];
-            }
-            ++cnt.lutGenerations;
-            if (generator_) {
-                cnt.generatorAdds += generator_->stats().treeAdds;
-                auto h = generator_->generateHalfInt(ms);
-                if (config_.useHalfLut) {
-                    group.luts.half.push_back(std::move(h));
-                } else {
-                    std::vector<int64_t> full(lutEntries(mu));
-                    for (uint32_t k = 0; k < full.size(); ++k)
-                        full[k] = h.value(k);
-                    group.luts.full.emplace_back(mu, std::move(full));
-                }
-            } else {
-                cnt.generatorAdds +=
-                    static_cast<uint64_t>(lutEntries(mu)) *
-                    static_cast<uint64_t>(mu - 1);
-                auto fulllut = LutI::buildDirect(ms);
-                if (config_.useHalfLut) {
-                    group.luts.half.push_back(HalfLutI::fromFull(fulllut));
-                } else {
-                    group.luts.full.push_back(std::move(fulllut));
-                }
+        const AlignedBlock block = alignGroup(b, gg, s);
+        s.ig.ensure(gg.chunks, lutEntries(config_.mu));
+        for (std::size_t ch = 0; ch < gg.chunks; ++ch) {
+            loadChunkMantissas(block, ch, s.ms);
+            fillIntChunk(s.ms.data(), s.ig.chunk(ch));
+            if constexpr (Instr) {
+                ++cnt.lutGenerations;
+                cnt.generatorAdds += addsPerGeneration_;
             }
         }
-
+        s.sumMant = 0;
         if (w_.hasOffset) {
             for (const auto mv : block.mantissas)
-                group.sumMant += mv;
+                s.sumMant += mv;
         }
-        group.scale = block.scale();
-        return group;
+        s.scale = block.scale();
     }
 
+    template <bool Instr>
     void
     accumulateFp(BlockRange rows, std::size_t b, std::size_t g,
-                 const FpGroupLuts &group, MatrixD &y,
+                 const GroupGeom &gg, const Scratch &s, MatrixD &y,
                  LutGemmCounters &cnt) const
     {
         const int mu = config_.mu;
         const int q = w_.bits;
-        std::size_t c0 = 0, c1 = 0, chunks = 0;
-        groupExtent(g, c0, c1, chunks);
-
         for (std::size_t r = rows.begin; r < rows.end; ++r) {
             double row_acc = 0.0;
             for (int i = 0; i < q; ++i) {
                 double psum = 0.0;
-                for (std::size_t ch = 0; ch < chunks; ++ch) {
+                for (std::size_t ch = 0; ch < gg.chunks; ++ch) {
                     const uint32_t key =
-                        chunkKey(w_, i, r, c0 + ch * mu, c1, mu);
-                    psum = fpAdd(psum, group.luts.read(ch, key),
+                        chunkKey(w_, i, r, gg.c0 + ch * mu, gg.c1, mu);
+                    psum = fpAdd(psum, s.fp.chunk(ch)[key],
                                  config_.arith);
-                    ++cnt.lutReads;
-                    ++cnt.racAccumulates;
+                    if constexpr (Instr) {
+                        ++cnt.lutReads;
+                        ++cnt.racAccumulates;
+                    }
                 }
                 const double alpha =
                     w_.alphas[static_cast<std::size_t>(i)](r, g);
                 row_acc = fpAdd(row_acc,
                                 fpRound(alpha * psum, config_.arith),
                                 config_.arith);
-                ++cnt.scaleMuls;
+                if constexpr (Instr)
+                    ++cnt.scaleMuls;
             }
             if (w_.hasOffset) {
                 row_acc = fpAdd(
                     row_acc,
-                    fpRound(w_.offsets(r, g) * group.sumx, config_.arith),
+                    fpRound(w_.offsets(r, g) * s.sumx, config_.arith),
                     config_.arith);
-                ++cnt.offsetOps;
+                if constexpr (Instr)
+                    ++cnt.offsetOps;
             }
             y(r, b) = fpAdd(y(r, b), row_acc, config_.arith);
         }
     }
 
+    template <bool Instr>
     void
     accumulateInt(BlockRange rows, std::size_t b, std::size_t g,
-                  const IntGroupLuts &group, MatrixD &y,
+                  const GroupGeom &gg, const Scratch &s, MatrixD &y,
                   LutGemmCounters &cnt) const
     {
         const int mu = config_.mu;
         const int q = w_.bits;
-        std::size_t c0 = 0, c1 = 0, chunks = 0;
-        groupExtent(g, c0, c1, chunks);
-
         for (std::size_t r = rows.begin; r < rows.end; ++r) {
             double row_acc = 0.0;
             for (int i = 0; i < q; ++i) {
                 int64_t psum = 0;
-                for (std::size_t ch = 0; ch < chunks; ++ch) {
+                for (std::size_t ch = 0; ch < gg.chunks; ++ch) {
                     const uint32_t key =
-                        chunkKey(w_, i, r, c0 + ch * mu, c1, mu);
-                    psum += group.luts.read(ch, key);
-                    ++cnt.lutReads;
-                    ++cnt.racAccumulates;
+                        chunkKey(w_, i, r, gg.c0 + ch * mu, gg.c1, mu);
+                    psum += s.ig.chunk(ch)[key];
+                    if constexpr (Instr) {
+                        ++cnt.lutReads;
+                        ++cnt.racAccumulates;
+                    }
                 }
                 const double alpha =
                     w_.alphas[static_cast<std::size_t>(i)](r, g);
                 row_acc = fpAdd(
                     row_acc,
                     fpRound(alpha * (static_cast<double>(psum) *
-                                     group.scale),
+                                     s.scale),
                             config_.arith),
                     config_.arith);
-                ++cnt.scaleMuls;
+                if constexpr (Instr)
+                    ++cnt.scaleMuls;
             }
             if (w_.hasOffset) {
                 const double sumx =
-                    static_cast<double>(group.sumMant) * group.scale;
+                    static_cast<double>(s.sumMant) * s.scale;
                 row_acc = fpAdd(
                     row_acc,
                     fpRound(w_.offsets(r, g) * sumx, config_.arith),
                     config_.arith);
-                ++cnt.offsetOps;
+                if constexpr (Instr)
+                    ++cnt.offsetOps;
             }
             y(r, b) = fpAdd(y(r, b), row_acc, config_.arith);
         }
@@ -329,13 +600,144 @@ class LutGemmKernel
     const MatrixD &xq_;
     const LutGemmConfig &config_;
     std::optional<LutGenerator> generator_;
+    uint64_t addsPerGeneration_ = 0;
+    std::vector<GroupGeom> geom_;
+    std::size_t totalChunks_ = 0;
 };
 
-} // namespace
+/** Resolve the worker count, clamped to the number of row blocks. */
+int
+resolveWorkers(const LutGemmConfig &config, std::size_t m)
+{
+    const std::size_t blocks =
+        (m + static_cast<std::size_t>(config.blockRows) - 1) /
+        static_cast<std::size_t>(config.blockRows);
+    return static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(resolveThreadCount(config.threads)),
+        std::max<std::size_t>(blocks, 1)));
+}
+
+template <bool Instr>
+void
+runThreadedBackend(const LutGemmKernel &kernel,
+                   const LutGemmConfig &config, std::size_t m,
+                   MatrixD &y, LutGemmCounters &cnt)
+{
+    // The pool is per-call on purpose: wait() and the captured first
+    // exception are pool-global, so sharing a static pool between
+    // concurrent lutGemm callers would entangle their completion and
+    // error states. Spawn cost is microseconds against the row work a
+    // threaded call is worth dispatching in the first place. Workers
+    // beyond one per block would only idle, so clamp.
+    ThreadPool pool(resolveWorkers(config, m));
+    std::mutex counterMutex;
+    pool.parallelForBlocked(
+        m, static_cast<std::size_t>(config.blockRows),
+        [&](BlockRange rows) {
+            // Rows partition the output: no two work items share an
+            // element of y, so only the counter merge needs a lock.
+            // The scratch (arenas included) persists per worker
+            // thread across tiles.
+            static thread_local Scratch s;
+            if constexpr (Instr) {
+                LutGemmCounters blockCnt;
+                kernel.processRows<true>(rows, y, blockCnt, s);
+                std::lock_guard<std::mutex> lock(counterMutex);
+                mergeCounters(cnt, blockCnt);
+            } else {
+                LutGemmCounters unused;
+                kernel.processRows<false>(rows, y, unused, s);
+            }
+        });
+}
+
+template <bool Instr>
+void
+runPackedBackend(const LutGemmKernel &kernel, const PackedLutKeys &pk,
+                 const LutGemmConfig &config, std::size_t m,
+                 std::size_t batch, MatrixD &y, LutGemmCounters &cnt)
+{
+    ThreadPool pool(resolveWorkers(config, m));
+    std::mutex counterMutex;
+    FpColumnTables fpTables;
+    IntColumnTables intTables;
+    Scratch buildScratch;
+    for (std::size_t b = 0; b < batch; ++b) {
+        // Build this column's LUT arenas exactly once, on the
+        // submitting thread — every row tile then only reads them.
+        if (!config.preAligned)
+            kernel.buildFpColumn<Instr>(b, fpTables, buildScratch, cnt);
+        else
+            kernel.buildIntColumn<Instr>(b, intTables, buildScratch,
+                                         cnt);
+        pool.parallelForBlocked(
+            m, static_cast<std::size_t>(config.blockRows),
+            [&, b](BlockRange rows) {
+                static thread_local Scratch s;
+                if constexpr (Instr) {
+                    LutGemmCounters blockCnt;
+                    if (!config.preAligned)
+                        kernel.accumulatePackedFp<true>(
+                            rows, b, pk, fpTables, y, blockCnt, s);
+                    else
+                        kernel.accumulatePackedInt<true>(
+                            rows, b, pk, intTables, y, blockCnt, s);
+                    std::lock_guard<std::mutex> lock(counterMutex);
+                    mergeCounters(cnt, blockCnt);
+                } else {
+                    LutGemmCounters unused;
+                    if (!config.preAligned)
+                        kernel.accumulatePackedFp<false>(
+                            rows, b, pk, fpTables, y, unused, s);
+                    else
+                        kernel.accumulatePackedInt<false>(
+                            rows, b, pk, intTables, y, unused, s);
+                }
+            });
+    }
+}
+
+/**
+ * Closed-form operation counts: every counter is an exact function of
+ * the shapes and the backend's traversal, so the fast path derives
+ * them after the loops instead of paying per-read increments. The
+ * differential tests prove these equal the instrumented counts.
+ */
+void
+addClosedFormCounters(const BcqTensor &w, const LutGemmConfig &config,
+                      std::size_t m, std::size_t batch,
+                      const LutGemmKernel &kernel, LutGemmCounters &cnt)
+{
+    const auto rows64 = static_cast<uint64_t>(m);
+    const auto batch64 = static_cast<uint64_t>(batch);
+    const auto chunks64 = static_cast<uint64_t>(kernel.totalChunks());
+    const auto groups64 = static_cast<uint64_t>(kernel.groups());
+    const auto bits64 = static_cast<uint64_t>(w.bits);
+
+    // LUT-build passes over the (batch, group) table sets: Reference
+    // and Packed build each set once; Threaded rebuilds per row block.
+    uint64_t passes = 1;
+    if (config.backend == LutGemmBackend::Threaded) {
+        passes = (rows64 +
+                  static_cast<uint64_t>(config.blockRows) - 1) /
+                 static_cast<uint64_t>(config.blockRows);
+    }
+    const uint64_t builds = passes * batch64 * chunks64;
+    cnt.lutGenerations += builds;
+    cnt.generatorAdds += builds * kernel.addsPerGeneration();
+
+    const uint64_t reads = rows64 * bits64 * chunks64 * batch64;
+    cnt.lutReads += reads;
+    cnt.racAccumulates += reads;
+    cnt.scaleMuls += rows64 * bits64 * groups64 * batch64;
+    if (w.hasOffset)
+        cnt.offsetOps += rows64 * groups64 * batch64;
+}
 
 MatrixD
-lutGemm(const BcqTensor &weights, const MatrixD &x,
-        const LutGemmConfig &config, LutGemmCounters *counters)
+lutGemmImpl(const BcqTensor &weights, const MatrixD &x,
+            const LutGemmConfig &config, const PackedLutKeys *prepacked,
+            LutGemmCounters *counters)
 {
     if (config.mu < 1 || config.mu > kMaxMu)
         fatal("LUT-GEMM mu must be in [1, ", kMaxMu, "], got ", config.mu);
@@ -344,12 +746,29 @@ lutGemm(const BcqTensor &weights, const MatrixD &x,
               weights.cols, " but activations have ", x.rows(), " rows");
     if (config.useHalfLut && config.mu < 2)
         fatal("hFFLUT requires mu >= 2 (mu=1 tables have no half)");
-    if (config.backend == LutGemmBackend::Threaded && config.blockRows < 1)
-        fatal("LUT-GEMM threaded backend needs blockRows >= 1, got ",
+    if (config.backend != LutGemmBackend::Reference &&
+        config.blockRows < 1)
+        fatal("LUT-GEMM blocked backends need blockRows >= 1, got ",
               config.blockRows);
     if (config.threads > kMaxLutGemmThreads)
         fatal("LUT-GEMM threads must be <= ", kMaxLutGemmThreads,
               ", got ", config.threads);
+    if (prepacked) {
+        if (config.backend != LutGemmBackend::Packed)
+            fatal("pre-packed LUT keys require the Packed backend");
+        if (prepacked->mu != config.mu ||
+            prepacked->rows != weights.rows ||
+            prepacked->cols != weights.cols ||
+            prepacked->bits != weights.bits ||
+            prepacked->groupSize != weights.groupSize)
+            fatal("pre-packed LUT keys do not match the weights/config: ",
+                  "packed (mu=", prepacked->mu, ", ", prepacked->rows,
+                  "x", prepacked->cols, ", q=", prepacked->bits,
+                  ", group=", prepacked->groupSize, ") vs (mu=",
+                  config.mu, ", ", weights.rows, "x", weights.cols,
+                  ", q=", weights.bits, ", group=", weights.groupSize,
+                  ")");
+    }
 
     const std::size_t m = weights.rows;
     const std::size_t n = weights.cols;
@@ -366,42 +785,71 @@ lutGemm(const BcqTensor &weights, const MatrixD &x,
     const LutGemmKernel kernel(weights, xq, config);
     MatrixD y(m, batch, 0.0);
 
-    if (config.backend == LutGemmBackend::Reference) {
-        kernel.processRows(BlockRange{0, m}, y, cnt);
-        return y;
+    // Geometry cross-check: the packing pass derives the chunk layout
+    // independently of the kernel, and a divergence would silently
+    // misindex the arenas — fail loudly instead.
+    if (prepacked && (prepacked->totalChunks != kernel.totalChunks() ||
+                      prepacked->groups != kernel.groups()))
+        fatal("pre-packed LUT keys disagree with the kernel chunk ",
+              "geometry: packed ", prepacked->groups, " groups / ",
+              prepacked->totalChunks, " chunks vs kernel ",
+              kernel.groups(), " groups / ", kernel.totalChunks());
+
+    switch (config.backend) {
+      case LutGemmBackend::Reference: {
+          Scratch s;
+          if (config.instrument) {
+              kernel.processRows<true>(BlockRange{0, m}, y, cnt, s);
+          } else {
+              LutGemmCounters unused;
+              kernel.processRows<false>(BlockRange{0, m}, y, unused, s);
+          }
+          break;
+      }
+      case LutGemmBackend::Threaded: {
+          if (config.instrument)
+              runThreadedBackend<true>(kernel, config, m, y, cnt);
+          else
+              runThreadedBackend<false>(kernel, config, m, y, cnt);
+          break;
+      }
+      case LutGemmBackend::Packed: {
+          PackedLutKeys localPack;
+          const PackedLutKeys *pk = prepacked;
+          if (!pk) {
+              localPack = packLutKeys(weights, config.mu);
+              pk = &localPack;
+          }
+          if (config.instrument)
+              runPackedBackend<true>(kernel, *pk, config, m, batch, y,
+                                     cnt);
+          else
+              runPackedBackend<false>(kernel, *pk, config, m, batch, y,
+                                      cnt);
+          break;
+      }
     }
 
-    // The pool is per-call on purpose: wait() and the captured first
-    // exception are pool-global, so sharing a static pool between
-    // concurrent lutGemm callers would entangle their completion and
-    // error states. Spawn cost is microseconds against the row work a
-    // threaded call is worth dispatching in the first place. Workers
-    // beyond one per block would only idle, so clamp.
-    const std::size_t blocks =
-        (m + static_cast<std::size_t>(config.blockRows) - 1) /
-        static_cast<std::size_t>(config.blockRows);
-    const int workers = static_cast<int>(
-        std::min<std::size_t>(
-            static_cast<std::size_t>(resolveThreadCount(config.threads)),
-            std::max<std::size_t>(blocks, 1)));
-    ThreadPool pool(workers);
-    std::mutex counterMutex;
-    pool.parallelForBlocked(
-        m, static_cast<std::size_t>(config.blockRows),
-        [&](BlockRange rows) {
-            // Rows partition the output: no two work items share an
-            // element of y, so only the counter merge needs a lock.
-            LutGemmCounters blockCnt;
-            kernel.processRows(rows, y, blockCnt);
-            std::lock_guard<std::mutex> lock(counterMutex);
-            cnt.lutGenerations += blockCnt.lutGenerations;
-            cnt.generatorAdds += blockCnt.generatorAdds;
-            cnt.lutReads += blockCnt.lutReads;
-            cnt.racAccumulates += blockCnt.racAccumulates;
-            cnt.scaleMuls += blockCnt.scaleMuls;
-            cnt.offsetOps += blockCnt.offsetOps;
-        });
+    if (!config.instrument)
+        addClosedFormCounters(weights, config, m, batch, kernel, cnt);
     return y;
+}
+
+} // namespace
+
+MatrixD
+lutGemm(const BcqTensor &weights, const MatrixD &x,
+        const LutGemmConfig &config, LutGemmCounters *counters)
+{
+    return lutGemmImpl(weights, x, config, nullptr, counters);
+}
+
+MatrixD
+lutGemm(const BcqTensor &weights, const MatrixD &x,
+        const LutGemmConfig &config, const PackedLutKeys &packed,
+        LutGemmCounters *counters)
+{
+    return lutGemmImpl(weights, x, config, &packed, counters);
 }
 
 } // namespace figlut

@@ -30,25 +30,30 @@
 #include "core/lut_generator.h"
 #include "numerics/prealign.h"
 #include "quant/bcq.h"
+#include "quant/packing.h"
 
 namespace figlut {
 
 /**
  * Execution backend of the functional kernel.
  *
- * Both backends produce bit-identical outputs: every output row
+ * All backends produce bit-identical outputs: every output row
  * accumulates its (batch, group, plane) contributions in the same
  * order through the same emulated-FP operations, and LUT contents are
  * a deterministic function of the activations. They differ only in
  * traversal: Reference streams all M rows per (column, group) LUT set
  * on one thread; Threaded carves M into blockRows-row work items,
  * rebuilding the (column, group) LUT sets per block so each set stays
- * cache-hot for exactly the rows of its block.
+ * cache-hot for exactly the rows of its block; Packed builds each
+ * activation column's LUT arenas exactly once, pre-packs (or reuses
+ * pre-packed) per-(plane, chunk) key arrays, and streams row tiles as
+ * linear key walks + table reads with zero per-read bit-gathering.
  */
 enum class LutGemmBackend
 {
     Reference, ///< single-threaded scalar loop (differential oracle)
     Threaded,  ///< cache-blocked row tiles on a ThreadPool work queue
+    Packed,    ///< packed-key layout + flat LUT arenas (fastest)
 };
 
 /** Configuration of the functional LUT-GEMM kernel. */
@@ -63,8 +68,18 @@ struct LutGemmConfig
     bool useGeneratorTree = true;          ///< tree generator vs direct
 
     LutGemmBackend backend = LutGemmBackend::Reference;
-    int threads = 0;   ///< Threaded: worker count, <= 0 = hardware
-    int blockRows = 64;///< Threaded: output rows per work item (M-tile)
+    int threads = 0;   ///< Threaded/Packed: workers, <= 0 = hardware
+    int blockRows = 64;///< Threaded/Packed: rows per work item (M-tile)
+
+    /**
+     * Count operations by per-read increments inside the hot loops
+     * instead of the default closed-form accounting. Both modes fill
+     * LutGemmCounters with identical values (the closed forms are
+     * proven against the instrumented counts by the differential
+     * tests); instrumenting only pays the per-read cost, so it exists
+     * for that proof and for debugging new traversals.
+     */
+    bool instrument = false;
 };
 
 /** Upper bound on LutGemmConfig::threads (guards typo'd counts). */
@@ -76,10 +91,13 @@ inline constexpr int kMaxLutGemmThreads = 1024;
  * Counts report the work the selected backend actually performed: the
  * Threaded backend rebuilds each (column, group) LUT set once per row
  * block, so its lutGenerations/generatorAdds are ceil(M / blockRows)
- * TIMES the Reference backend's. Hardware energy models must derive
- * LUT-build counts analytically (as sim/engine_sim does), never from
- * Threaded-backend counters. Read/accumulate/scale/offset counts are
- * identical across backends.
+ * TIMES the Reference backend's, while the Packed backend builds each
+ * set exactly once and matches Reference. Hardware energy models must
+ * derive LUT-build counts analytically (as sim/engine_sim does), never
+ * from Threaded-backend counters. Read/accumulate/scale/offset counts
+ * are identical across backends, and independent of
+ * LutGemmConfig::instrument (closed-form and per-read accounting
+ * agree exactly).
  */
 struct LutGemmCounters
 {
@@ -102,6 +120,17 @@ struct LutGemmCounters
  */
 MatrixD lutGemm(const BcqTensor &weights, const MatrixD &x,
                 const LutGemmConfig &config,
+                LutGemmCounters *counters = nullptr);
+
+/**
+ * Run the LUT-GEMM kernel with pre-packed weight keys (Packed backend
+ * only). packed must come from packLutKeys(weights, config.mu); the
+ * pre-packing is validated against the tensor's shape. Use this for
+ * repeated-inference scenarios: keys depend only on the weights, so
+ * packing once amortizes the layout pass across every call.
+ */
+MatrixD lutGemm(const BcqTensor &weights, const MatrixD &x,
+                const LutGemmConfig &config, const PackedLutKeys &packed,
                 LutGemmCounters *counters = nullptr);
 
 } // namespace figlut

@@ -42,12 +42,9 @@ LutGenerator::LutGenerator(int mu, FpArith mode)
     : mu_(mu), mode_(mode), stats_(lutGeneratorAdderCount(mu))
 {}
 
-HalfLutD
-LutGenerator::generateHalf(const std::vector<double> &xs) const
+void
+LutGenerator::generateFullInto(const double *xs, double *out) const
 {
-    FIGLUT_ASSERT(static_cast<int>(xs.size()) == mu_,
-                  "generator expects ", mu_, " activations, got ",
-                  xs.size());
     const int h = (mu_ + 1) / 2;
     const int l = mu_ - h;
 
@@ -90,22 +87,30 @@ LutGenerator::generateHalf(const std::vector<double> &xs) const
                 half[(u << l) | p] = fpAdd(upper[u], lower[p], mode_);
     }
 
-    // Rebuild through the public direct-build path would lose the tree
-    // rounding order; construct via fromFull on a mirrored table.
-    std::vector<double> full(lutEntries(mu_), 0.0);
+    // Mirror into the full table: MSB = 1 entries are the generated
+    // half, MSB = 0 entries their negated complements.
     for (uint32_t low = 0; low < half.size(); ++low) {
-        full[(1u << (mu_ - 1)) | low] = half[low];
-        full[complementKey((1u << (mu_ - 1)) | low, mu_)] = -half[low];
+        out[(1u << (mu_ - 1)) | low] = half[low];
+        out[complementKey((1u << (mu_ - 1)) | low, mu_)] = -half[low];
     }
+}
+
+HalfLutD
+LutGenerator::generateHalf(const std::vector<double> &xs) const
+{
+    FIGLUT_ASSERT(static_cast<int>(xs.size()) == mu_,
+                  "generator expects ", mu_, " activations, got ",
+                  xs.size());
+    // Rebuilding through the public direct-build path would lose the
+    // tree rounding order; construct via fromFull on a mirrored table.
+    std::vector<double> full(lutEntries(mu_), 0.0);
+    generateFullInto(xs.data(), full.data());
     return HalfLutD::fromFull(LutD(mu_, std::move(full)));
 }
 
-HalfLutI
-LutGenerator::generateHalfInt(const std::vector<int64_t> &xs) const
+void
+LutGenerator::generateFullIntInto(const int64_t *xs, int64_t *out) const
 {
-    FIGLUT_ASSERT(static_cast<int>(xs.size()) == mu_,
-                  "generator expects ", mu_, " mantissas, got ",
-                  xs.size());
     const int h = (mu_ + 1) / 2;
     const int l = mu_ - h;
 
@@ -131,17 +136,26 @@ LutGenerator::generateHalfInt(const std::vector<int64_t> &xs) const
         lower[p] = acc;
     }
 
-    std::vector<int64_t> full(lutEntries(mu_), 0);
     for (uint32_t u = 0; u < upper_n; ++u) {
         for (uint32_t p = 0; p < lower_n; ++p) {
             const uint32_t low = l == 0 ? u : ((u << l) | p);
             const int64_t v = l == 0 ? upper[u] : upper[u] + lower[p];
-            full[(1u << (mu_ - 1)) | low] = v;
-            full[complementKey((1u << (mu_ - 1)) | low, mu_)] = -v;
+            out[(1u << (mu_ - 1)) | low] = v;
+            out[complementKey((1u << (mu_ - 1)) | low, mu_)] = -v;
             if (l == 0)
                 break;
         }
     }
+}
+
+HalfLutI
+LutGenerator::generateHalfInt(const std::vector<int64_t> &xs) const
+{
+    FIGLUT_ASSERT(static_cast<int>(xs.size()) == mu_,
+                  "generator expects ", mu_, " mantissas, got ",
+                  xs.size());
+    std::vector<int64_t> full(lutEntries(mu_), 0);
+    generateFullIntInto(xs.data(), full.data());
     return HalfLutI::fromFull(LutI(mu_, std::move(full)));
 }
 

@@ -61,6 +61,19 @@ class LutGenerator
     /** Generate the half table over pre-aligned integer mantissas. */
     HalfLutI generateHalfInt(const std::vector<int64_t> &xs) const;
 
+    /**
+     * Generate the full mirrored table (2^mu entries) into
+     * caller-owned storage, with the tree's physical adder order: the
+     * MSB = 1 half holds the tree-generated entries and every MSB = 0
+     * entry is the negated complement, so out[key] is bit-identical to
+     * the hFFLUT decoder read of generateHalf() for every key. Backs
+     * the flat LUT arenas of the LUT-GEMM kernel (no allocation).
+     */
+    void generateFullInto(const double *xs, double *out) const;
+
+    /** Integer-mantissa variant of generateFullInto() (exact). */
+    void generateFullIntInto(const int64_t *xs, int64_t *out) const;
+
     /** Adder accounting for this generator's mu. */
     const GeneratorStats &stats() const { return stats_; }
 

@@ -1,5 +1,7 @@
 #include "quant/packing.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace figlut {
@@ -59,6 +61,74 @@ unpackBcq(const PackedBcq &packed)
         planes.push_back(std::move(m));
     }
     return planes;
+}
+
+uint32_t
+PackedLutKeys::key(int plane, std::size_t chunk, std::size_t r) const
+{
+    FIGLUT_ASSERT(plane >= 0 && plane < bits && chunk < totalChunks &&
+                      r < rows,
+                  "packed key index out of range");
+    return chunkKeys(plane, chunk)[r];
+}
+
+PackedLutKeys
+packLutKeys(const BcqTensor &tensor, int mu)
+{
+    if (mu < 1 || mu > kMaxMu)
+        fatal("packLutKeys mu must be in [1, ", kMaxMu, "], got ", mu);
+    if (tensor.groupSize == 0)
+        fatal("packLutKeys needs a normalized (non-zero) group size");
+
+    PackedLutKeys out;
+    out.mu = mu;
+    out.bits = tensor.bits;
+    out.rows = tensor.rows;
+    out.cols = tensor.cols;
+    out.groupSize = tensor.groupSize;
+    out.groups = tensor.groupsPerRow();
+
+    out.groupChunkStart.reserve(out.groups + 1);
+    out.groupChunkStart.push_back(0);
+    for (std::size_t g = 0; g < out.groups; ++g) {
+        const std::size_t c0 = g * tensor.groupSize;
+        const std::size_t c1 =
+            std::min(tensor.cols, c0 + tensor.groupSize);
+        const std::size_t chunks =
+            (c1 - c0 + static_cast<std::size_t>(mu) - 1) /
+            static_cast<std::size_t>(mu);
+        out.groupChunkStart.push_back(out.groupChunkStart.back() + chunks);
+    }
+    out.totalChunks = out.groupChunkStart.back();
+
+    out.keys.resize(static_cast<std::size_t>(tensor.bits) *
+                    out.totalChunks * tensor.rows);
+    uint32_t *dst = out.keys.data();
+    for (int i = 0; i < tensor.bits; ++i) {
+        const auto &plane = tensor.planes[static_cast<std::size_t>(i)];
+        for (std::size_t g = 0; g < out.groups; ++g) {
+            const std::size_t c0 = g * tensor.groupSize;
+            const std::size_t c1 =
+                std::min(tensor.cols, c0 + tensor.groupSize);
+            for (std::size_t ch = 0; ch < out.chunksInGroup(g); ++ch) {
+                const std::size_t cBase =
+                    c0 + ch * static_cast<std::size_t>(mu);
+                for (std::size_t r = 0; r < tensor.rows; ++r) {
+                    const uint8_t *bits = plane.rowPtr(r);
+                    uint32_t key = 0;
+                    for (int j = 0; j < mu; ++j) {
+                        const std::size_t c =
+                            cBase + static_cast<std::size_t>(j);
+                        // Tail padding encodes weight +1 against a zero
+                        // activation: contributes exactly zero.
+                        key = (key << 1) | (c < c1 ? bits[c] : 1u);
+                    }
+                    *dst++ = key;
+                }
+            }
+        }
+    }
+    return out;
 }
 
 std::size_t

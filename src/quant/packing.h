@@ -6,6 +6,12 @@
  * bit-serial layout: plane-major, row-major within a plane, 64 columns
  * per word. The packed form is also what the detailed systolic model
  * streams into the PE array.
+ *
+ * The LUT-GEMM hot path consumes weights through a second packed form,
+ * PackedLutKeys: the mu-bit LUT read keys of every (plane, chunk, row)
+ * materialized once per weight tensor, so the kernel's accumulate loop
+ * is a linear key walk plus a table read instead of per-read
+ * bit-gathering from the {0,1} planes.
  */
 
 #ifndef FIGLUT_QUANT_PACKING_H
@@ -14,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/lut_key.h"
 #include "quant/bcq.h"
 
 namespace figlut {
@@ -42,6 +49,67 @@ struct PackedBcq
 
 /** Pack all bit planes of a BCQ tensor. */
 PackedBcq packBcq(const BcqTensor &tensor);
+
+/**
+ * Pre-packed LUT read keys of a BCQ tensor for one LUT group size mu.
+ *
+ * Activations are chunked into mu-element LUT groups *within* each
+ * scale group (a chunk never straddles a group boundary); tail chunks
+ * are padded with key bit 1, which pairs a zero activation with weight
+ * +1 and contributes exactly zero. Keys depend only on the weights, so
+ * this is a one-time pass per (tensor, mu): build it with
+ * packLutKeys() and hand it to the lutGemm() overload below to reuse
+ * across repeated-inference calls.
+ *
+ * Layout: keys[(plane * totalChunks + chunk) * rows + row], i.e.
+ * [plane][chunk][row] with the row index innermost — for a fixed
+ * (plane, chunk) the keys of consecutive output rows are contiguous,
+ * which is the walk order of the packed kernel's accumulate loop.
+ */
+struct PackedLutKeys
+{
+    int mu = 0;                ///< LUT group size the keys encode
+    int bits = 0;              ///< bit planes q
+    std::size_t rows = 0;      ///< output features (M)
+    std::size_t cols = 0;      ///< input features (N)
+    std::size_t groupSize = 0; ///< columns per scale group
+    std::size_t groups = 0;    ///< scale groups per row
+    std::size_t totalChunks = 0; ///< sum of per-group chunk counts
+
+    /** First global chunk index of each group; size groups + 1. */
+    std::vector<std::size_t> groupChunkStart;
+    /** [plane][chunk][row] (see layout note above). */
+    std::vector<uint32_t> keys;
+
+    /** Chunk count of group g. */
+    std::size_t
+    chunksInGroup(std::size_t g) const
+    {
+        return groupChunkStart[g + 1] - groupChunkStart[g];
+    }
+
+    /** Contiguous per-row keys of one (plane, global chunk). */
+    const uint32_t *
+    chunkKeys(int plane, std::size_t chunk) const
+    {
+        return keys.data() +
+               (static_cast<std::size_t>(plane) * totalChunks + chunk) *
+                   rows;
+    }
+
+    /** Single key lookup (bounds-checked). */
+    uint32_t key(int plane, std::size_t chunk, std::size_t r) const;
+
+    /** Payload size of the materialized keys in bytes. */
+    std::size_t keyBytes() const { return keys.size() * sizeof(uint32_t); }
+};
+
+/**
+ * Materialize every chunk key of a BCQ tensor for LUT group size mu.
+ * One linear pass over the bit planes; the tensor must have a
+ * normalized (non-zero) groupSize, as produced by quantizeBcq().
+ */
+PackedLutKeys packLutKeys(const BcqTensor &tensor, int mu);
 
 /** Unpack back to {0,1} matrices (for round-trip verification). */
 std::vector<Matrix<uint8_t>> unpackBcq(const PackedBcq &packed);

@@ -72,8 +72,8 @@ HwConfig::describe() const
 void
 ExecConfig::validate() const
 {
-    if (backend == LutGemmBackend::Threaded && blockRows < 1)
-        fatal("threaded execution needs blockRows >= 1, got ", blockRows);
+    if (backend != LutGemmBackend::Reference && blockRows < 1)
+        fatal("blocked execution needs blockRows >= 1, got ", blockRows);
     if (threads > kMaxLutGemmThreads)
         fatal("threaded execution supports at most ", kMaxLutGemmThreads,
               " workers, got ", threads);
@@ -88,6 +88,7 @@ HwConfig::numerics() const
     nc.backend = exec.backend;
     nc.threads = exec.threads;
     nc.blockRows = exec.blockRows;
+    nc.instrument = exec.instrument;
     return nc;
 }
 

@@ -54,8 +54,14 @@ struct GemmShape
 struct ExecConfig
 {
     LutGemmBackend backend = LutGemmBackend::Reference;
-    int threads = 0;    ///< Threaded backend: workers, <= 0 = hardware
-    int blockRows = 64; ///< Threaded backend: rows per M-tile work item
+    int threads = 0;    ///< Threaded/Packed: workers, <= 0 = hardware
+    int blockRows = 64; ///< Threaded/Packed: rows per M-tile work item
+    /**
+     * Per-read operation counting inside the kernel loops instead of
+     * the default closed-form accounting (identical totals either
+     * way; instrumenting only slows the host kernel down).
+     */
+    bool instrument = false;
 
     /** Validate invariants; throws FatalError on bad input. */
     void validate() const;

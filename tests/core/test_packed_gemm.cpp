@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Differential tests for the Packed LUT-GEMM backend: bit-identity of
+ * Reference vs Packed vs Threaded over randomized shapes/configs, the
+ * pre-packed key reuse API, and the closed-form-vs-instrumented
+ * counter proof.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/engine_numerics.h"
+#include "core/lut_gemm.h"
+#include "model/synthetic.h"
+#include "quant/packing.h"
+
+namespace figlut {
+namespace {
+
+struct GemmCase
+{
+    BcqTensor weights;
+    MatrixD x;
+};
+
+GemmCase
+makeCase(std::size_t m, std::size_t n, std::size_t batch, int bits,
+         std::size_t group, bool offset, uint64_t seed)
+{
+    Rng rng(seed);
+    GemmCase tc;
+    const auto w = syntheticWeights(m, n, rng);
+    BcqConfig cfg;
+    cfg.bits = bits;
+    cfg.groupSize = group;
+    cfg.useOffset = offset;
+    cfg.iterations = 3;
+    tc.weights = quantizeBcq(w, cfg);
+    tc.x = syntheticActivations(n, batch, rng);
+    return tc;
+}
+
+MatrixD
+runBackend(const GemmCase &tc, LutGemmConfig cfg, LutGemmBackend backend,
+           LutGemmCounters *counters = nullptr)
+{
+    cfg.backend = backend;
+    return lutGemm(tc.weights, tc.x, cfg, counters);
+}
+
+void
+expectCountersEqual(const LutGemmCounters &a, const LutGemmCounters &b,
+                    const std::string &what)
+{
+    EXPECT_EQ(a.lutGenerations, b.lutGenerations) << what;
+    EXPECT_EQ(a.generatorAdds, b.generatorAdds) << what;
+    EXPECT_EQ(a.lutReads, b.lutReads) << what;
+    EXPECT_EQ(a.racAccumulates, b.racAccumulates) << what;
+    EXPECT_EQ(a.scaleMuls, b.scaleMuls) << what;
+    EXPECT_EQ(a.offsetOps, b.offsetOps) << what;
+}
+
+TEST(LutGemmPacked, BitIdenticalToReferenceBothPaths)
+{
+    const auto tc = makeCase(32, 64, 3, 3, 16, true, 1001);
+    for (const bool pre : {false, true}) {
+        LutGemmConfig cfg;
+        cfg.preAligned = pre;
+        cfg.threads = 4;
+        cfg.blockRows = 8;
+        const auto ref = runBackend(tc, cfg, LutGemmBackend::Reference);
+        const auto packed = runBackend(tc, cfg, LutGemmBackend::Packed);
+        EXPECT_TRUE(compareMatrices(packed, ref).identical)
+            << "preAligned=" << pre;
+    }
+}
+
+TEST(LutGemmPacked, TailChunksAndOddShapes)
+{
+    // n = 37 with mu = 4 leaves a padded tail chunk; groupSize 10
+    // additionally puts a tail chunk in every group.
+    for (const std::size_t group : {std::size_t{0}, std::size_t{10}}) {
+        const auto tc = makeCase(7, 37, 2, 2, group, true, 1002);
+        LutGemmConfig cfg;
+        cfg.preAligned = true;
+        cfg.blockRows = 3;
+        const auto ref = runBackend(tc, cfg, LutGemmBackend::Reference);
+        const auto packed = runBackend(tc, cfg, LutGemmBackend::Packed);
+        EXPECT_TRUE(compareMatrices(packed, ref).identical)
+            << "group=" << group;
+    }
+}
+
+/**
+ * The ISSUE's randomized differential suite: odd shapes, tail chunks,
+ * mu in [1, kMaxMu], offset on/off, half-LUT on/off, generator
+ * on/off, both numeric paths — Reference vs Packed vs Threaded must
+ * agree bit for bit.
+ */
+TEST(LutGemmPacked, RandomizedDifferentialSuite)
+{
+    Rng shapes(1003);
+    for (int trial = 0; trial < 16; ++trial) {
+        const auto m = static_cast<std::size_t>(shapes.uniformInt(1, 60));
+        const auto n = static_cast<std::size_t>(shapes.uniformInt(1, 80));
+        const auto batch =
+            static_cast<std::size_t>(shapes.uniformInt(1, 5));
+        const int bits = static_cast<int>(shapes.uniformInt(1, 4));
+        const bool grouped = shapes.uniformInt(0, 1) == 1;
+        const std::size_t group =
+            grouped ? static_cast<std::size_t>(
+                          shapes.uniformInt(1, static_cast<int64_t>(n)))
+                    : 0;
+        const bool offset = shapes.uniformInt(0, 1) == 1;
+
+        LutGemmConfig cfg;
+        cfg.mu = static_cast<int>(shapes.uniformInt(1, kMaxMu));
+        cfg.useHalfLut = cfg.mu >= 2 && shapes.uniformInt(0, 1) == 1;
+        cfg.useGeneratorTree = shapes.uniformInt(0, 1) == 1;
+        cfg.preAligned = shapes.uniformInt(0, 1) == 1;
+        cfg.threads = static_cast<int>(shapes.uniformInt(1, 8));
+        cfg.blockRows = static_cast<int>(shapes.uniformInt(1, 32));
+
+        const auto tc = makeCase(m, n, batch, bits, group, offset,
+                                 1100 + static_cast<uint64_t>(trial));
+        const auto ref = runBackend(tc, cfg, LutGemmBackend::Reference);
+        const auto thr = runBackend(tc, cfg, LutGemmBackend::Threaded);
+        const auto packed = runBackend(tc, cfg, LutGemmBackend::Packed);
+
+        const std::string what =
+            "trial " + std::to_string(trial) + ": " + std::to_string(m) +
+            "x" + std::to_string(n) + " batch " + std::to_string(batch) +
+            " bits " + std::to_string(bits) + " group " +
+            std::to_string(group) + " offset " + std::to_string(offset) +
+            " mu " + std::to_string(cfg.mu) + " half " +
+            std::to_string(cfg.useHalfLut) + " tree " +
+            std::to_string(cfg.useGeneratorTree) + " pre " +
+            std::to_string(cfg.preAligned) + " threads " +
+            std::to_string(cfg.threads) + " blockRows " +
+            std::to_string(cfg.blockRows);
+        EXPECT_TRUE(compareMatrices(thr, ref).identical) << what;
+        EXPECT_TRUE(compareMatrices(packed, ref).identical) << what;
+    }
+}
+
+TEST(LutGemmPacked, PrepackedKeysMatchInternalPacking)
+{
+    const auto tc = makeCase(24, 48, 2, 3, 12, true, 1004);
+    LutGemmConfig cfg;
+    cfg.backend = LutGemmBackend::Packed;
+    cfg.preAligned = true;
+    cfg.blockRows = 7;
+    const auto packedKeys = packLutKeys(tc.weights, cfg.mu);
+    const auto internal = lutGemm(tc.weights, tc.x, cfg);
+    // Reuse the same pre-packing across repeated calls.
+    for (int call = 0; call < 2; ++call) {
+        const auto reused =
+            lutGemm(tc.weights, tc.x, cfg, packedKeys);
+        EXPECT_TRUE(compareMatrices(reused, internal).identical)
+            << "call " << call;
+    }
+}
+
+TEST(LutGemmPacked, PrepackedValidationThrows)
+{
+    const auto tc = makeCase(8, 16, 1, 2, 0, false, 1005);
+    LutGemmConfig cfg;
+    cfg.backend = LutGemmBackend::Packed;
+    const auto mismatchedMu = packLutKeys(tc.weights, cfg.mu + 1);
+    EXPECT_THROW(lutGemm(tc.weights, tc.x, cfg, mismatchedMu),
+                 FatalError);
+
+    const auto other = makeCase(9, 16, 1, 2, 0, false, 1006);
+    const auto wrongShape = packLutKeys(other.weights, cfg.mu);
+    EXPECT_THROW(lutGemm(tc.weights, tc.x, cfg, wrongShape), FatalError);
+
+    // Pre-packed keys only make sense for the Packed backend.
+    const auto good = packLutKeys(tc.weights, cfg.mu);
+    LutGemmConfig refCfg = cfg;
+    refCfg.backend = LutGemmBackend::Reference;
+    EXPECT_THROW(lutGemm(tc.weights, tc.x, refCfg, good), FatalError);
+}
+
+TEST(LutGemmPacked, InvalidBlockRowsThrows)
+{
+    const auto tc = makeCase(4, 16, 1, 2, 0, false, 1007);
+    LutGemmConfig cfg;
+    cfg.backend = LutGemmBackend::Packed;
+    cfg.blockRows = 0;
+    EXPECT_THROW(lutGemm(tc.weights, tc.x, cfg), FatalError);
+}
+
+// ---------------------------------------- closed-form counter proofs
+
+/**
+ * The fast path's closed-form counters must equal the instrumented
+ * per-read counts for every backend over the randomized suite — this
+ * is the differential proof the ISSUE requires for stripping the
+ * increments out of the hot loops.
+ */
+TEST(LutGemmCounters, ClosedFormMatchesInstrumentedRandomized)
+{
+    Rng shapes(1008);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto m = static_cast<std::size_t>(shapes.uniformInt(1, 50));
+        const auto n = static_cast<std::size_t>(shapes.uniformInt(1, 60));
+        const auto batch =
+            static_cast<std::size_t>(shapes.uniformInt(1, 4));
+        const int bits = static_cast<int>(shapes.uniformInt(1, 3));
+        const bool grouped = shapes.uniformInt(0, 1) == 1;
+        const std::size_t group =
+            grouped ? static_cast<std::size_t>(
+                          shapes.uniformInt(1, static_cast<int64_t>(n)))
+                    : 0;
+        const bool offset = shapes.uniformInt(0, 1) == 1;
+
+        LutGemmConfig cfg;
+        cfg.mu = static_cast<int>(shapes.uniformInt(1, 6));
+        cfg.useHalfLut = cfg.mu >= 2 && shapes.uniformInt(0, 1) == 1;
+        cfg.useGeneratorTree = shapes.uniformInt(0, 1) == 1;
+        cfg.preAligned = shapes.uniformInt(0, 1) == 1;
+        cfg.threads = static_cast<int>(shapes.uniformInt(1, 4));
+        cfg.blockRows = static_cast<int>(shapes.uniformInt(1, 16));
+
+        const auto tc = makeCase(m, n, batch, bits, group, offset,
+                                 1200 + static_cast<uint64_t>(trial));
+        for (const auto backend :
+             {LutGemmBackend::Reference, LutGemmBackend::Threaded,
+              LutGemmBackend::Packed}) {
+            LutGemmCounters closed, instrumented;
+            cfg.instrument = false;
+            (void)runBackend(tc, cfg, backend, &closed);
+            cfg.instrument = true;
+            (void)runBackend(tc, cfg, backend, &instrumented);
+            expectCountersEqual(
+                closed, instrumented,
+                "trial " + std::to_string(trial) + " backend " +
+                    std::to_string(static_cast<int>(backend)) + " mu " +
+                    std::to_string(cfg.mu) + " blockRows " +
+                    std::to_string(cfg.blockRows));
+        }
+    }
+}
+
+TEST(LutGemmCounters, PackedBuildsEachLutSetExactlyOnce)
+{
+    // Unlike Threaded (which rebuilds per row block), Packed must
+    // report batch x totalChunks LUT generations no matter how many
+    // row tiles execute: 32 rows / blockRows 4 = 8 tiles here.
+    const auto tc = makeCase(32, 64, 2, 3, 0, true, 1009);
+    LutGemmConfig cfg;
+    cfg.mu = 4;
+    cfg.blockRows = 4;
+    cfg.threads = 4;
+
+    LutGemmCounters ref, thr, packed;
+    (void)runBackend(tc, cfg, LutGemmBackend::Reference, &ref);
+    (void)runBackend(tc, cfg, LutGemmBackend::Threaded, &thr);
+    (void)runBackend(tc, cfg, LutGemmBackend::Packed, &packed);
+
+    // 64 cols / mu 4 = 16 chunks, 2 columns -> 32 sets.
+    EXPECT_EQ(ref.lutGenerations, 32u);
+    EXPECT_EQ(packed.lutGenerations, ref.lutGenerations);
+    EXPECT_EQ(packed.generatorAdds, ref.generatorAdds);
+    EXPECT_EQ(thr.lutGenerations, ref.lutGenerations * 8);
+    // Row-space work is traversal-invariant.
+    EXPECT_EQ(packed.lutReads, ref.lutReads);
+    EXPECT_EQ(packed.racAccumulates, ref.racAccumulates);
+    EXPECT_EQ(packed.scaleMuls, ref.scaleMuls);
+    EXPECT_EQ(packed.offsetOps, ref.offsetOps);
+}
+
+/**
+ * Regression for the counter-ordering bug: generatorAdds used to be
+ * sampled from the generator stats *before* the first generation ran.
+ * With exactly one LUT generation the counter must already carry that
+ * generation's tree adds.
+ */
+TEST(LutGemmCounters, GeneratorAddsAttributedAfterFirstGeneration)
+{
+    // n = mu = 4, batch 1, one group: exactly one LUT generation.
+    const auto tc = makeCase(2, 4, 1, 1, 0, false, 1010);
+    LutGemmConfig cfg;
+    cfg.mu = 4;
+    cfg.useGeneratorTree = true;
+    cfg.instrument = true;
+    LutGemmCounters cnt;
+    (void)lutGemm(tc.weights, tc.x, cfg, &cnt);
+    EXPECT_EQ(cnt.lutGenerations, 1u);
+    EXPECT_EQ(cnt.generatorAdds, lutGeneratorAdderCount(4).treeAdds);
+}
+
+TEST(LutGemmCounters, GeneratorAddsScaleWithGenerations)
+{
+    // Multi-chunk, multi-plane, multi-column: every generation must
+    // contribute exactly one tree's worth of adds.
+    const auto tc = makeCase(4, 24, 3, 2, 8, true, 1011);
+    for (const bool instrument : {false, true}) {
+        LutGemmConfig cfg;
+        cfg.mu = 4;
+        cfg.useGeneratorTree = true;
+        cfg.instrument = instrument;
+        LutGemmCounters cnt;
+        (void)lutGemm(tc.weights, tc.x, cfg, &cnt);
+        // 3 groups x 2 chunks x 3 columns = 18 generations.
+        EXPECT_EQ(cnt.lutGenerations, 18u) << instrument;
+        EXPECT_EQ(cnt.generatorAdds,
+                  18u * lutGeneratorAdderCount(4).treeAdds)
+            << instrument;
+    }
+}
+
+TEST(LutGemmPacked, EngineNumericsPlumbsPackedBackend)
+{
+    // The FIGLUT engine wrapper must honour the Packed backend and
+    // stay bit-identical to its Reference execution.
+    const auto tc = makeCase(12, 40, 3, 3, 20, true, 1012);
+    NumericsConfig ref;
+    NumericsConfig packed;
+    packed.backend = LutGemmBackend::Packed;
+    packed.threads = 2;
+    for (const bool pre : {false, true}) {
+        const auto a = figlutGemm(tc.weights, tc.x, ref, pre);
+        const auto b = figlutGemm(tc.weights, tc.x, packed, pre);
+        EXPECT_TRUE(compareMatrices(a, b).identical) << "pre=" << pre;
+    }
+}
+
+} // namespace
+} // namespace figlut

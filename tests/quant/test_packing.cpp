@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "model/synthetic.h"
 #include "quant/packing.h"
@@ -59,6 +61,107 @@ TEST(Packing, OutOfRangePanics)
     const auto packed = packBcq(t);
     EXPECT_THROW(packed.planes[0].bit(2, 0), PanicError);
     EXPECT_THROW(packed.planes[0].bit(0, 64), PanicError);
+}
+
+/** Oracle re-derivation of one chunk key straight from the planes. */
+uint32_t
+naiveChunkKey(const BcqTensor &t, int plane, std::size_t r,
+              std::size_t c0, std::size_t c_end, int mu)
+{
+    uint32_t key = 0;
+    for (int j = 0; j < mu; ++j) {
+        const std::size_t c = c0 + static_cast<std::size_t>(j);
+        const uint32_t bit =
+            c < c_end ? t.planes[static_cast<std::size_t>(plane)](r, c)
+                      : 1u;
+        key = (key << 1) | bit;
+    }
+    return key;
+}
+
+TEST(PackedLutKeys, MatchesNaiveKeyDerivation)
+{
+    // Odd shape with grouped scales and a tail chunk in every group:
+    // groupSize 13, mu 4 -> group chunks cover 13 = 3*4 + 1 columns.
+    Rng rng(85);
+    const auto w = syntheticWeights(6, 39, rng);
+    BcqConfig bcfg;
+    bcfg.bits = 3;
+    bcfg.groupSize = 13;
+    bcfg.iterations = 2;
+    const auto t = quantizeBcq(w, bcfg);
+
+    for (const int mu : {1, 3, 4, 5}) {
+        const auto pk = packLutKeys(t, mu);
+        ASSERT_EQ(pk.groups, t.groupsPerRow()) << "mu=" << mu;
+        for (int i = 0; i < t.bits; ++i) {
+            for (std::size_t g = 0; g < pk.groups; ++g) {
+                const std::size_t c0 = g * t.groupSize;
+                const std::size_t c1 =
+                    std::min(t.cols, c0 + t.groupSize);
+                for (std::size_t ch = 0; ch < pk.chunksInGroup(g);
+                     ++ch) {
+                    const std::size_t chunk =
+                        pk.groupChunkStart[g] + ch;
+                    for (std::size_t r = 0; r < t.rows; ++r) {
+                        const uint32_t expect = naiveChunkKey(
+                            t, i, r,
+                            c0 + ch * static_cast<std::size_t>(mu), c1,
+                            mu);
+                        EXPECT_EQ(pk.key(i, chunk, r), expect)
+                            << "mu=" << mu << " plane=" << i
+                            << " chunk=" << chunk << " r=" << r;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(PackedLutKeys, LayoutIsPlaneChunkRowContiguous)
+{
+    const auto t = makeTensor(5, 17, 2, 86);
+    const auto pk = packLutKeys(t, 4);
+    // 17 columns, one group, mu 4 -> 5 chunks (one padded tail).
+    EXPECT_EQ(pk.totalChunks, 5u);
+    EXPECT_EQ(pk.groups, 1u);
+    EXPECT_EQ(pk.keys.size(), 2u * 5u * 5u);
+    EXPECT_EQ(pk.keyBytes(), pk.keys.size() * sizeof(uint32_t));
+    for (int i = 0; i < pk.bits; ++i) {
+        for (std::size_t ch = 0; ch < pk.totalChunks; ++ch) {
+            const uint32_t *base = pk.chunkKeys(i, ch);
+            EXPECT_EQ(base,
+                      pk.keys.data() +
+                          (static_cast<std::size_t>(i) * pk.totalChunks +
+                           ch) *
+                              pk.rows);
+            for (std::size_t r = 0; r < pk.rows; ++r)
+                EXPECT_EQ(base[r], pk.key(i, ch, r));
+        }
+    }
+}
+
+TEST(PackedLutKeys, TailPaddingBitsAreOne)
+{
+    // cols 6, mu 4 -> second chunk covers columns 4..5 plus two pad
+    // positions whose key bits must be 1 (weight +1 against zero x).
+    const auto t = makeTensor(3, 6, 1, 87);
+    const auto pk = packLutKeys(t, 4);
+    ASSERT_EQ(pk.totalChunks, 2u);
+    for (std::size_t r = 0; r < t.rows; ++r) {
+        const uint32_t key = pk.key(0, 1, r);
+        EXPECT_EQ(key & 0x3u, 0x3u) << "r=" << r;
+    }
+}
+
+TEST(PackedLutKeys, InvalidArgumentsThrow)
+{
+    const auto t = makeTensor(2, 8, 1, 88);
+    EXPECT_THROW(packLutKeys(t, 0), FatalError);
+    EXPECT_THROW(packLutKeys(t, kMaxMu + 1), FatalError);
+    auto broken = t;
+    broken.groupSize = 0;
+    EXPECT_THROW(packLutKeys(broken, 4), FatalError);
 }
 
 TEST(Footprint, BcqWeightBytes)
