@@ -197,6 +197,92 @@ BENCHMARK(BM_LutGemmPacked)
     ->Unit(benchmark::kMillisecond);
 
 /**
+ * Repeated small GEMMs, the serving-traffic shape where per-call
+ * setup dominates: 256x256, batch 8, Q4, Packed backend with
+ * pre-packed keys at 4 requested workers. Arg 0 constructs the
+ * ThreadPool and scratch arenas inside every call (the no-context
+ * fallback); Arg 1 reuses one ExecutionContext across all calls. The
+ * Arg(1)/Arg(0) items_per_second ratio is the amortized-setup win;
+ * outputs are bit-identical by construction.
+ */
+void
+BM_LutGemmSmallRepeated(benchmark::State &state)
+{
+    const bool shared = state.range(0) != 0;
+    const std::size_t m = 256, n = 256, batch = 8;
+    const auto tensor = benchTensor(m, n, 4);
+    Rng rng(10);
+    const auto x = syntheticActivations(n, batch, rng);
+    LutGemmConfig cfg;
+    cfg.preAligned = true;
+    cfg.backend = LutGemmBackend::Packed;
+    cfg.threads = 4;
+    cfg.blockRows = 64;
+    const auto packed = packLutKeys(tensor, cfg.mu);
+    ExecutionContext ctx(cfg.threads);
+    LutGemmCounters perCall;
+    (void)lutGemm(tensor, x, cfg, packed, &perCall,
+                  shared ? &ctx : nullptr);
+    for (auto _ : state) {
+        auto y = lutGemm(tensor, x, cfg, packed, nullptr,
+                         shared ? &ctx : nullptr);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * m * n * batch));
+    setLutReadRate(state, perCall);
+}
+BENCHMARK(BM_LutGemmSmallRepeated)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+/**
+ * Full numeric decode step through the runtime Session on a small
+ * OPT-style decoder: 4 weight GEMMs per layer through the packed
+ * kernel (pre-packed keys, shared ExecutionContext) plus the
+ * reference vector ops. The KV cache is reset every iteration so each
+ * measurement is a first decode step; "tokens_per_s" (batch tokens
+ * per step) seeds the end-to-end perf trajectory in the --json
+ * records.
+ */
+void
+BM_DecodeStepSession(benchmark::State &state)
+{
+    OptConfig model;
+    model.name = "OPT-bench";
+    model.hidden = 256;
+    model.layers = 2;
+    model.heads = 4;
+    model.ffn = 1024;
+    SessionOptions opts;
+    opts.batch = 4;
+    opts.quant.weightBits = 4;
+    opts.quant.bcqIterations = 1;
+    Session session(model, opts);
+    Rng rng(11);
+    const MatrixD input = session.makeInput(rng);
+    LutGemmCounters perStep;
+    for (auto _ : state) {
+        session.resetKv();
+        auto r = session.runDecodeStep(input);
+        benchmark::DoNotOptimize(r.hidden.data());
+        perStep = r.counters;
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * opts.batch));
+    state.counters["tokens_per_s"] = benchmark::Counter(
+        static_cast<double>(opts.batch) *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+    setLutReadRate(state, perStep);
+}
+BENCHMARK(BM_DecodeStepSession)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
  * Small-shape packed smoke: one fast configuration for CI's Release
  * bench step (--json artifact), so the perf harness cannot rot.
  */
@@ -316,6 +402,9 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter
             const auto it = run.counters.find("lut_reads_per_s");
             if (it != run.counters.end())
                 rec.lutReadsPerS = it->second.value;
+            const auto tok = run.counters.find("tokens_per_s");
+            if (tok != run.counters.end())
+                rec.tokensPerS = tok->second.value;
             records_.push_back(std::move(rec));
         }
         ConsoleReporter::ReportRuns(runs);

@@ -46,6 +46,7 @@ struct JsonBenchRecord
     std::string name;          ///< full benchmark name (args included)
     double nsPerIter = 0.0;    ///< wall-clock nanoseconds per iteration
     double lutReadsPerS = 0.0; ///< RAC table reads per second (0 = n/a)
+    double tokensPerS = 0.0;   ///< decoded tokens per second (0 = n/a)
 };
 
 /** Minimal JSON string escaping (quotes, backslashes, control chars). */
@@ -75,7 +76,7 @@ jsonEscape(const std::string &s)
 
 /**
  * Write benchmark records as a JSON array of
- * {name, ns_per_iter, lut_reads_per_s} objects to path.
+ * {name, ns_per_iter, lut_reads_per_s, tokens_per_s} objects to path.
  */
 inline void
 writeBenchJson(const std::string &path,
@@ -89,7 +90,8 @@ writeBenchJson(const std::string &path,
         const auto &r = records[i];
         out << "  {\"name\": \"" << jsonEscape(r.name)
             << "\", \"ns_per_iter\": " << r.nsPerIter
-            << ", \"lut_reads_per_s\": " << r.lutReadsPerS << "}"
+            << ", \"lut_reads_per_s\": " << r.lutReadsPerS
+            << ", \"tokens_per_s\": " << r.tokensPerS << "}"
             << (i + 1 < records.size() ? "," : "") << "\n";
     }
     out << "]\n";

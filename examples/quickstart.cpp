@@ -1,8 +1,9 @@
 /**
  * @file
- * Quickstart: quantize a weight matrix to BCQ, run the LUT-based
- * FP-INT GEMM, and check the result against a dequantized reference —
- * the minimal end-to-end use of the library.
+ * Quickstart: the three-line path from an OPT-style architecture to a
+ * real numeric decode step — build a Session (quantize + pack once),
+ * feed it hidden states, and score the identical layer graph on the
+ * modeled accelerator.
  *
  * Build & run:  ./build/examples/quickstart
  */
@@ -18,64 +19,60 @@ main()
 {
     std::cout << "FIGLUT quickstart\n=================\n\n";
 
-    // 1. Some "model" weights and FP16 activations.
+    // 1. A small OPT-style decoder, quantized to 3-bit BCQ with an
+    //    offset term and LUT-key-packed — all one-time work done by
+    //    the Session constructor.
+    OptConfig tiny;
+    tiny.name = "OPT-tiny";
+    tiny.hidden = 128;
+    tiny.layers = 2;
+    tiny.heads = 4;
+    tiny.ffn = 512;
+
+    SessionOptions opts;
+    opts.batch = 4;
+    opts.quant.weightBits = 3;
+    opts.quant.useOffset = true;
+    Session session(tiny, opts);
+
+    const double fp16Bytes = session.model().config().layers *
+                             (4.0 * tiny.hidden * tiny.hidden +
+                              2.0 * tiny.hidden * tiny.ffn) *
+                             2.0;
+    std::cout << "built " << tiny.name << " (" << tiny.layers
+              << " layers, hidden " << tiny.hidden << "): "
+              << session.model().storageBytes() << " bytes quantized vs "
+              << static_cast<std::size_t>(fp16Bytes) << " bytes FP16 ("
+              << TextTable::ratio(fp16Bytes /
+                                  session.model().storageBytes())
+              << " compression)\n\n";
+
+    // 2. Run decode steps for real: GEMMs through the packed LUT
+    //    kernel on the session's persistent ExecutionContext, vector
+    //    ops as reference kernels, KV cache growing per step.
     Rng rng(Rng::kDefaultSeed);
-    const std::size_t out_features = 64, in_features = 128, batch = 4;
-    const MatrixD weights =
-        syntheticWeights(out_features, in_features, rng);
-    const MatrixD activations =
-        syntheticActivations(in_features, batch, rng);
+    MatrixD hidden = session.makeInput(rng);
+    for (int step = 0; step < 3; ++step) {
+        const auto r = session.runDecodeStep(hidden);
+        hidden = r.hidden;
+        std::cout << "step " << step << ": " << r.gemmCalls
+                  << " weight GEMMs, " << r.counters.lutReads
+                  << " LUT reads (each retiring mu="
+                  << session.options().quant.mu
+                  << " binary MACs), KV length " << session.kvLength()
+                  << "\n";
+    }
 
-    // 2. Quantize to 3-bit BCQ with an offset term (the format that
-    //    also represents uniform quantization exactly).
-    BcqConfig qcfg;
-    qcfg.bits = 3;
-    qcfg.useOffset = true;
-    const BcqTensor bcq = quantizeBcq(weights, qcfg);
-    std::cout << "quantized " << out_features << "x" << in_features
-              << " weights to " << qcfg.bits << "-bit BCQ, "
-              << "storage = " << bcq.storageBits() / 8 << " bytes vs "
-              << out_features * in_features * 2 << " bytes FP16 ("
-              << TextTable::ratio(
-                     double(out_features * in_features * 2) /
-                     (bcq.storageBits() / 8.0))
-              << " compression)\n";
-
-    // 3. Run the LUT-based GEMM exactly as FIGLUT-I executes it:
-    //    pre-aligned integer tables, mu=4, hFFLUT + generator tree.
-    LutGemmConfig gcfg;
-    gcfg.mu = 4;
-    gcfg.preAligned = true;
-    LutGemmCounters counters;
-    const MatrixD y = lutGemm(bcq, activations, gcfg, &counters);
-
-    // 4. Compare with the FP64 oracle on the dequantized weights.
-    MatrixD xq(in_features, batch);
-    for (std::size_t i = 0; i < xq.size(); ++i)
-        xq.at(i) = quantizeToFormat(activations.at(i), ActFormat::FP16);
-    const auto err = compareMatrices(y, oracleGemm(bcq.dequantAll(), xq));
-
-    std::cout << "LUT-GEMM result NRMSE vs oracle: "
-              << TextTable::num(err.nrmse() * 1e6, 3) << "e-6\n"
-              << "LUT reads: " << counters.lutReads
-              << " (each retiring mu=" << gcfg.mu << " binary MACs)\n"
-              << "generator adds: " << counters.generatorAdds
-              << " (vs " << counters.lutReads * (gcfg.mu - 1)
-              << " adds without tables)\n\n";
-
-    // 5. What would this cost on the modeled hardware?
+    // 3. What would the step we just executed cost on the modeled
+    //    hardware? simulate() scores the same layer graph the session
+    //    ran, via the analytic accelerator model.
     HwConfig hw;
     hw.engine = EngineKind::FIGLUT_I;
-    GemmShape shape;
-    shape.m = out_features;
-    shape.n = in_features;
-    shape.batch = batch;
-    shape.weightBits = qcfg.bits;
-    const auto sim = simulateGemm(hw, shape);
-    std::cout << "simulated on " << hw.describe() << ": "
-              << sim.timing.totalCycles << " cycles, "
-              << TextTable::num(sim.energy.totalJoules() * 1e9, 2)
-              << " nJ, " << TextTable::num(sim.topsPerWatt, 2)
+    const auto sim = session.simulate(hw);
+    std::cout << "\nsimulated on " << hw.describe() << ": "
+              << TextTable::num(sim.seconds * 1e3, 3) << " ms/step, "
+              << TextTable::num(sim.energy.totalJoules() * 1e3, 3)
+              << " mJ, " << TextTable::num(sim.topsPerWatt, 2)
               << " TOPS/W\n";
     return 0;
 }

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/logging.h"
+#include "core/execution_context.h"
 #include "core/parallel.h"
 
 namespace figlut {
@@ -89,6 +90,20 @@ struct IntColumnTables
     LutArena<int64_t> arena;
     std::vector<int64_t> sumMant; ///< per group
     std::vector<double> scale;    ///< per group
+};
+
+/**
+ * Everything one lutGemm call reuses across its (batch, group) and
+ * column iterations: the submitting thread's scratch plus the packed
+ * backend's column tables. Owned per call by default, or across calls
+ * by an ExecutionContext so the arenas stop being reallocated under
+ * repeated traffic.
+ */
+struct CallWorkspace
+{
+    Scratch scratch;
+    FpColumnTables fp;
+    IntColumnTables ig;
 };
 
 void
@@ -617,19 +632,48 @@ resolveWorkers(const LutGemmConfig &config, std::size_t m)
         std::max<std::size_t>(blocks, 1)));
 }
 
+/**
+ * The pool of one blocked-backend call: the context's persistent pool
+ * when one is supplied, else a per-call pool in `local`. The per-call
+ * default is deliberate for context-free callers: wait() and the
+ * captured first exception are pool-global, so sharing a static pool
+ * between concurrent lutGemm callers would entangle their completion
+ * and error states (an ExecutionContext makes that single-client
+ * contract explicit). The per-call pool clamps workers to the block
+ * count — surplus threads would only idle-spin their spawn cost away —
+ * while the context pool is sized by the thread knob alone so its size
+ * stays stable across calls of different heights.
+ */
+ThreadPool &
+acquirePool(ExecutionContext *ctx, const LutGemmConfig &config,
+            std::size_t m, std::optional<ThreadPool> &local)
+{
+    if (ctx)
+        return ctx->pool(config.threads);
+    local.emplace(resolveWorkers(config, m));
+    return *local;
+}
+
+/** Per-call workspace, or the context's persistent one. */
+CallWorkspace &
+acquireWorkspace(ExecutionContext *ctx,
+                 std::optional<CallWorkspace> &local)
+{
+    if (ctx)
+        return ctx->workspace<CallWorkspace>();
+    local.emplace();
+    return *local;
+}
+
 template <bool Instr>
 void
 runThreadedBackend(const LutGemmKernel &kernel,
                    const LutGemmConfig &config, std::size_t m,
-                   MatrixD &y, LutGemmCounters &cnt)
+                   MatrixD &y, LutGemmCounters &cnt,
+                   ExecutionContext *ctx)
 {
-    // The pool is per-call on purpose: wait() and the captured first
-    // exception are pool-global, so sharing a static pool between
-    // concurrent lutGemm callers would entangle their completion and
-    // error states. Spawn cost is microseconds against the row work a
-    // threaded call is worth dispatching in the first place. Workers
-    // beyond one per block would only idle, so clamp.
-    ThreadPool pool(resolveWorkers(config, m));
+    std::optional<ThreadPool> localPool;
+    ThreadPool &pool = acquirePool(ctx, config, m, localPool);
     std::mutex counterMutex;
     pool.parallelForBlocked(
         m, static_cast<std::size_t>(config.blockRows),
@@ -655,13 +699,17 @@ template <bool Instr>
 void
 runPackedBackend(const LutGemmKernel &kernel, const PackedLutKeys &pk,
                  const LutGemmConfig &config, std::size_t m,
-                 std::size_t batch, MatrixD &y, LutGemmCounters &cnt)
+                 std::size_t batch, MatrixD &y, LutGemmCounters &cnt,
+                 ExecutionContext *ctx)
 {
-    ThreadPool pool(resolveWorkers(config, m));
+    std::optional<ThreadPool> localPool;
+    ThreadPool &pool = acquirePool(ctx, config, m, localPool);
     std::mutex counterMutex;
-    FpColumnTables fpTables;
-    IntColumnTables intTables;
-    Scratch buildScratch;
+    std::optional<CallWorkspace> localWs;
+    CallWorkspace &ws = acquireWorkspace(ctx, localWs);
+    FpColumnTables &fpTables = ws.fp;
+    IntColumnTables &intTables = ws.ig;
+    Scratch &buildScratch = ws.scratch;
     for (std::size_t b = 0; b < batch; ++b) {
         // Build this column's LUT arenas exactly once, on the
         // submitting thread — every row tile then only reads them.
@@ -737,7 +785,7 @@ addClosedFormCounters(const BcqTensor &w, const LutGemmConfig &config,
 MatrixD
 lutGemmImpl(const BcqTensor &weights, const MatrixD &x,
             const LutGemmConfig &config, const PackedLutKeys *prepacked,
-            LutGemmCounters *counters)
+            LutGemmCounters *counters, ExecutionContext *ctx)
 {
     if (config.mu < 1 || config.mu > kMaxMu)
         fatal("LUT-GEMM mu must be in [1, ", kMaxMu, "], got ", config.mu);
@@ -797,7 +845,8 @@ lutGemmImpl(const BcqTensor &weights, const MatrixD &x,
 
     switch (config.backend) {
       case LutGemmBackend::Reference: {
-          Scratch s;
+          std::optional<CallWorkspace> localWs;
+          Scratch &s = acquireWorkspace(ctx, localWs).scratch;
           if (config.instrument) {
               kernel.processRows<true>(BlockRange{0, m}, y, cnt, s);
           } else {
@@ -808,9 +857,9 @@ lutGemmImpl(const BcqTensor &weights, const MatrixD &x,
       }
       case LutGemmBackend::Threaded: {
           if (config.instrument)
-              runThreadedBackend<true>(kernel, config, m, y, cnt);
+              runThreadedBackend<true>(kernel, config, m, y, cnt, ctx);
           else
-              runThreadedBackend<false>(kernel, config, m, y, cnt);
+              runThreadedBackend<false>(kernel, config, m, y, cnt, ctx);
           break;
       }
       case LutGemmBackend::Packed: {
@@ -822,10 +871,10 @@ lutGemmImpl(const BcqTensor &weights, const MatrixD &x,
           }
           if (config.instrument)
               runPackedBackend<true>(kernel, *pk, config, m, batch, y,
-                                     cnt);
+                                     cnt, ctx);
           else
               runPackedBackend<false>(kernel, *pk, config, m, batch, y,
-                                      cnt);
+                                      cnt, ctx);
           break;
       }
     }
@@ -839,17 +888,18 @@ lutGemmImpl(const BcqTensor &weights, const MatrixD &x,
 
 MatrixD
 lutGemm(const BcqTensor &weights, const MatrixD &x,
-        const LutGemmConfig &config, LutGemmCounters *counters)
+        const LutGemmConfig &config, LutGemmCounters *counters,
+        ExecutionContext *ctx)
 {
-    return lutGemmImpl(weights, x, config, nullptr, counters);
+    return lutGemmImpl(weights, x, config, nullptr, counters, ctx);
 }
 
 MatrixD
 lutGemm(const BcqTensor &weights, const MatrixD &x,
         const LutGemmConfig &config, const PackedLutKeys &packed,
-        LutGemmCounters *counters)
+        LutGemmCounters *counters, ExecutionContext *ctx)
 {
-    return lutGemmImpl(weights, x, config, &packed, counters);
+    return lutGemmImpl(weights, x, config, &packed, counters, ctx);
 }
 
 } // namespace figlut

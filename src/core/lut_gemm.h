@@ -34,6 +34,8 @@
 
 namespace figlut {
 
+class ExecutionContext;
+
 /**
  * Execution backend of the functional kernel.
  *
@@ -116,22 +118,32 @@ struct LutGemmCounters
  * @param x        activations, N x B (column b is one input vector)
  * @param config   kernel configuration
  * @param counters optional op counters (accumulated, not reset)
+ * @param ctx      optional long-lived execution resources
+ *                 (core/execution_context.h). With a context, the
+ *                 blocked backends run on its persistent ThreadPool
+ *                 and reuse its scratch/arena workspace across calls;
+ *                 without one, pool and scratch are constructed per
+ *                 call. Outputs are identical either way. A context
+ *                 must not be shared by concurrent callers.
  * @return         output matrix, M x B (doubles holding format values)
  */
 MatrixD lutGemm(const BcqTensor &weights, const MatrixD &x,
                 const LutGemmConfig &config,
-                LutGemmCounters *counters = nullptr);
+                LutGemmCounters *counters = nullptr,
+                ExecutionContext *ctx = nullptr);
 
 /**
  * Run the LUT-GEMM kernel with pre-packed weight keys (Packed backend
  * only). packed must come from packLutKeys(weights, config.mu); the
  * pre-packing is validated against the tensor's shape. Use this for
  * repeated-inference scenarios: keys depend only on the weights, so
- * packing once amortizes the layout pass across every call.
+ * packing once amortizes the layout pass across every call (pair it
+ * with an ExecutionContext to also amortize workers and arenas).
  */
 MatrixD lutGemm(const BcqTensor &weights, const MatrixD &x,
                 const LutGemmConfig &config, const PackedLutKeys &packed,
-                LutGemmCounters *counters = nullptr);
+                LutGemmCounters *counters = nullptr,
+                ExecutionContext *ctx = nullptr);
 
 } // namespace figlut
 

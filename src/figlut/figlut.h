@@ -6,10 +6,13 @@
  *   common   - containers, RNG, logging, output formatting
  *   numerics - bit-exact FP16/BF16, pre-alignment
  *   quant    - RTN, BCQ, uniform->BCQ, packing, mixed precision
- *   core     - LUT/hFFLUT/generator/RAC, LUT-GEMM, engine numerics
+ *   core     - LUT/hFFLUT/generator/RAC, LUT-GEMM, engine numerics,
+ *              thread pool + execution context
  *   arch     - 28nm technology, LUT power, memory, area/energy models
  *   sim      - tile timing, detailed systolic sim, engine simulator
  *   model    - OPT workloads, synthetic data, perplexity proxy
+ *   runtime  - quantized models, inference sessions (numeric decode
+ *              steps + the matching analytic workload)
  */
 
 #ifndef FIGLUT_FIGLUT_H
@@ -35,11 +38,13 @@
 #include "quant/uniform_to_bcq.h"
 
 #include "core/engine_numerics.h"
+#include "core/execution_context.h"
 #include "core/half_lut.h"
 #include "core/lut.h"
 #include "core/lut_gemm.h"
 #include "core/lut_generator.h"
 #include "core/lut_key.h"
+#include "core/parallel.h"
 
 #include "arch/area_model.h"
 #include "arch/bank_conflict.h"
@@ -62,5 +67,9 @@
 #include "model/ppl.h"
 #include "model/synthetic.h"
 #include "model/workload.h"
+
+#include "runtime/quantized_model.h"
+#include "runtime/reference_ops.h"
+#include "runtime/session.h"
 
 #endif // FIGLUT_FIGLUT_H

@@ -38,7 +38,8 @@ optByName(const std::string &name)
 }
 
 std::vector<GemmShape>
-layerGemms(const OptConfig &model, std::size_t batch, int weight_bits)
+layerGemms(const OptConfig &model, std::size_t batch, int weight_bits,
+           std::size_t group_size, bool has_offset)
 {
     if (batch == 0)
         fatal("batch must be positive");
@@ -48,8 +49,8 @@ layerGemms(const OptConfig &model, std::size_t batch, int weight_bits)
         s.n = n;
         s.batch = batch;
         s.weightBits = weight_bits;
-        s.groupSize = 0; // per-row scales
-        s.hasOffset = true;
+        s.groupSize = group_size; // 0 = per-row scales
+        s.hasOffset = has_offset;
         return s;
     };
     return {

@@ -40,9 +40,14 @@ const OptConfig &optByName(const std::string &name);
 /**
  * The four weight-GEMM shapes of one decoder layer for a given batch
  * and weight precision, in execution order: QKV, attn-out, FC1, FC2.
+ * group_size/has_offset describe the scale-group geometry of the
+ * quantized weights (defaults: per-row scales with an offset term, the
+ * paper's evaluation point).
  */
 std::vector<GemmShape> layerGemms(const OptConfig &model,
-                                  std::size_t batch, int weight_bits);
+                                  std::size_t batch, int weight_bits,
+                                  std::size_t group_size = 0,
+                                  bool has_offset = true);
 
 /** All weight GEMMs of a full decode step (layers x 4). */
 std::vector<GemmShape> decodeStepGemms(const OptConfig &model,

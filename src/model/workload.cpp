@@ -4,24 +4,27 @@
 
 namespace figlut {
 
-std::vector<KernelTask>
-layerWorkload(const OptConfig &model, const WorkloadOptions &options)
+std::vector<LayerStepSpec>
+layerSpecs(const OptConfig &model, const WorkloadOptions &options)
 {
     const auto gemms = layerGemms(model, options.batch,
-                                  options.weightBits);
+                                  options.weightBits, options.groupSize,
+                                  options.hasOffset);
     const std::size_t b = options.batch;
     const std::size_t h = model.hidden;
     const std::size_t f = model.ffn;
     const std::size_t ctx = options.contextLen;
 
-    std::vector<KernelTask> tasks;
-    auto vec = [&](const char *name, VpuOpCounts ops) {
-        if (options.includeVector)
-            tasks.push_back(KernelTask::makeVector(name, ops));
+    std::vector<LayerStepSpec> steps;
+    auto vec = [&](LayerOp op, const char *name, VpuOpCounts ops) {
+        steps.push_back({op, KernelTask::makeVector(name, ops)});
+    };
+    auto gemm = [&](LayerOp op, const char *name, std::size_t idx) {
+        steps.push_back({op, KernelTask::makeGemm(name, gemms[idx])});
     };
 
-    vec("ln1", layerNormOps(b, h));
-    tasks.push_back(KernelTask::makeGemm("qkv", gemms[0]));
+    vec(LayerOp::LayerNorm1, "ln1", layerNormOps(b, h));
+    gemm(LayerOp::QkvProj, "qkv", 0);
     // Decode-phase attention: per batch row, scores over the KV cache
     // (h dot products of length ctx are act-act work on the VPU here).
     {
@@ -31,15 +34,27 @@ layerWorkload(const OptConfig &model, const WorkloadOptions &options)
         attn.merge(softmaxOps(b * model.heads, ctx));
         attn.adds += static_cast<double>(b) * ctx * h; // AV
         attn.muls += static_cast<double>(b) * ctx * h;
-        vec("attention", attn);
+        vec(LayerOp::Attention, "attention", attn);
     }
-    tasks.push_back(KernelTask::makeGemm("attn_out", gemms[1]));
-    vec("residual1", residualOps(b * h));
-    vec("ln2", layerNormOps(b, h));
-    tasks.push_back(KernelTask::makeGemm("fc1", gemms[2]));
-    vec("gelu", geluOps(b * f));
-    tasks.push_back(KernelTask::makeGemm("fc2", gemms[3]));
-    vec("residual2", residualOps(b * h));
+    gemm(LayerOp::OutProj, "attn_out", 1);
+    vec(LayerOp::Residual1, "residual1", residualOps(b * h));
+    vec(LayerOp::LayerNorm2, "ln2", layerNormOps(b, h));
+    gemm(LayerOp::Fc1, "fc1", 2);
+    vec(LayerOp::Gelu, "gelu", geluOps(b * f));
+    gemm(LayerOp::Fc2, "fc2", 3);
+    vec(LayerOp::Residual2, "residual2", residualOps(b * h));
+    return steps;
+}
+
+std::vector<KernelTask>
+layerWorkload(const OptConfig &model, const WorkloadOptions &options)
+{
+    std::vector<KernelTask> tasks;
+    for (const auto &step : layerSpecs(model, options)) {
+        if (!step.isGemm() && !options.includeVector)
+            continue;
+        tasks.push_back(step.task);
+    }
     return tasks;
 }
 

@@ -2,8 +2,16 @@
  * @file
  * Full decode-step workloads: GEMM kernels plus the VPU kernels
  * (layer norms, attention softmax, GELU, residuals) that a transformer
- * decoder layer executes around them. Used by the system-level benches
- * (Table V, Fig. 15) through sim/Accelerator.
+ * decoder layer executes around them.
+ *
+ * The layer is described once, as a sequence of LayerStepSpec — each
+ * step carrying its semantic operation (what to compute) together with
+ * its analytic KernelTask (shape/op-count view). Two backends consume
+ * the same description: runtime/Session executes the steps numerically
+ * with the functional kernels, and sim/Accelerator scores the mapped
+ * KernelTask sequence for timing/energy (Table V, Fig. 15) — one
+ * description, two backends, so the scored workload is exactly the
+ * executed one.
  */
 
 #ifndef FIGLUT_MODEL_WORKLOAD_H
@@ -25,7 +33,53 @@ struct WorkloadOptions
     std::size_t contextLen = 512;
     /** Include non-GEMM (VPU) kernels. */
     bool includeVector = true;
+    /** Scale-group geometry of the quantized weights (0 = per-row). */
+    std::size_t groupSize = 0;
+    /** BCQ offset / uniform zero-point term present. */
+    bool hasOffset = true;
 };
+
+/**
+ * Semantic operation of one decoder-layer step, in execution order.
+ * GEMM steps name the weight matrix they consume; vector steps name
+ * the reference op the numeric backend runs.
+ */
+enum class LayerOp
+{
+    LayerNorm1, ///< pre-attention layer norm (vector)
+    QkvProj,    ///< QKV projection GEMM, 3h x h
+    Attention,  ///< KV-cache attention + softmax (vector)
+    OutProj,    ///< attention output projection GEMM, h x h
+    Residual1,  ///< attention residual add (vector)
+    LayerNorm2, ///< pre-FFN layer norm (vector)
+    Fc1,        ///< FFN up projection GEMM, f x h
+    Gelu,       ///< GELU activation (vector)
+    Fc2,        ///< FFN down projection GEMM, h x f
+    Residual2,  ///< FFN residual add (vector)
+};
+
+/**
+ * One step of a decoder layer: the semantic op plus its analytic
+ * KernelTask. task.gemm carries the full quantized-GEMM description
+ * (shape, weight bits, scale-group geometry, offset term) for GEMM
+ * steps; task.vector carries the VPU op counts for vector steps.
+ */
+struct LayerStepSpec
+{
+    LayerOp op = LayerOp::LayerNorm1;
+    KernelTask task;
+
+    bool isGemm() const { return task.kind == KernelTask::Kind::Gemm; }
+};
+
+/**
+ * The full step sequence of one decoder layer. Vector steps are always
+ * present here (the numeric backend needs them to chain the GEMM
+ * shapes); WorkloadOptions::includeVector only controls whether the
+ * KernelTask mappings below keep them.
+ */
+std::vector<LayerStepSpec> layerSpecs(const OptConfig &model,
+                                      const WorkloadOptions &options);
 
 /** Kernel sequence for one decoder layer. */
 std::vector<KernelTask> layerWorkload(const OptConfig &model,

@@ -1,0 +1,127 @@
+#include "runtime/quantized_model.h"
+
+#include "common/logging.h"
+#include "model/synthetic.h"
+
+namespace figlut {
+
+const BcqTensor &
+QuantizedLayer::weights(LayerOp op) const
+{
+    switch (op) {
+      case LayerOp::QkvProj: return qkv;
+      case LayerOp::OutProj: return attnOut;
+      case LayerOp::Fc1: return fc1;
+      case LayerOp::Fc2: return fc2;
+      default:
+        fatal("LayerOp ", static_cast<int>(op),
+              " is not a GEMM step and has no weight operand");
+    }
+}
+
+const PackedLutKeys &
+QuantizedLayer::keys(LayerOp op) const
+{
+    switch (op) {
+      case LayerOp::QkvProj: return qkvKeys;
+      case LayerOp::OutProj: return attnOutKeys;
+      case LayerOp::Fc1: return fc1Keys;
+      case LayerOp::Fc2: return fc2Keys;
+      default:
+        fatal("LayerOp ", static_cast<int>(op),
+              " is not a GEMM step and has no packed keys");
+    }
+}
+
+namespace {
+
+/**
+ * Quantize one synthetic weight matrix and pack its LUT keys. The RNG
+ * stream is derived from (seed, layer, operand index) so every operand
+ * is deterministic independently of build order; the golden-ratio mix
+ * keeps operand streams disjoint from Rng(seed) streams callers use
+ * for inputs (a plain seed + offset would collide with them).
+ */
+void
+buildOperand(std::size_t m, std::size_t n, std::size_t layer,
+             std::size_t operand, const QuantizedModelOptions &opts,
+             BcqTensor &tensor, PackedLutKeys &keys)
+{
+    Rng rng(opts.seed ^
+            (0x9E3779B97F4A7C15ULL * (layer * 4 + operand + 1)));
+    const MatrixD w = syntheticWeights(m, n, rng);
+    BcqConfig qcfg;
+    qcfg.bits = opts.weightBits;
+    qcfg.groupSize = opts.groupSize;
+    qcfg.useOffset = opts.useOffset;
+    qcfg.iterations = opts.bcqIterations;
+    tensor = quantizeBcq(w, qcfg);
+    if (opts.packKeys)
+        keys = packLutKeys(tensor, opts.mu);
+}
+
+} // namespace
+
+QuantizedModel::QuantizedModel(const OptConfig &model,
+                               const QuantizedModelOptions &options)
+    : config_(model), options_(options)
+{
+    if (model.hidden == 0 || model.layers == 0 || model.ffn == 0)
+        fatal("QuantizedModel needs a non-empty OptConfig, got hidden=",
+              model.hidden, " layers=", model.layers, " ffn=", model.ffn);
+    if (model.heads == 0 || model.hidden % model.heads != 0)
+        fatal("QuantizedModel needs hidden divisible by heads, got ",
+              model.hidden, " / ", model.heads);
+    if (options.weightBits < 1)
+        fatal("QuantizedModel weightBits must be >= 1, got ",
+              options.weightBits);
+    if (options.maxLayers > 0 && options.maxLayers < config_.layers)
+        config_.layers = options.maxLayers;
+
+    const std::size_t h = config_.hidden;
+    const std::size_t f = config_.ffn;
+    layers_.resize(config_.layers);
+    for (std::size_t l = 0; l < config_.layers; ++l) {
+        QuantizedLayer &lay = layers_[l];
+        buildOperand(3 * h, h, l, 0, options_, lay.qkv, lay.qkvKeys);
+        buildOperand(h, h, l, 1, options_, lay.attnOut, lay.attnOutKeys);
+        buildOperand(f, h, l, 2, options_, lay.fc1, lay.fc1Keys);
+        buildOperand(h, f, l, 3, options_, lay.fc2, lay.fc2Keys);
+    }
+}
+
+const QuantizedLayer &
+QuantizedModel::layer(std::size_t l) const
+{
+    if (l >= layers_.size())
+        fatal("layer index ", l, " out of ", layers_.size());
+    return layers_[l];
+}
+
+std::size_t
+QuantizedModel::storageBytes() const
+{
+    std::size_t bits = 0;
+    for (const auto &lay : layers_) {
+        bits += lay.qkv.storageBits();
+        bits += lay.attnOut.storageBits();
+        bits += lay.fc1.storageBits();
+        bits += lay.fc2.storageBits();
+    }
+    return bits / 8;
+}
+
+std::size_t
+QuantizedModel::packedKeyBytes() const
+{
+    std::size_t bytes = 0;
+    for (const auto &lay : layers_) {
+        bytes += lay.qkvKeys.keyBytes();
+        bytes += lay.attnOutKeys.keyBytes();
+        bytes += lay.fc1Keys.keyBytes();
+        bytes += lay.fc2Keys.keyBytes();
+    }
+    return bytes;
+}
+
+} // namespace figlut

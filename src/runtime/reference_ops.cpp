@@ -1,0 +1,126 @@
+#include "runtime/reference_ops.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+MatrixD
+referenceLayerNorm(const MatrixD &x, double eps)
+{
+    const std::size_t h = x.rows();
+    const std::size_t batch = x.cols();
+    if (h == 0)
+        fatal("layer norm needs a non-empty input");
+    MatrixD out(h, batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        double mean = 0.0;
+        for (std::size_t r = 0; r < h; ++r)
+            mean += x(r, b);
+        mean /= static_cast<double>(h);
+        double var = 0.0;
+        for (std::size_t r = 0; r < h; ++r) {
+            const double d = x(r, b) - mean;
+            var += d * d;
+        }
+        var /= static_cast<double>(h);
+        const double inv = 1.0 / std::sqrt(var + eps);
+        for (std::size_t r = 0; r < h; ++r)
+            out(r, b) = (x(r, b) - mean) * inv;
+    }
+    return out;
+}
+
+void
+referenceSoftmaxInPlace(double *v, std::size_t n)
+{
+    if (n == 0)
+        return;
+    double mx = v[0];
+    for (std::size_t i = 1; i < n; ++i)
+        mx = std::max(mx, v[i]);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        v[i] = std::exp(v[i] - mx);
+        sum += v[i];
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] /= sum;
+}
+
+MatrixD
+referenceGelu(const MatrixD &x)
+{
+    // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi) (x + c x^3))).
+    constexpr double kSqrt2OverPi = 0.7978845608028654;
+    constexpr double kCubicCoeff = 0.044715;
+    MatrixD out(x.rows(), x.cols());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double v = x.at(i);
+        out.at(i) =
+            0.5 * v *
+            (1.0 + std::tanh(kSqrt2OverPi * (v + kCubicCoeff * v * v * v)));
+    }
+    return out;
+}
+
+MatrixD
+referenceResidualAdd(const MatrixD &a, const MatrixD &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        fatal("residual add shape mismatch: ", a.rows(), "x", a.cols(),
+              " vs ", b.rows(), "x", b.cols());
+    MatrixD out(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out.at(i) = a.at(i) + b.at(i);
+    return out;
+}
+
+MatrixD
+referenceDecodeAttention(const MatrixD &q,
+                         const std::vector<MatrixD> &kSteps,
+                         const std::vector<MatrixD> &vSteps,
+                         std::size_t heads)
+{
+    const std::size_t h = q.rows();
+    const std::size_t batch = q.cols();
+    const std::size_t steps = kSteps.size();
+    if (heads == 0 || h % heads != 0)
+        fatal("attention needs hidden divisible by heads, got ", h,
+              " / ", heads);
+    if (vSteps.size() != steps)
+        fatal("attention K/V cache length mismatch: ", steps, " vs ",
+              vSteps.size());
+    if (steps == 0)
+        fatal("attention needs at least one cached KV step");
+    for (std::size_t t = 0; t < steps; ++t)
+        if (kSteps[t].rows() != h || kSteps[t].cols() != batch ||
+            vSteps[t].rows() != h || vSteps[t].cols() != batch)
+            fatal("attention cache step ", t, " shape mismatch");
+
+    const std::size_t headDim = h / heads;
+    const double scale = 1.0 / std::sqrt(static_cast<double>(headDim));
+    MatrixD out(h, batch, 0.0);
+    std::vector<double> scores(steps);
+    for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t hd = 0; hd < heads; ++hd) {
+            const std::size_t r0 = hd * headDim;
+            for (std::size_t t = 0; t < steps; ++t) {
+                double dot = 0.0;
+                for (std::size_t d = 0; d < headDim; ++d)
+                    dot += q(r0 + d, b) * kSteps[t](r0 + d, b);
+                scores[t] = dot * scale;
+            }
+            referenceSoftmaxInPlace(scores.data(), steps);
+            for (std::size_t t = 0; t < steps; ++t) {
+                const double p = scores[t];
+                for (std::size_t d = 0; d < headDim; ++d)
+                    out(r0 + d, b) += p * vSteps[t](r0 + d, b);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace figlut

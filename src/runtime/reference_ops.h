@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reference (plain double) vector kernels of the numeric decode path.
+ *
+ * These are the non-GEMM operations a decoder layer executes around
+ * the weight GEMMs: layer norm, KV-cache attention, GELU, residual
+ * adds. The accelerator prices them as VPU op counts (sim/vpu.h); the
+ * runtime Session executes them with these functions. They are
+ * deliberately straightforward double-precision loops — deterministic
+ * and exactly reproducible — so a hand-rolled per-layer reference can
+ * be compared bit-for-bit against Session output (the differential
+ * suite in tests/runtime/test_session.cpp does exactly that).
+ */
+
+#ifndef FIGLUT_RUNTIME_REFERENCE_OPS_H
+#define FIGLUT_RUNTIME_REFERENCE_OPS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace figlut {
+
+/**
+ * LayerNorm over each column of x (one column = one token's hidden
+ * state), unit gain and zero bias: (v - mean) / sqrt(var + eps) with
+ * the population variance.
+ */
+MatrixD referenceLayerNorm(const MatrixD &x, double eps = 1e-5);
+
+/** Numerically-stable softmax over v[0..n), in place. */
+void referenceSoftmaxInPlace(double *v, std::size_t n);
+
+/** GELU (tanh approximation, matching the VPU costing) elementwise. */
+MatrixD referenceGelu(const MatrixD &x);
+
+/** Elementwise a + b; shapes must match. */
+MatrixD referenceResidualAdd(const MatrixD &a, const MatrixD &b);
+
+/**
+ * Decode-phase multi-head attention over per-step KV snapshots.
+ *
+ * q is h x B (one query column per sequence in the batch); kSteps and
+ * vSteps hold one h x B matrix per cached decode step, oldest first.
+ * For every batch column and head, scores over the T cached steps are
+ * scaled dot products (1/sqrt(headDim)), softmaxed, and used to blend
+ * the cached V columns. Returns h x B.
+ */
+MatrixD referenceDecodeAttention(const MatrixD &q,
+                                 const std::vector<MatrixD> &kSteps,
+                                 const std::vector<MatrixD> &vSteps,
+                                 std::size_t heads);
+
+} // namespace figlut
+
+#endif // FIGLUT_RUNTIME_REFERENCE_OPS_H

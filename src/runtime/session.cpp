@@ -1,0 +1,192 @@
+#include "runtime/session.h"
+
+#include "common/logging.h"
+#include "model/synthetic.h"
+#include "runtime/reference_ops.h"
+
+namespace figlut {
+
+namespace {
+
+/** Only the Packed backend consumes pre-packed keys; skip the
+ *  materialization (roughly q bytes per weight) for the others. */
+QuantizedModelOptions
+quantOptionsFor(const SessionOptions &options)
+{
+    QuantizedModelOptions quant = options.quant;
+    quant.packKeys = options.backend == LutGemmBackend::Packed;
+    return quant;
+}
+
+} // namespace
+
+Session::Session(const OptConfig &model, const SessionOptions &options)
+    : model_(model, quantOptionsFor(options)), options_(options),
+      ctx_(options.threads)
+{
+    if (options_.batch == 0)
+        fatal("Session batch must be positive");
+    kCache_.resize(model_.layers());
+    vCache_.resize(model_.layers());
+    // The spec sequence is construction-invariant; build it once and
+    // iterate the cached member every decode step.
+    specs_ = layerSpecs(model_.config(), workloadOptions());
+}
+
+MatrixD
+Session::makeInput(Rng &rng) const
+{
+    return syntheticActivations(model_.config().hidden, options_.batch,
+                                rng);
+}
+
+LutGemmConfig
+Session::gemmConfig() const
+{
+    LutGemmConfig cfg;
+    cfg.mu = options_.quant.mu;
+    cfg.actFormat = options_.actFormat;
+    cfg.arith = options_.arith;
+    cfg.preAligned = options_.preAligned;
+    cfg.alignFracBits = options_.alignFracBits;
+    cfg.useHalfLut = options_.useHalfLut;
+    cfg.useGeneratorTree = options_.useGeneratorTree;
+    cfg.backend = options_.backend;
+    cfg.threads = options_.threads;
+    cfg.blockRows = options_.blockRows;
+    return cfg;
+}
+
+MatrixD
+Session::runGemm(const BcqTensor &w, const PackedLutKeys &keys,
+                 const MatrixD &x, LutGemmCounters &counters)
+{
+    const LutGemmConfig cfg = gemmConfig();
+    // The pre-packed overload is Packed-only; the other backends
+    // gather keys from the bit planes themselves.
+    if (cfg.backend == LutGemmBackend::Packed)
+        return lutGemm(w, x, cfg, keys, &counters, &ctx_);
+    return lutGemm(w, x, cfg, &counters, &ctx_);
+}
+
+DecodeStepResult
+Session::runDecodeStep(const MatrixD &hidden_in)
+{
+    const OptConfig &cfg = model_.config();
+    const std::size_t h = cfg.hidden;
+    const std::size_t batch = options_.batch;
+    if (hidden_in.rows() != h || hidden_in.cols() != batch)
+        fatal("decode-step input must be ", h, "x", batch, ", got ",
+              hidden_in.rows(), "x", hidden_in.cols());
+
+    // One description, two backends: specs_ is the same sequence
+    // workloadTasks() maps to KernelTasks for the simulator.
+    DecodeStepResult result;
+    MatrixD x = hidden_in;
+    // Step-local temporaries threaded between consecutive specs.
+    MatrixD ln, qkv, attn, proj, ffn;
+    for (std::size_t l = 0; l < model_.layers(); ++l) {
+        const QuantizedLayer &layer = model_.layer(l);
+        for (const auto &step : specs_) {
+            switch (step.op) {
+              case LayerOp::LayerNorm1:
+                ln = referenceLayerNorm(x);
+                break;
+              case LayerOp::QkvProj:
+                qkv = runGemm(layer.weights(step.op),
+                              layer.keys(step.op), ln, result.counters);
+                ++result.gemmCalls;
+                break;
+              case LayerOp::Attention: {
+                MatrixD q(h, batch), k(h, batch), v(h, batch);
+                for (std::size_t r = 0; r < h; ++r) {
+                    for (std::size_t b = 0; b < batch; ++b) {
+                        q(r, b) = qkv(r, b);
+                        k(r, b) = qkv(h + r, b);
+                        v(r, b) = qkv(2 * h + r, b);
+                    }
+                }
+                kCache_[l].push_back(std::move(k));
+                vCache_[l].push_back(std::move(v));
+                attn = referenceDecodeAttention(q, kCache_[l],
+                                                vCache_[l], cfg.heads);
+                break;
+              }
+              case LayerOp::OutProj:
+                proj = runGemm(layer.weights(step.op),
+                               layer.keys(step.op), attn,
+                               result.counters);
+                ++result.gemmCalls;
+                break;
+              case LayerOp::Residual1:
+                x = referenceResidualAdd(x, proj);
+                break;
+              case LayerOp::LayerNorm2:
+                ln = referenceLayerNorm(x);
+                break;
+              case LayerOp::Fc1:
+                ffn = runGemm(layer.weights(step.op),
+                              layer.keys(step.op), ln, result.counters);
+                ++result.gemmCalls;
+                break;
+              case LayerOp::Gelu:
+                ffn = referenceGelu(ffn);
+                break;
+              case LayerOp::Fc2:
+                proj = runGemm(layer.weights(step.op),
+                               layer.keys(step.op), ffn,
+                               result.counters);
+                ++result.gemmCalls;
+                break;
+              case LayerOp::Residual2:
+                x = referenceResidualAdd(x, proj);
+                break;
+            }
+        }
+    }
+    result.hidden = std::move(x);
+    return result;
+}
+
+WorkloadOptions
+Session::workloadOptions() const
+{
+    WorkloadOptions opts;
+    opts.batch = options_.batch;
+    opts.weightBits = options_.quant.weightBits;
+    opts.contextLen = options_.contextLen;
+    opts.includeVector = options_.includeVector;
+    opts.groupSize = options_.quant.groupSize;
+    opts.hasOffset = options_.quant.useOffset;
+    return opts;
+}
+
+std::vector<KernelTask>
+Session::workloadTasks() const
+{
+    return decodeStepWorkload(model_.config(), workloadOptions());
+}
+
+WorkloadResult
+Session::simulate(const HwConfig &hw) const
+{
+    const Accelerator acc(hw);
+    return acc.runWorkload(workloadTasks());
+}
+
+std::size_t
+Session::kvLength() const
+{
+    return kCache_.empty() ? 0 : kCache_.front().size();
+}
+
+void
+Session::resetKv()
+{
+    for (auto &steps : kCache_)
+        steps.clear();
+    for (auto &steps : vCache_)
+        steps.clear();
+}
+
+} // namespace figlut

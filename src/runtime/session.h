@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Inference session: quantize -> pack -> execute behind one object.
+ *
+ * A Session owns a QuantizedModel (per-layer BCQ planes + packed LUT
+ * keys, built once) and an ExecutionContext (persistent ThreadPool +
+ * kernel workspace), and makes "run an OPT decode step for real" a
+ * three-line program:
+ *
+ *     Session session(optByName("OPT-125M"), opts);
+ *     MatrixD h = session.makeInput(rng);
+ *     h = session.runDecodeStep(h).hidden;
+ *
+ * The decode step is the layer sequence of model/workload.h
+ * (layerSpecs): weight GEMMs run numerically through the LUT-GEMM
+ * kernel (Packed backend by default, pre-packed keys, shared context),
+ * vector steps run as reference ops (runtime/reference_ops.h) over a
+ * per-layer KV cache that grows one entry per step. The *same* spec
+ * sequence maps to the KernelTask list (workloadTasks()) that
+ * sim/Accelerator scores — one description, two backends, so the
+ * timing/energy estimate is for exactly the workload that was
+ * executed.
+ *
+ * A Session is single-client like its ExecutionContext: one session
+ * per serving thread. All stochastic inputs are deterministic in the
+ * configured seeds.
+ */
+
+#ifndef FIGLUT_RUNTIME_SESSION_H
+#define FIGLUT_RUNTIME_SESSION_H
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "core/execution_context.h"
+#include "core/lut_gemm.h"
+#include "model/workload.h"
+#include "runtime/quantized_model.h"
+#include "sim/accelerator.h"
+
+namespace figlut {
+
+/** Full configuration of a Session. */
+struct SessionOptions
+{
+    /** Weight materialization + quantization (see quantized_model.h). */
+    QuantizedModelOptions quant;
+
+    /** Sequences decoded in parallel (one hidden-state column each). */
+    std::size_t batch = 1;
+    /**
+     * KV-cache length charged to the *analytic* attention cost
+     * (workloadTasks()/simulate()). The numeric path attends over the
+     * KV entries actually cached so far (kvLength()).
+     */
+    std::size_t contextLen = 512;
+    /** Keep vector kernels in the emitted KernelTask list. */
+    bool includeVector = true;
+
+    /** Host execution of the GEMM kernels (core/lut_gemm.h knobs). */
+    LutGemmBackend backend = LutGemmBackend::Packed;
+    int threads = 0;    ///< workers, <= 0 = hardware concurrency
+    int blockRows = 64; ///< rows per M-tile work item
+    ActFormat actFormat = ActFormat::FP16;
+    FpArith arith = FpArith::Fp32;
+    bool preAligned = true; ///< FIGLUT-I integer path
+    int alignFracBits = 24;
+    bool useHalfLut = true;
+    bool useGeneratorTree = true;
+};
+
+/** Result of one numeric decode step. */
+struct DecodeStepResult
+{
+    /** Next hidden state, hidden x batch. */
+    MatrixD hidden;
+    /** Kernel op counters accumulated over the step's GEMMs. */
+    LutGemmCounters counters;
+    /** Weight GEMMs executed (4 per layer). */
+    std::size_t gemmCalls = 0;
+};
+
+/** A live inference session over one quantized model. */
+class Session
+{
+  public:
+    /**
+     * Build the session: materialize + quantize + pack every layer's
+     * weights (the one-time cost), spawn no threads yet (the pool is
+     * lazy in the first blocked GEMM call).
+     */
+    Session(const OptConfig &model, const SessionOptions &options);
+
+    const QuantizedModel &model() const { return model_; }
+    const SessionOptions &options() const { return options_; }
+    ExecutionContext &context() { return ctx_; }
+
+    /** Synthetic hidden-state input, hidden x batch (model/synthetic.h). */
+    MatrixD makeInput(Rng &rng) const;
+
+    /**
+     * Execute one full decode step numerically: every layer's GEMMs
+     * through the LUT-GEMM kernel and its vector steps as reference
+     * ops. hidden_in must be hidden x batch. Appends one KV entry per
+     * layer (kvLength() grows by 1).
+     */
+    DecodeStepResult runDecodeStep(const MatrixD &hidden_in);
+
+    /** The WorkloadOptions describing this session's decode step. */
+    WorkloadOptions workloadOptions() const;
+
+    /**
+     * The executed layer graph as KernelTasks — element-for-element
+     * equal to decodeStepWorkload(model().config(), workloadOptions()).
+     */
+    std::vector<KernelTask> workloadTasks() const;
+
+    /** Score the emitted graph on a simulated accelerator. */
+    WorkloadResult simulate(const HwConfig &hw) const;
+
+    /** Decode steps currently held in the KV cache. */
+    std::size_t kvLength() const;
+
+    /** Drop the KV cache (start a fresh sequence; weights persist). */
+    void resetKv();
+
+  private:
+    LutGemmConfig gemmConfig() const;
+    MatrixD runGemm(const BcqTensor &w, const PackedLutKeys &keys,
+                    const MatrixD &x, LutGemmCounters &counters);
+
+    QuantizedModel model_;
+    SessionOptions options_;
+    ExecutionContext ctx_;
+    /** Cached layer description (construction-invariant). */
+    std::vector<LayerStepSpec> specs_;
+    /** Per-layer KV snapshots, one hidden x batch matrix per step. */
+    std::vector<std::vector<MatrixD>> kCache_;
+    std::vector<std::vector<MatrixD>> vCache_;
+};
+
+} // namespace figlut
+
+#endif // FIGLUT_RUNTIME_SESSION_H
