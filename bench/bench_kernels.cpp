@@ -283,6 +283,70 @@ BENCHMARK(BM_DecodeStepSession)
     ->Unit(benchmark::kMillisecond);
 
 /**
+ * Fused serving step through serve::Engine: `live` concurrent
+ * unbounded requests decode one token each per step, so every layer
+ * GEMM runs once over the whole live batch (shared packed keys, one
+ * ExecutionContext). KV caches are reset each iteration so every
+ * measurement is a first decode step, like BM_DecodeStepSession.
+ *
+ * "tokens_per_s" is the fused throughput (live tokens per step); the
+ * continuous-batching win is BM_EngineStep/N tokens_per_s against
+ * BM_EngineStep/1 — N single-request steps run the same kernels N
+ * times, so the fused rate must beat the N-sequential rate whenever
+ * the fused step costs less than N single steps. "live_requests" tags
+ * each --json record with N so the BENCH trajectory can plot
+ * throughput vs concurrency.
+ */
+void
+BM_EngineStep(benchmark::State &state)
+{
+    const auto live = static_cast<std::size_t>(state.range(0));
+    OptConfig model;
+    model.name = "OPT-bench";
+    model.hidden = 256;
+    model.layers = 2;
+    model.heads = 4;
+    model.ffn = 1024;
+    serve::EngineOptions opts;
+    opts.maxBatch = live;
+    opts.model.weightBits = 4;
+    opts.model.bcqIterations = 1;
+    auto created = serve::Engine::create(model, opts);
+    auto &engine = *created.value();
+
+    std::vector<serve::RequestId> ids;
+    for (std::size_t i = 0; i < live; ++i) {
+        serve::RequestOptions req;
+        req.maxTokens = 0; // unbounded: the bench drives the lifetime
+        req.seed = 1000 + i;
+        ids.push_back(engine.submit(req).value());
+    }
+    LutGemmCounters perStep;
+    for (auto _ : state) {
+        for (const auto id : ids)
+            (void)engine.resetKv(id);
+        auto stats = engine.step();
+        benchmark::DoNotOptimize(stats.value().counters.lutReads);
+        perStep = stats.value().counters;
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * live));
+    state.counters["tokens_per_s"] = benchmark::Counter(
+        static_cast<double>(live) *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+    state.counters["live_requests"] =
+        benchmark::Counter(static_cast<double>(live));
+    setLutReadRate(state, perStep);
+}
+BENCHMARK(BM_EngineStep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
  * Small-shape packed smoke: one fast configuration for CI's Release
  * bench step (--json artifact), so the perf harness cannot rot.
  */
@@ -405,6 +469,9 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter
             const auto tok = run.counters.find("tokens_per_s");
             if (tok != run.counters.end())
                 rec.tokensPerS = tok->second.value;
+            const auto liveIt = run.counters.find("live_requests");
+            if (liveIt != run.counters.end())
+                rec.liveRequests = liveIt->second.value;
             records_.push_back(std::move(rec));
         }
         ConsoleReporter::ReportRuns(runs);

@@ -47,6 +47,7 @@ struct JsonBenchRecord
     double nsPerIter = 0.0;    ///< wall-clock nanoseconds per iteration
     double lutReadsPerS = 0.0; ///< RAC table reads per second (0 = n/a)
     double tokensPerS = 0.0;   ///< decoded tokens per second (0 = n/a)
+    double liveRequests = 0.0; ///< serve-engine live batch (0 = n/a)
 };
 
 /** Minimal JSON string escaping (quotes, backslashes, control chars). */
@@ -75,8 +76,8 @@ jsonEscape(const std::string &s)
 }
 
 /**
- * Write benchmark records as a JSON array of
- * {name, ns_per_iter, lut_reads_per_s, tokens_per_s} objects to path.
+ * Write benchmark records as a JSON array of {name, ns_per_iter,
+ * lut_reads_per_s, tokens_per_s, live_requests} objects to path.
  */
 inline void
 writeBenchJson(const std::string &path,
@@ -91,7 +92,8 @@ writeBenchJson(const std::string &path,
         out << "  {\"name\": \"" << jsonEscape(r.name)
             << "\", \"ns_per_iter\": " << r.nsPerIter
             << ", \"lut_reads_per_s\": " << r.lutReadsPerS
-            << ", \"tokens_per_s\": " << r.tokensPerS << "}"
+            << ", \"tokens_per_s\": " << r.tokensPerS
+            << ", \"live_requests\": " << r.liveRequests << "}"
             << (i + 1 < records.size() ? "," : "") << "\n";
     }
     out << "]\n";

@@ -787,20 +787,11 @@ lutGemmImpl(const BcqTensor &weights, const MatrixD &x,
             const LutGemmConfig &config, const PackedLutKeys *prepacked,
             LutGemmCounters *counters, ExecutionContext *ctx)
 {
-    if (config.mu < 1 || config.mu > kMaxMu)
-        fatal("LUT-GEMM mu must be in [1, ", kMaxMu, "], got ", config.mu);
+    if (const Status s = validateLutGemmConfig(config); !s.ok())
+        fatal(s.message());
     if (x.rows() != weights.cols)
         fatal("LUT-GEMM shape mismatch: weights are ", weights.rows, "x",
               weights.cols, " but activations have ", x.rows(), " rows");
-    if (config.useHalfLut && config.mu < 2)
-        fatal("hFFLUT requires mu >= 2 (mu=1 tables have no half)");
-    if (config.backend != LutGemmBackend::Reference &&
-        config.blockRows < 1)
-        fatal("LUT-GEMM blocked backends need blockRows >= 1, got ",
-              config.blockRows);
-    if (config.threads > kMaxLutGemmThreads)
-        fatal("LUT-GEMM threads must be <= ", kMaxLutGemmThreads,
-              ", got ", config.threads);
     if (prepacked) {
         if (config.backend != LutGemmBackend::Packed)
             fatal("pre-packed LUT keys require the Packed backend");
@@ -885,6 +876,29 @@ lutGemmImpl(const BcqTensor &weights, const MatrixD &x,
 }
 
 } // namespace
+
+Status
+validateLutGemmConfig(const LutGemmConfig &config)
+{
+    if (config.mu < 1 || config.mu > kMaxMu)
+        return Status::invalidArgument("LUT-GEMM mu must be in [1, ",
+                                       kMaxMu, "], got ", config.mu);
+    if (config.useHalfLut && config.mu < 2)
+        return Status::invalidArgument(
+            "hFFLUT requires mu >= 2 (mu=1 tables have no half); ",
+            "raise mu or set useHalfLut = false");
+    if (config.backend != LutGemmBackend::Reference &&
+        config.blockRows < 1)
+        return Status::invalidArgument(
+            "LUT-GEMM blocked backends need blockRows >= 1, got ",
+            config.blockRows);
+    if (config.threads > kMaxLutGemmThreads)
+        return Status::invalidArgument(
+            "LUT-GEMM threads must be <= ", kMaxLutGemmThreads,
+            ", got ", config.threads, " (<= 0 selects the hardware ",
+            "concurrency)");
+    return Status::okStatus();
+}
 
 MatrixD
 lutGemm(const BcqTensor &weights, const MatrixD &x,

@@ -27,6 +27,7 @@
 #include <cstdint>
 
 #include "common/matrix.h"
+#include "common/status.h"
 #include "core/lut_generator.h"
 #include "numerics/prealign.h"
 #include "quant/bcq.h"
@@ -86,6 +87,16 @@ struct LutGemmConfig
 
 /** Upper bound on LutGemmConfig::threads (guards typo'd counts). */
 inline constexpr int kMaxLutGemmThreads = 1024;
+
+/**
+ * Validate the shape-independent kernel knobs: mu in [1, kMaxMu],
+ * hFFLUT needs mu >= 2, blocked backends need blockRows >= 1, threads
+ * <= kMaxLutGemmThreads. lutGemm() enforces exactly these checks
+ * fatally per call; construction-time callers (Session, the serve
+ * Engine) use the Status form so a serving loop can reject a bad
+ * configuration without dying. Messages state the violated bound.
+ */
+Status validateLutGemmConfig(const LutGemmConfig &config);
 
 /**
  * Operation counters filled in by the kernel (drive energy models).

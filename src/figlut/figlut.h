@@ -11,8 +11,10 @@
  *   arch     - 28nm technology, LUT power, memory, area/energy models
  *   sim      - tile timing, detailed systolic sim, engine simulator
  *   model    - OPT workloads, synthetic data, perplexity proxy
- *   runtime  - quantized models, inference sessions (numeric decode
- *              steps + the matching analytic workload)
+ *   runtime  - quantized models, KV caches, inference sessions
+ *              (numeric decode steps + the matching analytic workload)
+ *   serve    - request-level engine with continuous batching over one
+ *              shared quantized model (Status/Result error surface)
  */
 
 #ifndef FIGLUT_FIGLUT_H
@@ -23,6 +25,7 @@
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/status.h"
 #include "common/table.h"
 
 #include "numerics/bf16.h"
@@ -68,8 +71,13 @@
 #include "model/synthetic.h"
 #include "model/workload.h"
 
+#include "runtime/exec_options.h"
+#include "runtime/kv_cache.h"
 #include "runtime/quantized_model.h"
 #include "runtime/reference_ops.h"
 #include "runtime/session.h"
+
+#include "serve/engine.h"
+#include "serve/request.h"
 
 #endif // FIGLUT_FIGLUT_H

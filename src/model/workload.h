@@ -81,6 +81,19 @@ struct LayerStepSpec
 std::vector<LayerStepSpec> layerSpecs(const OptConfig &model,
                                       const WorkloadOptions &options);
 
+/**
+ * Ragged-context layer description: one KV context length per batch
+ * column (contextLens.size() must equal options.batch;
+ * options.contextLen is ignored), so the attention cost is the sum of
+ * per-column costs — the serve Engine's fused step over requests of
+ * different ages. With uniform lengths this is element-for-element
+ * equal to the lock-step overload above (every VPU op count is an
+ * exact small-integer sum), which delegates here.
+ */
+std::vector<LayerStepSpec>
+layerSpecs(const OptConfig &model, const WorkloadOptions &options,
+           const std::vector<std::size_t> &contextLens);
+
 /** Kernel sequence for one decoder layer. */
 std::vector<KernelTask> layerWorkload(const OptConfig &model,
                                       const WorkloadOptions &options);
@@ -88,6 +101,11 @@ std::vector<KernelTask> layerWorkload(const OptConfig &model,
 /** Kernel sequence for a whole decode step (all layers). */
 std::vector<KernelTask> decodeStepWorkload(const OptConfig &model,
                                            const WorkloadOptions &options);
+
+/** Ragged-context decode step (see the ragged layerSpecs overload). */
+std::vector<KernelTask>
+decodeStepWorkload(const OptConfig &model, const WorkloadOptions &options,
+                   const std::vector<std::size_t> &contextLens);
 
 } // namespace figlut
 

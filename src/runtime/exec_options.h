@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Host-execution options of the runtime and serve layers.
+ *
+ * The one-struct SessionOptions of the original runtime mixed three
+ * concerns that the serving surface needs separated:
+ *  - ModelOptions (QuantizedModelOptions): how weights are
+ *    materialized, quantized, and key-packed — owned by the model /
+ *    Engine, one-time cost.
+ *  - ExecOptions (this header): how GEMM kernels execute on the host —
+ *    backend, worker budget, tile height, activation/accumulate
+ *    formats. Shared by every request an Engine serves.
+ *  - RequestOptions (serve/request.h): per-request knobs — token
+ *    budget, input seed.
+ *
+ * makeGemmConfig() is the single mapping from ExecOptions (+ the
+ * model's LUT group size mu) to the kernel-level LutGemmConfig, so the
+ * Session and Engine paths cannot drift apart.
+ */
+
+#ifndef FIGLUT_RUNTIME_EXEC_OPTIONS_H
+#define FIGLUT_RUNTIME_EXEC_OPTIONS_H
+
+#include "common/status.h"
+#include "core/lut_gemm.h"
+
+namespace figlut {
+
+/** Host execution of the GEMM kernels (core/lut_gemm.h knobs). */
+struct ExecOptions
+{
+    LutGemmBackend backend = LutGemmBackend::Packed;
+    int threads = 0;    ///< workers, <= 0 = hardware concurrency
+    int blockRows = 64; ///< rows per M-tile work item
+    ActFormat actFormat = ActFormat::FP16;
+    FpArith arith = FpArith::Fp32;
+    bool preAligned = true; ///< FIGLUT-I integer path
+    int alignFracBits = 24;
+    bool useHalfLut = true;
+    bool useGeneratorTree = true;
+};
+
+/** The kernel configuration these options select for LUT group size mu. */
+LutGemmConfig makeGemmConfig(const ExecOptions &exec, int mu);
+
+/**
+ * Validate the execution knobs for LUT group size mu without running a
+ * kernel: threads bound, blockRows positivity, mu range, hFFLUT
+ * constraints — the same checks lutGemm() enforces fatally, surfaced
+ * as a recoverable Status for the serving construction paths.
+ */
+Status validateExecOptions(const ExecOptions &exec, int mu);
+
+} // namespace figlut
+
+#endif // FIGLUT_RUNTIME_EXEC_OPTIONS_H

@@ -1,0 +1,63 @@
+#include "runtime/kv_cache.h"
+
+#include "common/logging.h"
+
+namespace figlut {
+
+void
+KvCache::append(std::size_t layer, MatrixD k, MatrixD v)
+{
+    if (layer >= k_.size())
+        fatal("KvCache layer ", layer, " out of ", k_.size());
+    if (k.rows() != v.rows() || k.cols() != v.cols())
+        fatal("KvCache K/V shape mismatch: ", k.rows(), "x", k.cols(),
+              " vs ", v.rows(), "x", v.cols());
+    if (!k_[layer].empty() &&
+        (k.rows() != k_[layer].front().rows() ||
+         k.cols() != k_[layer].front().cols()))
+        fatal("KvCache step shape changed mid-sequence: ", k.rows(), "x",
+              k.cols(), " vs cached ", k_[layer].front().rows(), "x",
+              k_[layer].front().cols());
+    k_[layer].push_back(std::move(k));
+    v_[layer].push_back(std::move(v));
+}
+
+const std::vector<MatrixD> &
+KvCache::keys(std::size_t layer) const
+{
+    if (layer >= k_.size())
+        fatal("KvCache layer ", layer, " out of ", k_.size());
+    return k_[layer];
+}
+
+const std::vector<MatrixD> &
+KvCache::values(std::size_t layer) const
+{
+    if (layer >= v_.size())
+        fatal("KvCache layer ", layer, " out of ", v_.size());
+    return v_[layer];
+}
+
+void
+KvCache::clear()
+{
+    for (auto &steps : k_)
+        steps.clear();
+    for (auto &steps : v_)
+        steps.clear();
+}
+
+std::size_t
+KvCache::bytes() const
+{
+    std::size_t doubles = 0;
+    for (const auto &steps : k_)
+        for (const auto &m : steps)
+            doubles += m.size();
+    for (const auto &steps : v_)
+        for (const auto &m : steps)
+            doubles += m.size();
+    return doubles * sizeof(double);
+}
+
+} // namespace figlut

@@ -83,40 +83,80 @@ referenceDecodeAttention(const MatrixD &q,
                          const std::vector<MatrixD> &vSteps,
                          std::size_t heads)
 {
+    const std::size_t batch = q.cols();
+    if (vSteps.size() != kSteps.size())
+        fatal("attention K/V cache length mismatch: ", kSteps.size(),
+              " vs ", vSteps.size());
+    // Lock-step contract: every snapshot is exactly batch wide (the
+    // ragged path below only requires the attended column to exist).
+    for (std::size_t t = 0; t < kSteps.size(); ++t)
+        if (kSteps[t].cols() != batch || vSteps[t].cols() != batch)
+            fatal("attention cache step ", t, " width mismatch: ",
+                  kSteps[t].cols(), "/", vSteps[t].cols(), " vs batch ",
+                  batch);
+    std::vector<KvColumn> kv(batch);
+    for (std::size_t b = 0; b < batch; ++b)
+        kv[b] = KvColumn{&kSteps, &vSteps, b, kSteps.size()};
+    return referenceDecodeAttention(q, kv, heads);
+}
+
+MatrixD
+referenceDecodeAttention(const MatrixD &q,
+                         const std::vector<KvColumn> &kv,
+                         std::size_t heads)
+{
     const std::size_t h = q.rows();
     const std::size_t batch = q.cols();
-    const std::size_t steps = kSteps.size();
     if (heads == 0 || h % heads != 0)
         fatal("attention needs hidden divisible by heads, got ", h,
               " / ", heads);
-    if (vSteps.size() != steps)
-        fatal("attention K/V cache length mismatch: ", steps, " vs ",
-              vSteps.size());
-    if (steps == 0)
-        fatal("attention needs at least one cached KV step");
-    for (std::size_t t = 0; t < steps; ++t)
-        if (kSteps[t].rows() != h || kSteps[t].cols() != batch ||
-            vSteps[t].rows() != h || vSteps[t].cols() != batch)
-            fatal("attention cache step ", t, " shape mismatch");
+    if (kv.size() != batch)
+        fatal("attention needs one KV history per query column, got ",
+              kv.size(), " for ", batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        const KvColumn &col = kv[b];
+        if (col.kSteps == nullptr || col.vSteps == nullptr)
+            fatal("attention KV history ", b, " has no snapshots");
+        if (col.length == 0)
+            fatal("attention KV history ", b,
+                  " needs at least one cached step");
+        if (col.length > col.kSteps->size() ||
+            col.length > col.vSteps->size())
+            fatal("attention KV history ", b, " length ", col.length,
+                  " exceeds cached steps ", col.kSteps->size(), "/",
+                  col.vSteps->size());
+        for (std::size_t t = 0; t < col.length; ++t) {
+            const MatrixD &k = (*col.kSteps)[t];
+            const MatrixD &v = (*col.vSteps)[t];
+            if (k.rows() != h || v.rows() != h ||
+                col.column >= k.cols() || col.column >= v.cols())
+                fatal("attention KV history ", b, " step ", t,
+                      " shape mismatch");
+        }
+    }
 
     const std::size_t headDim = h / heads;
     const double scale = 1.0 / std::sqrt(static_cast<double>(headDim));
     MatrixD out(h, batch, 0.0);
-    std::vector<double> scores(steps);
+    std::vector<double> scores;
     for (std::size_t b = 0; b < batch; ++b) {
+        const KvColumn &col = kv[b];
+        const std::size_t steps = col.length;
+        const std::size_t c = col.column;
+        scores.resize(steps);
         for (std::size_t hd = 0; hd < heads; ++hd) {
             const std::size_t r0 = hd * headDim;
             for (std::size_t t = 0; t < steps; ++t) {
                 double dot = 0.0;
                 for (std::size_t d = 0; d < headDim; ++d)
-                    dot += q(r0 + d, b) * kSteps[t](r0 + d, b);
+                    dot += q(r0 + d, b) * (*col.kSteps)[t](r0 + d, c);
                 scores[t] = dot * scale;
             }
             referenceSoftmaxInPlace(scores.data(), steps);
             for (std::size_t t = 0; t < steps; ++t) {
                 const double p = scores[t];
                 for (std::size_t d = 0; d < headDim; ++d)
-                    out(r0 + d, b) += p * vSteps[t](r0 + d, b);
+                    out(r0 + d, b) += p * (*col.vSteps)[t](r0 + d, c);
             }
         }
     }

@@ -52,6 +52,35 @@ MatrixD referenceDecodeAttention(const MatrixD &q,
                                  const std::vector<MatrixD> &vSteps,
                                  std::size_t heads);
 
+/**
+ * One query column's KV history for the ragged-batch attention below:
+ * which column of which per-step K/V snapshots to attend over, and
+ * over how many steps. The snapshot vectors are borrowed — the caller
+ * keeps them alive for the duration of the attention call.
+ */
+struct KvColumn
+{
+    const std::vector<MatrixD> *kSteps = nullptr;
+    const std::vector<MatrixD> *vSteps = nullptr;
+    /** Column within each snapshot matrix. */
+    std::size_t column = 0;
+    /** Cached steps to attend over (a prefix of the snapshots). */
+    std::size_t length = 0;
+};
+
+/**
+ * Ragged-batch decode attention: column b of q attends over its own
+ * KV history kv[b], so every column may have a different context
+ * length — the serve Engine's fused step over requests of different
+ * ages. Per column the arithmetic (scaled dot products, softmax,
+ * V blend, all in this exact order) is identical to the lock-step
+ * overload above, which delegates here; a column with a batch-1
+ * history is therefore bit-identical to a batch-1 lock-step call.
+ */
+MatrixD referenceDecodeAttention(const MatrixD &q,
+                                 const std::vector<KvColumn> &kv,
+                                 std::size_t heads);
+
 } // namespace figlut
 
 #endif // FIGLUT_RUNTIME_REFERENCE_OPS_H

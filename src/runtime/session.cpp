@@ -2,149 +2,92 @@
 
 #include "common/logging.h"
 #include "model/synthetic.h"
-#include "runtime/reference_ops.h"
+#include "serve/engine.h"
 
 namespace figlut {
 
-namespace {
-
-/** Only the Packed backend consumes pre-packed keys; skip the
- *  materialization (roughly q bytes per weight) for the others. */
-QuantizedModelOptions
-quantOptionsFor(const SessionOptions &options)
-{
-    QuantizedModelOptions quant = options.quant;
-    quant.packKeys = options.backend == LutGemmBackend::Packed;
-    return quant;
-}
-
-} // namespace
-
 Session::Session(const OptConfig &model, const SessionOptions &options)
-    : model_(model, quantOptionsFor(options)), options_(options),
-      ctx_(options.threads)
+    : options_(options)
 {
     if (options_.batch == 0)
         fatal("Session batch must be positive");
-    kCache_.resize(model_.layers());
-    vCache_.resize(model_.layers());
-    // The spec sequence is construction-invariant; build it once and
-    // iterate the cached member every decode step.
-    specs_ = layerSpecs(model_.config(), workloadOptions());
+    serve::EngineOptions engineOptions;
+    engineOptions.model = options_.quant;
+    engineOptions.exec = options_.exec;
+    engineOptions.maxBatch = options_.batch;
+    engineOptions.maxQueue = 0;
+    engineOptions.includeVector = options_.includeVector;
+    auto engine = serve::Engine::create(model, engineOptions);
+    if (!engine.ok())
+        fatal(engine.status().message());
+    engine_ = std::move(engine).value();
+
+    // One unbounded request per lock-step sequence; the caller drives
+    // every step's input, so the submit-time seed never decodes.
+    ids_.reserve(options_.batch);
+    for (std::size_t b = 0; b < options_.batch; ++b) {
+        serve::RequestOptions req;
+        req.maxTokens = 0;
+        auto id = engine_->submit(req);
+        FIGLUT_ASSERT(id.ok(), "session request ", b, " rejected: ",
+                      id.status().toString());
+        ids_.push_back(id.value());
+    }
+}
+
+Session::~Session() = default;
+
+const QuantizedModel &
+Session::model() const
+{
+    return engine_->model();
+}
+
+ExecutionContext &
+Session::context()
+{
+    return engine_->context();
 }
 
 MatrixD
 Session::makeInput(Rng &rng) const
 {
-    return syntheticActivations(model_.config().hidden, options_.batch,
+    return syntheticActivations(model().config().hidden, options_.batch,
                                 rng);
-}
-
-LutGemmConfig
-Session::gemmConfig() const
-{
-    LutGemmConfig cfg;
-    cfg.mu = options_.quant.mu;
-    cfg.actFormat = options_.actFormat;
-    cfg.arith = options_.arith;
-    cfg.preAligned = options_.preAligned;
-    cfg.alignFracBits = options_.alignFracBits;
-    cfg.useHalfLut = options_.useHalfLut;
-    cfg.useGeneratorTree = options_.useGeneratorTree;
-    cfg.backend = options_.backend;
-    cfg.threads = options_.threads;
-    cfg.blockRows = options_.blockRows;
-    return cfg;
-}
-
-MatrixD
-Session::runGemm(const BcqTensor &w, const PackedLutKeys &keys,
-                 const MatrixD &x, LutGemmCounters &counters)
-{
-    const LutGemmConfig cfg = gemmConfig();
-    // The pre-packed overload is Packed-only; the other backends
-    // gather keys from the bit planes themselves.
-    if (cfg.backend == LutGemmBackend::Packed)
-        return lutGemm(w, x, cfg, keys, &counters, &ctx_);
-    return lutGemm(w, x, cfg, &counters, &ctx_);
 }
 
 DecodeStepResult
 Session::runDecodeStep(const MatrixD &hidden_in)
 {
-    const OptConfig &cfg = model_.config();
-    const std::size_t h = cfg.hidden;
+    const std::size_t h = model().config().hidden;
     const std::size_t batch = options_.batch;
     if (hidden_in.rows() != h || hidden_in.cols() != batch)
         fatal("decode-step input must be ", h, "x", batch, ", got ",
               hidden_in.rows(), "x", hidden_in.cols());
 
-    // One description, two backends: specs_ is the same sequence
-    // workloadTasks() maps to KernelTasks for the simulator.
-    DecodeStepResult result;
-    MatrixD x = hidden_in;
-    // Step-local temporaries threaded between consecutive specs.
-    MatrixD ln, qkv, attn, proj, ffn;
-    for (std::size_t l = 0; l < model_.layers(); ++l) {
-        const QuantizedLayer &layer = model_.layer(l);
-        for (const auto &step : specs_) {
-            switch (step.op) {
-              case LayerOp::LayerNorm1:
-                ln = referenceLayerNorm(x);
-                break;
-              case LayerOp::QkvProj:
-                qkv = runGemm(layer.weights(step.op),
-                              layer.keys(step.op), ln, result.counters);
-                ++result.gemmCalls;
-                break;
-              case LayerOp::Attention: {
-                MatrixD q(h, batch), k(h, batch), v(h, batch);
-                for (std::size_t r = 0; r < h; ++r) {
-                    for (std::size_t b = 0; b < batch; ++b) {
-                        q(r, b) = qkv(r, b);
-                        k(r, b) = qkv(h + r, b);
-                        v(r, b) = qkv(2 * h + r, b);
-                    }
-                }
-                kCache_[l].push_back(std::move(k));
-                vCache_[l].push_back(std::move(v));
-                attn = referenceDecodeAttention(q, kCache_[l],
-                                                vCache_[l], cfg.heads);
-                break;
-              }
-              case LayerOp::OutProj:
-                proj = runGemm(layer.weights(step.op),
-                               layer.keys(step.op), attn,
-                               result.counters);
-                ++result.gemmCalls;
-                break;
-              case LayerOp::Residual1:
-                x = referenceResidualAdd(x, proj);
-                break;
-              case LayerOp::LayerNorm2:
-                ln = referenceLayerNorm(x);
-                break;
-              case LayerOp::Fc1:
-                ffn = runGemm(layer.weights(step.op),
-                              layer.keys(step.op), ln, result.counters);
-                ++result.gemmCalls;
-                break;
-              case LayerOp::Gelu:
-                ffn = referenceGelu(ffn);
-                break;
-              case LayerOp::Fc2:
-                proj = runGemm(layer.weights(step.op),
-                               layer.keys(step.op), ffn,
-                               result.counters);
-                ++result.gemmCalls;
-                break;
-              case LayerOp::Residual2:
-                x = referenceResidualAdd(x, proj);
-                break;
-            }
-        }
+    MatrixD column(h, 1);
+    for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t r = 0; r < h; ++r)
+            column(r, 0) = hidden_in(r, b);
+        const Status s = engine_->provideInput(ids_[b], column);
+        FIGLUT_ASSERT(s.ok(), "session input rejected: ", s.toString());
     }
-    result.hidden = std::move(x);
+
+    auto step = engine_->step();
+    FIGLUT_ASSERT(step.ok(), "session step failed: ",
+                  step.status().toString());
+
+    DecodeStepResult result;
+    result.counters = step.value().counters;
+    result.gemmCalls = step.value().gemmCalls;
+    result.hidden = MatrixD(h, batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        auto snap = engine_->poll(ids_[b]);
+        FIGLUT_ASSERT(snap.ok(), "session poll failed: ",
+                      snap.status().toString());
+        for (std::size_t r = 0; r < h; ++r)
+            result.hidden(r, b) = snap.value().hidden(r, 0);
+    }
     return result;
 }
 
@@ -164,7 +107,7 @@ Session::workloadOptions() const
 std::vector<KernelTask>
 Session::workloadTasks() const
 {
-    return decodeStepWorkload(model_.config(), workloadOptions());
+    return decodeStepWorkload(model().config(), workloadOptions());
 }
 
 WorkloadResult
@@ -177,16 +120,30 @@ Session::simulate(const HwConfig &hw) const
 std::size_t
 Session::kvLength() const
 {
-    return kCache_.empty() ? 0 : kCache_.front().size();
+    auto snap = engine_->poll(ids_.front());
+    FIGLUT_ASSERT(snap.ok(), "session poll failed: ",
+                  snap.status().toString());
+    return snap.value().kvLength;
+}
+
+KvCache
+Session::kv(std::size_t seq) const
+{
+    if (seq >= ids_.size())
+        fatal("session sequence ", seq, " out of ", ids_.size());
+    auto history = engine_->kvHistory(ids_[seq]);
+    FIGLUT_ASSERT(history.ok(), "session kv history failed: ",
+                  history.status().toString());
+    return std::move(history).value();
 }
 
 void
 Session::resetKv()
 {
-    for (auto &steps : kCache_)
-        steps.clear();
-    for (auto &steps : vCache_)
-        steps.clear();
+    for (const serve::RequestId id : ids_) {
+        const Status s = engine_->resetKv(id);
+        FIGLUT_ASSERT(s.ok(), "session kv reset failed: ", s.toString());
+    }
 }
 
 } // namespace figlut

@@ -1,34 +1,35 @@
 /**
  * @file
- * Inference session: quantize -> pack -> execute behind one object.
+ * Inference session: the single-client adapter over serve::Engine.
  *
- * A Session owns a QuantizedModel (per-layer BCQ planes + packed LUT
- * keys, built once) and an ExecutionContext (persistent ThreadPool +
- * kernel workspace), and makes "run an OPT decode step for real" a
- * three-line program:
+ * A Session keeps the original "one lock-step batch, caller-driven
+ * hidden states" surface — quantize -> pack -> execute behind one
+ * object:
  *
  *     Session session(optByName("OPT-125M"), opts);
  *     MatrixD h = session.makeInput(rng);
  *     h = session.runDecodeStep(h).hidden;
  *
- * The decode step is the layer sequence of model/workload.h
- * (layerSpecs): weight GEMMs run numerically through the LUT-GEMM
- * kernel (Packed backend by default, pre-packed keys, shared context),
- * vector steps run as reference ops (runtime/reference_ops.h) over a
- * per-layer KV cache that grows one entry per step. The *same* spec
- * sequence maps to the KernelTask list (workloadTasks()) that
- * sim/Accelerator scores — one description, two backends, so the
- * timing/energy estimate is for exactly the workload that was
- * executed.
+ * — but is now a thin wrapper: the constructor builds a serve::Engine
+ * sized to the session batch and submits one unbounded request per
+ * sequence; runDecodeStep() injects the caller's hidden columns with
+ * Engine::provideInput() and runs one fused Engine::step(). The
+ * numeric path (Packed LUT-GEMM kernels with pre-packed keys on one
+ * shared ExecutionContext, reference vector ops, per-sequence KvCache)
+ * is therefore exactly the serving path, and the Session differential
+ * suites pin the Engine's per-column arithmetic. Construction-time
+ * configuration errors keep the historical fatal() contract: the
+ * engine's Status rejections are rethrown as FatalError.
  *
- * A Session is single-client like its ExecutionContext: one session
- * per serving thread. All stochastic inputs are deterministic in the
- * configured seeds.
+ * A Session is single-client like the Engine it wraps: one session per
+ * serving thread. Request-level traffic (dynamic admission, ragged
+ * budgets, recoverable errors) wants serve::Engine directly.
  */
 
 #ifndef FIGLUT_RUNTIME_SESSION_H
 #define FIGLUT_RUNTIME_SESSION_H
 
+#include <memory>
 #include <vector>
 
 #include "common/matrix.h"
@@ -36,16 +37,30 @@
 #include "core/execution_context.h"
 #include "core/lut_gemm.h"
 #include "model/workload.h"
+#include "runtime/exec_options.h"
+#include "runtime/kv_cache.h"
 #include "runtime/quantized_model.h"
 #include "sim/accelerator.h"
 
 namespace figlut {
 
-/** Full configuration of a Session. */
+namespace serve {
+class Engine;
+using RequestId = std::uint64_t;
+} // namespace serve
+
+/**
+ * Full configuration of a Session: the model/exec/request split of the
+ * serving surface (runtime/exec_options.h), plus the lock-step batch
+ * geometry that is the Session's own request shape.
+ */
 struct SessionOptions
 {
     /** Weight materialization + quantization (see quantized_model.h). */
     QuantizedModelOptions quant;
+
+    /** Host execution of the GEMM kernels (core/lut_gemm.h knobs). */
+    ExecOptions exec;
 
     /** Sequences decoded in parallel (one hidden-state column each). */
     std::size_t batch = 1;
@@ -57,17 +72,6 @@ struct SessionOptions
     std::size_t contextLen = 512;
     /** Keep vector kernels in the emitted KernelTask list. */
     bool includeVector = true;
-
-    /** Host execution of the GEMM kernels (core/lut_gemm.h knobs). */
-    LutGemmBackend backend = LutGemmBackend::Packed;
-    int threads = 0;    ///< workers, <= 0 = hardware concurrency
-    int blockRows = 64; ///< rows per M-tile work item
-    ActFormat actFormat = ActFormat::FP16;
-    FpArith arith = FpArith::Fp32;
-    bool preAligned = true; ///< FIGLUT-I integer path
-    int alignFracBits = 24;
-    bool useHalfLut = true;
-    bool useGeneratorTree = true;
 };
 
 /** Result of one numeric decode step. */
@@ -88,13 +92,19 @@ class Session
     /**
      * Build the session: materialize + quantize + pack every layer's
      * weights (the one-time cost), spawn no threads yet (the pool is
-     * lazy in the first blocked GEMM call).
+     * lazy in the first blocked GEMM call). Throws FatalError on an
+     * invalid configuration (the recoverable form of the same checks
+     * is serve::Engine::create).
      */
     Session(const OptConfig &model, const SessionOptions &options);
+    ~Session();
 
-    const QuantizedModel &model() const { return model_; }
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    const QuantizedModel &model() const;
     const SessionOptions &options() const { return options_; }
-    ExecutionContext &context() { return ctx_; }
+    ExecutionContext &context();
 
     /** Synthetic hidden-state input, hidden x batch (model/synthetic.h). */
     MatrixD makeInput(Rng &rng) const;
@@ -122,22 +132,23 @@ class Session
     /** Decode steps currently held in the KV cache. */
     std::size_t kvLength() const;
 
+    /**
+     * KV history of sequence `seq` (batch column seq): one h x 1
+     * snapshot per decode step and layer, by value.
+     */
+    KvCache kv(std::size_t seq = 0) const;
+
     /** Drop the KV cache (start a fresh sequence; weights persist). */
     void resetKv();
 
-  private:
-    LutGemmConfig gemmConfig() const;
-    MatrixD runGemm(const BcqTensor &w, const PackedLutKeys &keys,
-                    const MatrixD &x, LutGemmCounters &counters);
+    /** The underlying request-level engine (advanced use). */
+    serve::Engine &engine() { return *engine_; }
 
-    QuantizedModel model_;
+  private:
     SessionOptions options_;
-    ExecutionContext ctx_;
-    /** Cached layer description (construction-invariant). */
-    std::vector<LayerStepSpec> specs_;
-    /** Per-layer KV snapshots, one hidden x batch matrix per step. */
-    std::vector<std::vector<MatrixD>> kCache_;
-    std::vector<std::vector<MatrixD>> vCache_;
+    std::unique_ptr<serve::Engine> engine_;
+    /** One unbounded engine request per batch column, column order. */
+    std::vector<serve::RequestId> ids_;
 };
 
 } // namespace figlut

@@ -1,0 +1,425 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "model/synthetic.h"
+#include "runtime/reference_ops.h"
+
+namespace figlut {
+namespace serve {
+
+namespace {
+
+/** Only the Packed backend consumes pre-packed keys; skip the
+ *  materialization (roughly q bytes per weight) for the others. */
+ModelOptions
+modelOptionsFor(const EngineOptions &options)
+{
+    ModelOptions model = options.model;
+    model.packKeys = options.exec.backend == LutGemmBackend::Packed;
+    return model;
+}
+
+/**
+ * One live column's exact share of a fused step's kernel counters.
+ * Every closed form (core/lut_gemm.cpp) is linear in the batch columns
+ * with no cross-column or per-call constant term, so the totals divide
+ * evenly; a remainder would mean the accounting gained a cross-column
+ * term and per-request attribution is no longer exact.
+ */
+LutGemmCounters
+perColumnShare(const LutGemmCounters &total, std::size_t columns)
+{
+    auto split = [columns](uint64_t v) {
+        FIGLUT_ASSERT(v % columns == 0,
+                      "fused-step counter ", v,
+                      " not divisible by live batch ", columns);
+        return v / columns;
+    };
+    LutGemmCounters share;
+    share.lutGenerations = split(total.lutGenerations);
+    share.generatorAdds = split(total.generatorAdds);
+    share.lutReads = split(total.lutReads);
+    share.racAccumulates = split(total.racAccumulates);
+    share.scaleMuls = split(total.scaleMuls);
+    share.offsetOps = split(total.offsetOps);
+    return share;
+}
+
+void
+accumulate(LutGemmCounters &into, const LutGemmCounters &add)
+{
+    into.lutGenerations += add.lutGenerations;
+    into.generatorAdds += add.generatorAdds;
+    into.lutReads += add.lutReads;
+    into.racAccumulates += add.racAccumulates;
+    into.scaleMuls += add.scaleMuls;
+    into.offsetOps += add.offsetOps;
+}
+
+Status
+validateEngineConfig(const OptConfig &model, const EngineOptions &options)
+{
+    if (model.hidden == 0 || model.layers == 0 || model.ffn == 0)
+        return Status::invalidArgument(
+            "Engine needs a non-empty OptConfig, got hidden=",
+            model.hidden, " layers=", model.layers, " ffn=", model.ffn);
+    if (model.heads == 0 || model.hidden % model.heads != 0)
+        return Status::invalidArgument(
+            "Engine needs hidden divisible by heads, got ", model.hidden,
+            " / ", model.heads);
+    if (options.model.weightBits < 1)
+        return Status::invalidArgument(
+            "Engine weightBits must be >= 1, got ",
+            options.model.weightBits);
+    if (options.maxBatch == 0)
+        return Status::invalidArgument(
+            "Engine maxBatch must be positive: a batch of 0 can never ",
+            "decode a request");
+    return validateExecOptions(options.exec, options.model.mu);
+}
+
+} // namespace
+
+Result<std::unique_ptr<Engine>>
+Engine::create(const OptConfig &model, const EngineOptions &options)
+{
+    if (Status s = validateEngineConfig(model, options); !s.ok())
+        return s;
+    return std::unique_ptr<Engine>(new Engine(model, options));
+}
+
+Engine::Engine(const OptConfig &model, const EngineOptions &options)
+    : model_(model, modelOptionsFor(options)), options_(options),
+      ctx_(options.exec.threads)
+{
+    options_.model.packKeys = model_.options().packKeys;
+    // Only the semantic op order is needed to drive the numeric step;
+    // the analytic view is rebuilt per call because the live batch and
+    // its context lengths change between steps.
+    WorkloadOptions opOrder;
+    opOrder.batch = 1;
+    opOrder.contextLen = 1;
+    for (const auto &spec : layerSpecs(model_.config(), opOrder))
+        layerOps_.push_back(spec.op);
+}
+
+Engine::Request *
+Engine::find(RequestId id)
+{
+    const auto it = requests_.find(id);
+    return it == requests_.end() ? nullptr : &it->second;
+}
+
+const Engine::Request *
+Engine::find(RequestId id) const
+{
+    const auto it = requests_.find(id);
+    return it == requests_.end() ? nullptr : &it->second;
+}
+
+Result<RequestId>
+Engine::submit(const RequestOptions &request)
+{
+    // A new request only bypasses the queue when the queue is empty —
+    // earlier submits waiting for a slot keep their FIFO position even
+    // if a cancellation just freed one (the next step admits them).
+    const bool direct =
+        active_.size() < options_.maxBatch && queue_.empty();
+    if (!direct && queue_.size() >= options_.maxQueue)
+        return Status::resourceExhausted(
+            "engine at capacity: ", active_.size(), " live (maxBatch ",
+            options_.maxBatch, ") and ", queue_.size(),
+            " queued (maxQueue ", options_.maxQueue,
+            "); retry after step() retires traffic");
+
+    const RequestId id = nextId_++;
+    Request req;
+    req.options = request;
+    req.submitTime = Clock::now();
+    Rng rng(request.seed);
+    req.hidden = syntheticActivations(model_.config().hidden, 1, rng);
+    req.kv = KvCache(model_.layers());
+    if (direct) {
+        req.state = RequestState::Active;
+        active_.push_back(id);
+    } else {
+        req.state = RequestState::Queued;
+        queue_.push_back(id);
+    }
+    requests_.emplace(id, std::move(req));
+    return id;
+}
+
+Status
+Engine::provideInput(RequestId id, const MatrixD &hidden)
+{
+    Request *req = find(id);
+    if (req == nullptr)
+        return Status::notFound("unknown request id ", id);
+    if (req->state == RequestState::Finished ||
+        req->state == RequestState::Cancelled)
+        return Status::failedPrecondition(
+            "request ", id, " already retired (",
+            requestStateName(req->state), ")");
+    const std::size_t h = model_.config().hidden;
+    if (hidden.rows() != h || hidden.cols() != 1)
+        return Status::invalidArgument("request input must be ", h,
+                                       "x1, got ", hidden.rows(), "x",
+                                       hidden.cols());
+    req->hidden = hidden;
+    return Status::okStatus();
+}
+
+std::size_t
+Engine::admitFromQueue()
+{
+    std::size_t admitted = 0;
+    while (active_.size() < options_.maxBatch && !queue_.empty()) {
+        const RequestId id = queue_.front();
+        queue_.pop_front();
+        Request &req = requests_.at(id);
+        req.state = RequestState::Active;
+        req.stats.queueSeconds =
+            std::chrono::duration<double>(Clock::now() - req.submitTime)
+                .count();
+        active_.push_back(id);
+        ++admitted;
+    }
+    return admitted;
+}
+
+Result<StepStats>
+Engine::step()
+{
+    StepStats stats;
+    stats.admitted = admitFromQueue();
+    if (active_.empty())
+        return Status::failedPrecondition(
+            "no live requests to decode; submit() first");
+
+    const auto t0 = Clock::now();
+    const OptConfig &cfg = model_.config();
+    const std::size_t h = cfg.hidden;
+    const std::size_t b = active_.size();
+    stats.liveRequests = b;
+
+    std::vector<Request *> live;
+    live.reserve(b);
+    for (const RequestId id : active_)
+        live.push_back(&requests_.at(id));
+
+    // Gather: one hidden column per live request, admission order, so
+    // every layer GEMM below runs once over the whole live batch.
+    MatrixD x(h, b);
+    for (std::size_t c = 0; c < b; ++c)
+        for (std::size_t r = 0; r < h; ++r)
+            x(r, c) = live[c]->hidden(r, 0);
+
+    const LutGemmConfig gemmCfg =
+        makeGemmConfig(options_.exec, options_.model.mu);
+    auto runGemm = [&](const BcqTensor &w, const PackedLutKeys &keys,
+                       const MatrixD &in) {
+        ++stats.gemmCalls;
+        // The pre-packed overload is Packed-only; the other backends
+        // gather keys from the bit planes themselves.
+        if (gemmCfg.backend == LutGemmBackend::Packed)
+            return lutGemm(w, in, gemmCfg, keys, &stats.counters, &ctx_);
+        return lutGemm(w, in, gemmCfg, &stats.counters, &ctx_);
+    };
+
+    // Same per-column arithmetic as a batch-1 Session step: the GEMM
+    // and every vector op treat columns independently, so each request
+    // is bit-identical to running alone (the differential suite pins
+    // this).
+    MatrixD ln, qkv, attn, proj, ffn;
+    for (std::size_t l = 0; l < model_.layers(); ++l) {
+        const QuantizedLayer &layer = model_.layer(l);
+        for (const LayerOp op : layerOps_) {
+            switch (op) {
+              case LayerOp::LayerNorm1:
+              case LayerOp::LayerNorm2:
+                ln = referenceLayerNorm(x);
+                break;
+              case LayerOp::QkvProj:
+                qkv = runGemm(layer.weights(op), layer.keys(op), ln);
+                break;
+              case LayerOp::Attention: {
+                MatrixD q(h, b);
+                std::vector<KvColumn> views(b);
+                for (std::size_t c = 0; c < b; ++c) {
+                    MatrixD k(h, 1), v(h, 1);
+                    for (std::size_t r = 0; r < h; ++r) {
+                        q(r, c) = qkv(r, c);
+                        k(r, 0) = qkv(h + r, c);
+                        v(r, 0) = qkv(2 * h + r, c);
+                    }
+                    KvCache &kv = live[c]->kv;
+                    kv.append(l, std::move(k), std::move(v));
+                    views[c] = KvColumn{&kv.keys(l), &kv.values(l), 0,
+                                        kv.length()};
+                }
+                attn = referenceDecodeAttention(q, views, cfg.heads);
+                break;
+              }
+              case LayerOp::OutProj:
+                proj = runGemm(layer.weights(op), layer.keys(op), attn);
+                break;
+              case LayerOp::Residual1:
+              case LayerOp::Residual2:
+                x = referenceResidualAdd(x, proj);
+                break;
+              case LayerOp::Fc1:
+                ffn = runGemm(layer.weights(op), layer.keys(op), ln);
+                break;
+              case LayerOp::Gelu:
+                ffn = referenceGelu(ffn);
+                break;
+              case LayerOp::Fc2:
+                proj = runGemm(layer.weights(op), layer.keys(op), ffn);
+                break;
+            }
+        }
+    }
+
+    stats.seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    // Scatter + per-request accounting, then retire exhausted budgets.
+    const LutGemmCounters share = perColumnShare(stats.counters, b);
+    std::vector<RequestId> retired;
+    for (std::size_t c = 0; c < b; ++c) {
+        Request &req = *live[c];
+        for (std::size_t r = 0; r < h; ++r)
+            req.hidden(r, 0) = x(r, c);
+        req.stats.tokensDecoded += 1;
+        req.stats.gemmCalls += stats.gemmCalls;
+        accumulate(req.stats.counters, share);
+        req.stats.decodeSeconds += stats.seconds;
+        if (req.options.maxTokens > 0 &&
+            req.stats.tokensDecoded >= req.options.maxTokens) {
+            req.state = RequestState::Finished;
+            retired.push_back(active_[c]);
+        }
+    }
+    for (const RequestId id : retired)
+        removeFromSchedule(id);
+    stats.retired = retired.size();
+    // Everything still queued sat out this step's decode; count that
+    // before refilling slots freed by retirement (refilling now keeps
+    // the batch full between steps and drains FIFO traffic as early
+    // as possible).
+    for (const RequestId id : queue_)
+        requests_.at(id).stats.queuedSteps += 1;
+    stats.admitted += admitFromQueue();
+    ++stepsExecuted_;
+    return stats;
+}
+
+Result<RequestSnapshot>
+Engine::poll(RequestId id) const
+{
+    const Request *req = find(id);
+    if (req == nullptr)
+        return Status::notFound("unknown request id ", id);
+    RequestSnapshot snap;
+    snap.id = id;
+    snap.state = req->state;
+    snap.hidden = req->hidden;
+    snap.kvLength = req->kv.length();
+    snap.stats = req->stats;
+    return snap;
+}
+
+Status
+Engine::cancel(RequestId id)
+{
+    Request *req = find(id);
+    if (req == nullptr)
+        return Status::notFound("unknown request id ", id);
+    if (req->state == RequestState::Finished ||
+        req->state == RequestState::Cancelled)
+        return Status::failedPrecondition(
+            "request ", id, " already retired (",
+            requestStateName(req->state), ")");
+    removeFromSchedule(id);
+    req->state = RequestState::Cancelled;
+    return Status::okStatus();
+}
+
+Status
+Engine::resetKv(RequestId id)
+{
+    Request *req = find(id);
+    if (req == nullptr)
+        return Status::notFound("unknown request id ", id);
+    if (req->state == RequestState::Finished ||
+        req->state == RequestState::Cancelled)
+        return Status::failedPrecondition(
+            "request ", id, " already retired (",
+            requestStateName(req->state), ")");
+    req->kv.clear();
+    return Status::okStatus();
+}
+
+Result<KvCache>
+Engine::kvHistory(RequestId id) const
+{
+    const Request *req = find(id);
+    if (req == nullptr)
+        return Status::notFound("unknown request id ", id);
+    return req->kv;
+}
+
+void
+Engine::removeFromSchedule(RequestId id)
+{
+    active_.erase(std::remove(active_.begin(), active_.end(), id),
+                  active_.end());
+    const auto it = std::find(queue_.begin(), queue_.end(), id);
+    if (it != queue_.end())
+        queue_.erase(it);
+}
+
+std::vector<KernelTask>
+Engine::workloadTasks() const
+{
+    // step() admits from the queue before decoding, so the scored
+    // batch is the *prospective* one: live requests plus the queued
+    // requests the next step will admit into free slots.
+    std::vector<const Request *> next;
+    next.reserve(options_.maxBatch);
+    for (const RequestId id : active_)
+        next.push_back(find(id));
+    for (const RequestId id : queue_) {
+        if (next.size() >= options_.maxBatch)
+            break;
+        next.push_back(find(id));
+    }
+    if (next.empty())
+        return {};
+    WorkloadOptions opts;
+    opts.batch = next.size();
+    opts.weightBits = options_.model.weightBits;
+    opts.includeVector = options_.includeVector;
+    opts.groupSize = options_.model.groupSize;
+    opts.hasOffset = options_.model.useOffset;
+    // The next step appends before attending, so each column's
+    // analytic context length is its cached length plus one.
+    std::vector<std::size_t> contextLens;
+    contextLens.reserve(next.size());
+    for (const Request *req : next)
+        contextLens.push_back(req->kv.length() + 1);
+    return decodeStepWorkload(model_.config(), opts, contextLens);
+}
+
+WorkloadResult
+Engine::simulate(const HwConfig &hw) const
+{
+    const Accelerator acc(hw);
+    return acc.runWorkload(workloadTasks());
+}
+
+} // namespace serve
+} // namespace figlut

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Request-level serving engine with continuous batching.
+ *
+ * Session (runtime/session.h) is single-client by design: one
+ * lock-step batch, one KV cache, one sequence lifetime. Engine is the
+ * request-level surface the serving north star needs — independent
+ * sequences are admitted, batched, and retired dynamically over one
+ * shared quantized model:
+ *
+ *     auto engine = serve::Engine::create(optByName("OPT-125M"), opts);
+ *     auto id = engine.value()->submit({.maxTokens = 32, .seed = 7});
+ *     while (engine.value()->liveRequests() > 0)
+ *         engine.value()->step();   // one fused decode step, all requests
+ *     auto done = engine.value()->poll(id.value());
+ *
+ * step() gathers every live request's hidden column into a single
+ * hidden x liveBatch matrix, so each layer's weight GEMM hits the
+ * Packed LUT kernel exactly once per step — all requests share the
+ * model's pre-packed keys and the engine's one ExecutionContext (the
+ * paper's repeated-inference amortization, applied across clients).
+ * Attention is ragged: every request attends over its own
+ * single-column KvCache, whose length is that request's age. Requests
+ * admit up to maxBatch; excess submits wait in a FIFO queue (up to
+ * maxQueue) and join as slots retire — continuous batching, not
+ * lock-step epochs.
+ *
+ * Errors on the construction/submission paths are recoverable
+ * (common/status.h): create() validates the model shape and every
+ * execution knob, submit() rejects over-capacity traffic, poll() and
+ * cancel() report unknown ids — a serving loop never dies on a bad
+ * request. Programming errors (misuse of a value-holding Result) still
+ * panic, and the numeric kernels keep their fatal contracts.
+ *
+ * Like the Session it powers, an Engine is single-client: one engine
+ * per serving thread (its ExecutionContext is not thread-safe). All
+ * stochastic inputs are deterministic in the configured seeds, and a
+ * fused step is bit-identical, per request, to that request running
+ * alone in a batch-1 Session (the differential suite in
+ * tests/serve/test_engine.cpp pins this).
+ */
+
+#ifndef FIGLUT_SERVE_ENGINE_H
+#define FIGLUT_SERVE_ENGINE_H
+
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/execution_context.h"
+#include "model/workload.h"
+#include "runtime/exec_options.h"
+#include "runtime/kv_cache.h"
+#include "runtime/quantized_model.h"
+#include "serve/request.h"
+#include "sim/accelerator.h"
+
+namespace figlut {
+namespace serve {
+
+/** Weight materialization options, owned by the engine (one-time). */
+using ModelOptions = QuantizedModelOptions;
+
+/** Full configuration of an Engine. */
+struct EngineOptions
+{
+    /** Quantize/pack the shared weights (engine-owned, built once). */
+    ModelOptions model;
+    /** Host execution of the fused GEMMs (shared by all requests). */
+    ExecOptions exec;
+    /** Live requests per fused step (the admission bound). */
+    std::size_t maxBatch = 8;
+    /** Waiting requests beyond maxBatch; submits past this rejected. */
+    std::size_t maxQueue = 64;
+    /** Keep vector kernels in workloadTasks(). */
+    bool includeVector = true;
+};
+
+/** Whole-step accounting returned by Engine::step(). */
+struct StepStats
+{
+    /** Requests decoded in this fused step. */
+    std::size_t liveRequests = 0;
+    /**
+     * Requests admitted from the queue around this step: into free
+     * slots before decoding, and into slots freed by retirement after
+     * (those decode from the next step).
+     */
+    std::size_t admitted = 0;
+    /** Requests retired (budget reached) after this step. */
+    std::size_t retired = 0;
+    /** Weight GEMM kernel calls (4 per layer, whole batch each). */
+    std::size_t gemmCalls = 0;
+    /** Kernel op counters over the whole fused step. */
+    LutGemmCounters counters;
+    /** Wall-clock seconds of the fused step. */
+    double seconds = 0.0;
+};
+
+/** A request-level serving engine over one shared quantized model. */
+class Engine
+{
+  public:
+    /**
+     * Validate the architecture and every execution knob, then build
+     * the engine: materialize + quantize + (for the Packed backend)
+     * key-pack all layers — the one-time cost. Returns InvalidArgument
+     * with an actionable message instead of constructing on bad input.
+     */
+    static Result<std::unique_ptr<Engine>>
+    create(const OptConfig &model, const EngineOptions &options);
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    const QuantizedModel &model() const { return model_; }
+    const EngineOptions &options() const { return options_; }
+    ExecutionContext &context() { return ctx_; }
+
+    /**
+     * Submit a new request. Admitted immediately when a batch slot is
+     * free, queued when live traffic is at maxBatch, rejected with
+     * ResourceExhausted when the queue is also full. The initial
+     * hidden state is drawn from the request's seed.
+     */
+    Result<RequestId> submit(const RequestOptions &request);
+
+    /**
+     * Override a request's next-step input (hidden x 1). By default
+     * each step's output feeds the next step; an external driver (the
+     * Session adapter, or a client with real embeddings) injects its
+     * own columns instead. Rejected once the request has retired.
+     */
+    Status provideInput(RequestId id, const MatrixD &hidden);
+
+    /**
+     * One fused decode step over all live requests: admit from the
+     * queue into free slots, gather hidden columns, run every layer's
+     * GEMMs once over the whole batch (pre-packed keys, shared
+     * context) with ragged KV attention, append one KV entry per
+     * (request, layer), then retire requests that reached their token
+     * budget. FailedPrecondition when no request is live or queued.
+     */
+    Result<StepStats> step();
+
+    /** Point-in-time copy of a request's state; NotFound if unknown. */
+    Result<RequestSnapshot> poll(RequestId id) const;
+
+    /**
+     * Cancel a queued or active request, freeing its slot for the
+     * queue. The record stays pollable. FailedPrecondition when the
+     * request already retired.
+     */
+    Status cancel(RequestId id);
+
+    /**
+     * Drop a request's KV history (restart its sequence; weights,
+     * stats, and budget are unaffected). Rejected once retired.
+     */
+    Status resetKv(RequestId id);
+
+    /** Copy of a request's full KV history; NotFound if unknown. */
+    Result<KvCache> kvHistory(RequestId id) const;
+
+    /** Requests currently decoding (columns of the next fused step). */
+    std::size_t liveRequests() const { return active_.size(); }
+    /** Requests waiting for a slot. */
+    std::size_t queuedRequests() const { return queue_.size(); }
+    /** Fused steps executed so far. */
+    std::size_t stepsExecuted() const { return stepsExecuted_; }
+
+    /**
+     * The KernelTask list of the *next* fused step: GEMMs at the batch
+     * width the step will decode (live requests plus the queued ones
+     * it will admit into free slots), attention priced at each
+     * request's actual context length (kvLength + 1, the entries the
+     * step will attend over) — so sim::Accelerator scores exactly the
+     * workload step() executes. Empty when nothing is live or queued.
+     */
+    std::vector<KernelTask> workloadTasks() const;
+
+    /** Score the next fused step on a simulated accelerator. */
+    WorkloadResult simulate(const HwConfig &hw) const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** One tracked request (see serve/request.h for the public view). */
+    struct Request
+    {
+        RequestOptions options;
+        RequestState state = RequestState::Queued;
+        MatrixD hidden; ///< next-step input, hidden x 1
+        KvCache kv;
+        RequestStats stats;
+        Clock::time_point submitTime;
+    };
+
+    Engine(const OptConfig &model, const EngineOptions &options);
+
+    Request *find(RequestId id);
+    const Request *find(RequestId id) const;
+    /** Admit queued requests into free batch slots (FIFO). */
+    std::size_t admitFromQueue();
+    /** Remove id from the active list / queue (state already set). */
+    void removeFromSchedule(RequestId id);
+
+    QuantizedModel model_;
+    EngineOptions options_;
+    ExecutionContext ctx_;
+    /** Semantic op order of one decoder layer (construction-invariant). */
+    std::vector<LayerOp> layerOps_;
+    std::unordered_map<RequestId, Request> requests_;
+    /** Live requests in admission order = fused batch column order. */
+    std::vector<RequestId> active_;
+    std::deque<RequestId> queue_;
+    RequestId nextId_ = 1;
+    std::size_t stepsExecuted_ = 0;
+};
+
+} // namespace serve
+} // namespace figlut
+
+#endif // FIGLUT_SERVE_ENGINE_H

@@ -1,0 +1,19 @@
+#include "serve/request.h"
+
+namespace figlut {
+namespace serve {
+
+const char *
+requestStateName(RequestState state)
+{
+    switch (state) {
+      case RequestState::Queued: return "queued";
+      case RequestState::Active: return "active";
+      case RequestState::Finished: return "finished";
+      case RequestState::Cancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+} // namespace serve
+} // namespace figlut

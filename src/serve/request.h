@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Request model of the serving surface (serve/engine.h).
+ *
+ * A request is one independent decode sequence: it is submitted with
+ * its own token budget and input seed, admitted into the engine's
+ * fused batch when a slot frees, decoded one token per Engine::step()
+ * alongside every other live request, and retired when it reaches its
+ * budget (or is cancelled). Each request owns a single-column KvCache,
+ * so live requests may have arbitrarily different context lengths.
+ *
+ * Lifecycle:  submit() -> Queued -> Active -> Finished
+ *                               \-> Cancelled (any time before Finished)
+ */
+
+#ifndef FIGLUT_SERVE_REQUEST_H
+#define FIGLUT_SERVE_REQUEST_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "core/lut_gemm.h"
+
+namespace figlut {
+namespace serve {
+
+/** Opaque handle of a submitted request (monotonic, never reused). */
+using RequestId = std::uint64_t;
+
+/** Per-request knobs, fixed at submit(). */
+struct RequestOptions
+{
+    /**
+     * Decode steps before the engine retires the request (its token
+     * budget). 0 = unbounded: the request decodes until cancelled —
+     * the mode the Session adapter drives.
+     */
+    std::size_t maxTokens = 16;
+    /**
+     * Seed of the request's synthetic initial hidden state
+     * (model/synthetic.h; the stand-in for a real prompt embedding).
+     * Each step's output feeds the next step unless the client
+     * overrides it with Engine::provideInput().
+     */
+    std::uint64_t seed = Rng::kDefaultSeed;
+};
+
+/** Where a request is in its lifecycle. */
+enum class RequestState
+{
+    Queued,    ///< submitted, waiting for a batch slot
+    Active,    ///< participating in fused decode steps
+    Finished,  ///< reached its token budget; record kept for poll()
+    Cancelled, ///< cancelled by the client; record kept for poll()
+};
+
+/** Stable name of a RequestState ("queued", ...). */
+const char *requestStateName(RequestState state);
+
+/** Per-request accounting, updated by every fused step. */
+struct RequestStats
+{
+    /** Decode steps this request has executed. */
+    std::size_t tokensDecoded = 0;
+    /** Weight GEMMs this request has ridden through (4 per layer). */
+    std::size_t gemmCalls = 0;
+    /**
+     * This request's exact share of the fused-step kernel counters:
+     * every LutGemmCounters closed form is linear in the batch columns
+     * with no cross-column terms, so an even split over the live batch
+     * is exact (the differential suite pins it against a batch-1 run).
+     */
+    LutGemmCounters counters;
+    /** Fused steps that ran while this request sat in the queue. */
+    std::size_t queuedSteps = 0;
+    /** Wall-clock seconds from submit() to first decode step. */
+    double queueSeconds = 0.0;
+    /** Wall-clock seconds inside the fused steps this request joined. */
+    double decodeSeconds = 0.0;
+};
+
+/** Point-in-time copy of a request's externally visible state. */
+struct RequestSnapshot
+{
+    RequestId id = 0;
+    RequestState state = RequestState::Queued;
+    /** Latest hidden state, hidden x 1 (the next step's input). */
+    MatrixD hidden;
+    /** Decode steps currently held in the request's KV cache. */
+    std::size_t kvLength = 0;
+    RequestStats stats;
+};
+
+} // namespace serve
+} // namespace figlut
+
+#endif // FIGLUT_SERVE_REQUEST_H

@@ -214,6 +214,79 @@ TEST(LutGemm, InvalidMuThrows)
     EXPECT_THROW(lutGemm(tc.weights, tc.x, cfg), FatalError);
 }
 
+TEST(LutGemm, ValidateConfigReportsEachBadKnob)
+{
+    // The Status validator is the recoverable form of the kernel's
+    // own entry checks; each knob violation must carry its code and
+    // an actionable message.
+    LutGemmConfig cfg;
+    EXPECT_TRUE(validateLutGemmConfig(cfg).ok());
+
+    cfg.mu = 0;
+    auto s = validateLutGemmConfig(cfg);
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(s.message().find("mu"), std::string::npos);
+    cfg.mu = kMaxMu + 1;
+    EXPECT_FALSE(validateLutGemmConfig(cfg).ok());
+
+    cfg = LutGemmConfig{};
+    cfg.mu = 1;
+    cfg.useHalfLut = true;
+    s = validateLutGemmConfig(cfg);
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(s.message().find("mu >= 2"), std::string::npos);
+    cfg.useHalfLut = false;
+    EXPECT_TRUE(validateLutGemmConfig(cfg).ok());
+
+    cfg = LutGemmConfig{};
+    cfg.backend = LutGemmBackend::Threaded;
+    cfg.blockRows = 0;
+    s = validateLutGemmConfig(cfg);
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(s.message().find("blockRows"), std::string::npos);
+    // The Reference backend never blocks rows; the knob is ignored.
+    cfg.backend = LutGemmBackend::Reference;
+    EXPECT_TRUE(validateLutGemmConfig(cfg).ok());
+
+    cfg = LutGemmConfig{};
+    cfg.threads = kMaxLutGemmThreads + 1;
+    s = validateLutGemmConfig(cfg);
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(s.message().find("threads"), std::string::npos);
+    cfg.threads = kMaxLutGemmThreads;
+    EXPECT_TRUE(validateLutGemmConfig(cfg).ok());
+}
+
+TEST(LutGemm, PrePackedKeyMismatchesThrow)
+{
+    // Only the happy path of the pre-packed overload was covered; the
+    // rejection paths guard against silently misindexed arenas.
+    const auto tc = makeCase(6, 24, 2, 3, 0, true, 612);
+    LutGemmConfig cfg;
+    cfg.backend = LutGemmBackend::Packed;
+    cfg.threads = 1;
+    const auto packed = packLutKeys(tc.weights, cfg.mu);
+    EXPECT_NO_THROW(lutGemm(tc.weights, tc.x, cfg, packed));
+
+    // Keys packed for a different mu than the call's.
+    const auto wrongMu = packLutKeys(tc.weights, cfg.mu + 1);
+    EXPECT_THROW(lutGemm(tc.weights, tc.x, cfg, wrongMu), FatalError);
+
+    // Keys packed from a different-shaped tensor.
+    const auto other = makeCase(8, 24, 2, 3, 0, true, 613);
+    const auto wrongShape = packLutKeys(other.weights, cfg.mu);
+    EXPECT_THROW(lutGemm(tc.weights, tc.x, cfg, wrongShape), FatalError);
+
+    // Keys packed from a tensor with a different plane count.
+    const auto fewerBits = makeCase(6, 24, 2, 2, 0, true, 612);
+    const auto wrongBits = packLutKeys(fewerBits.weights, cfg.mu);
+    EXPECT_THROW(lutGemm(tc.weights, tc.x, cfg, wrongBits), FatalError);
+
+    // Pre-packed keys are a Packed-backend contract.
+    cfg.backend = LutGemmBackend::Threaded;
+    EXPECT_THROW(lutGemm(tc.weights, tc.x, cfg, packed), FatalError);
+}
+
 /** Format sweep: the FP path respects each activation format. */
 class LutGemmFormatSweep : public ::testing::TestWithParam<ActFormat>
 {};

@@ -44,15 +44,10 @@ handRolledStep(const QuantizedModel &qm, const SessionOptions &so,
                std::vector<std::vector<MatrixD>> &kCache,
                std::vector<std::vector<MatrixD>> &vCache)
 {
-    LutGemmConfig cfg;
-    cfg.mu = so.quant.mu;
-    cfg.actFormat = so.actFormat;
-    cfg.arith = so.arith;
-    cfg.preAligned = so.preAligned;
-    cfg.alignFracBits = so.alignFracBits;
-    cfg.useHalfLut = so.useHalfLut;
-    cfg.useGeneratorTree = so.useGeneratorTree;
+    LutGemmConfig cfg = makeGemmConfig(so.exec, so.quant.mu);
     cfg.backend = LutGemmBackend::Reference;
+    cfg.threads = 0;
+    cfg.blockRows = 64;
 
     const OptConfig &model = qm.config();
     const std::size_t h = model.hidden;
@@ -137,9 +132,9 @@ TEST(Session, DecodeStepBitIdenticalToHandRolledReference)
         so.quant.mu = static_cast<int>(trialRng.uniformInt(3, 5));
         so.quant.seed = 7000 + static_cast<uint64_t>(trial);
         so.batch = static_cast<std::size_t>(trialRng.uniformInt(1, 3));
-        so.preAligned = trial % 2 == 0;
-        so.threads = 2;
-        so.blockRows = 8;
+        so.exec.preAligned = trial % 2 == 0;
+        so.exec.threads = 2;
+        so.exec.blockRows = 8;
 
         Session session(model, so);
         Rng inputRng(99 + static_cast<uint64_t>(trial));
@@ -233,6 +228,65 @@ TEST(Session, KvCacheGrowsAndResetRestartsTheSequence)
     (void)second;
 }
 
+TEST(Session, ResetKvMidSequenceReplaysTheWholeSequence)
+{
+    // Reset with a non-trivial KV history must replay *every* later
+    // step bit-identically, not just the first (the KV clear has to
+    // reach all layers of every per-sequence cache).
+    SessionOptions so;
+    so.quant.bcqIterations = 0;
+    so.batch = 2;
+    Session session(tinyConfig(16, 2, 2, 32), so);
+    Rng rng(17);
+    const MatrixD inputA = session.makeInput(rng);
+
+    const auto firstA = session.runDecodeStep(inputA);
+    const auto firstB = session.runDecodeStep(firstA.hidden);
+    const auto firstC = session.runDecodeStep(firstB.hidden);
+    EXPECT_EQ(session.kvLength(), 3u);
+
+    session.resetKv();
+    EXPECT_EQ(session.kvLength(), 0u);
+    const auto againA = session.runDecodeStep(inputA);
+    const auto againB = session.runDecodeStep(againA.hidden);
+    const auto againC = session.runDecodeStep(againB.hidden);
+    EXPECT_EQ(againA.hidden, firstA.hidden);
+    EXPECT_EQ(againB.hidden, firstB.hidden);
+    EXPECT_EQ(againC.hidden, firstC.hidden);
+    EXPECT_EQ(session.kvLength(), 3u);
+
+    // The replayed KV history matches too, per sequence and layer.
+    for (std::size_t seq = 0; seq < so.batch; ++seq) {
+        const KvCache cache = session.kv(seq);
+        EXPECT_EQ(cache.layers(), 2u);
+        EXPECT_EQ(cache.length(), 3u);
+        EXPECT_GT(cache.bytes(), 0u);
+    }
+}
+
+TEST(Session, KvAccessorExposesPerSequenceHistories)
+{
+    SessionOptions so;
+    so.quant.bcqIterations = 0;
+    so.batch = 2;
+    Session session(tinyConfig(16, 1, 2, 32), so);
+    Rng rng(23);
+    const MatrixD input = session.makeInput(rng);
+    const auto r = session.runDecodeStep(input);
+    (void)r;
+
+    // Each sequence's cached K/V is the batch-1 column view: h x 1
+    // snapshots whose contents differ between the two sequences.
+    const KvCache kv0 = session.kv(0);
+    const KvCache kv1 = session.kv(1);
+    ASSERT_EQ(kv0.length(), 1u);
+    ASSERT_EQ(kv1.length(), 1u);
+    EXPECT_EQ(kv0.keys(0).front().rows(), 16u);
+    EXPECT_EQ(kv0.keys(0).front().cols(), 1u);
+    EXPECT_NE(kv0, kv1);
+    EXPECT_THROW(session.kv(2), FatalError);
+}
+
 TEST(Session, MaxLayersTruncatesModelAndWorkload)
 {
     SessionOptions so;
@@ -295,9 +349,9 @@ TEST(Session, BackendsAgreeThroughTheSessionPath)
         SessionOptions so;
         so.quant.bcqIterations = 1;
         so.batch = 2;
-        so.backend = backends[i];
-        so.threads = 2;
-        so.blockRows = 8;
+        so.exec.backend = backends[i];
+        so.exec.threads = 2;
+        so.exec.blockRows = 8;
         Session session(model, so);
         // Only the Packed backend consumes pre-packed keys; the
         // others must not pay for materializing them.
