@@ -15,6 +15,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/csv.h"
@@ -48,6 +49,13 @@ struct JsonBenchRecord
     double lutReadsPerS = 0.0; ///< RAC table reads per second (0 = n/a)
     double tokensPerS = 0.0;   ///< decoded tokens per second (0 = n/a)
     double liveRequests = 0.0; ///< serve-engine live batch (0 = n/a)
+    /**
+     * Additional numeric fields, emitted flat into the record after
+     * the fixed keys (latency percentiles, config echoes, ...). Keys
+     * must be unique and must not collide with the fixed keys;
+     * scripts/check_bench_json.py validates the result.
+     */
+    std::vector<std::pair<std::string, double>> extra;
 };
 
 /** Minimal JSON string escaping (quotes, backslashes, control chars). */
@@ -77,7 +85,8 @@ jsonEscape(const std::string &s)
 
 /**
  * Write benchmark records as a JSON array of {name, ns_per_iter,
- * lut_reads_per_s, tokens_per_s, live_requests} objects to path.
+ * lut_reads_per_s, tokens_per_s, live_requests, ...extra} objects to
+ * path.
  */
 inline void
 writeBenchJson(const std::string &path,
@@ -93,8 +102,10 @@ writeBenchJson(const std::string &path,
             << "\", \"ns_per_iter\": " << r.nsPerIter
             << ", \"lut_reads_per_s\": " << r.lutReadsPerS
             << ", \"tokens_per_s\": " << r.tokensPerS
-            << ", \"live_requests\": " << r.liveRequests << "}"
-            << (i + 1 < records.size() ? "," : "") << "\n";
+            << ", \"live_requests\": " << r.liveRequests;
+        for (const auto &[key, value] : r.extra)
+            out << ", \"" << jsonEscape(key) << "\": " << value;
+        out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
     }
     out << "]\n";
     if (!out.flush())

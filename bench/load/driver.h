@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Load-run drivers of the serving harness: the same arrival trace
+ * executed two ways, producing structurally identical LoadRun records
+ * (load/latency.h) so every percentile/SLO metric downstream is
+ * computed by one code path.
+ *
+ *  - runMeasured(): a real serve::Engine on the host. A submitter
+ *    thread releases each trace arrival at its wall-clock time while
+ *    the caller's thread spins the engine's step loop; both serialize
+ *    on one mutex (the engine is single-client by contract). Token
+ *    completions are stamped through the StepStats::decodedIds hook,
+ *    queue wait and TTFT come from the engine's own per-request
+ *    timing hooks.
+ *  - runSimulated(): sim::replayTrace() — the same schedule in
+ *    virtual time, each fused step priced by sim::Accelerator.
+ */
+
+#ifndef FIGLUT_BENCH_LOAD_DRIVER_H
+#define FIGLUT_BENCH_LOAD_DRIVER_H
+
+#include <vector>
+
+#include "load/latency.h"
+#include "load/trace.h"
+#include "model/opt_family.h"
+#include "serve/engine.h"
+#include "sim/engine_config.h"
+
+namespace figlut::bench {
+
+/** Everything a load run needs besides the trace itself. */
+struct LoadConfig
+{
+    /** The served (and replayed) model architecture. */
+    OptConfig model;
+    /** Engine knobs: quantization, exec backend, maxBatch/maxQueue. */
+    serve::EngineOptions engine;
+    /** The accelerator model the simulated run prices steps on. */
+    HwConfig hw;
+};
+
+/** Drive a real engine with the trace; wall-clock latencies. */
+LoadRun runMeasured(const LoadConfig &config,
+                    const std::vector<TraceRequest> &trace);
+
+/** Replay the trace on the simulator; virtual-time latencies. */
+LoadRun runSimulated(const LoadConfig &config,
+                     const std::vector<TraceRequest> &trace);
+
+} // namespace figlut::bench
+
+#endif // FIGLUT_BENCH_LOAD_DRIVER_H

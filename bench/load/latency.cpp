@@ -1,0 +1,165 @@
+#include "load/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace figlut::bench {
+
+void
+PercentileEstimator::add(double x)
+{
+    samples_.push_back(x);
+    dirty_ = true;
+}
+
+double
+PercentileEstimator::percentile(double p) const
+{
+    FIGLUT_ASSERT(p > 0.0 && p <= 100.0,
+                  "percentile p must be in (0, 100], got ", p);
+    if (samples_.empty())
+        return 0.0;
+    if (dirty_ || sorted_.size() != samples_.size()) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        dirty_ = false;
+    }
+    const auto n = static_cast<double>(sorted_.size());
+    const auto rank =
+        static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    return sorted_[std::max<std::size_t>(rank, 1) - 1];
+}
+
+double
+PercentileEstimator::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double x : samples_)
+        sum += x;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+PercentileEstimator::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+PercentileEstimator::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+LatencySummary
+summarizeLatency(const PercentileEstimator &samples)
+{
+    LatencySummary s;
+    s.count = samples.count();
+    s.mean = samples.mean();
+    s.p50 = samples.percentile(50.0);
+    s.p95 = samples.percentile(95.0);
+    s.p99 = samples.percentile(99.0);
+    s.max = samples.max();
+    return s;
+}
+
+namespace {
+
+/** Mean inter-token gap of a completed request (0 for one token). */
+double
+meanItlS(const RequestOutcome &outcome)
+{
+    if (outcome.tokens() < 2)
+        return 0.0;
+    return (outcome.tokenTimesS.back() - outcome.tokenTimesS.front()) /
+           static_cast<double>(outcome.tokens() - 1);
+}
+
+} // namespace
+
+bool
+meetsSlo(const RequestOutcome &outcome, const SloSpec &slo)
+{
+    if (!outcome.completed())
+        return false;
+    if (outcome.ttftS * 1e3 > slo.ttftMs)
+        return false;
+    return outcome.tokens() < 2 || meanItlS(outcome) * 1e3 <= slo.itlMs;
+}
+
+LoadSummary
+summarizeRun(const LoadRun &run, const SloSpec &slo)
+{
+    LoadSummary summary;
+    summary.requests = run.requests.size();
+
+    PercentileEstimator ttft, itl;
+    double firstArrival = 0.0, lastToken = 0.0;
+    bool any = false;
+    std::size_t tokens = 0, goodTokens = 0;
+    for (const RequestOutcome &outcome : run.requests) {
+        if (outcome.shed) {
+            ++summary.shed;
+            continue;
+        }
+        if (!outcome.completed())
+            continue;
+        ++summary.completed;
+        ttft.add(outcome.ttftS * 1e3);
+        for (std::size_t t = 1; t < outcome.tokens(); ++t)
+            itl.add((outcome.tokenTimesS[t] -
+                     outcome.tokenTimesS[t - 1]) *
+                    1e3);
+        if (!any || outcome.arrivalS < firstArrival)
+            firstArrival = outcome.arrivalS;
+        lastToken = std::max(lastToken, outcome.tokenTimesS.back());
+        any = true;
+        tokens += outcome.tokens();
+        if (meetsSlo(outcome, slo)) {
+            ++summary.sloMet;
+            goodTokens += outcome.tokens();
+        }
+    }
+    if (summary.requests > 0)
+        summary.shedRate = static_cast<double>(summary.shed) /
+                           static_cast<double>(summary.requests);
+    summary.ttftMs = summarizeLatency(ttft);
+    summary.itlMs = summarizeLatency(itl);
+    if (any && lastToken > firstArrival) {
+        summary.makespanS = lastToken - firstArrival;
+        summary.tokensPerS =
+            static_cast<double>(tokens) / summary.makespanS;
+        summary.goodputTokPerS =
+            static_cast<double>(goodTokens) / summary.makespanS;
+    }
+
+    if (!run.queueDepth.empty()) {
+        double sum = 0.0;
+        for (const std::size_t d : run.queueDepth) {
+            sum += static_cast<double>(d);
+            summary.queueDepthMax = std::max(
+                summary.queueDepthMax, static_cast<double>(d));
+        }
+        summary.queueDepthMean =
+            sum / static_cast<double>(run.queueDepth.size());
+    }
+    if (!run.stepSeconds.empty()) {
+        double sum = 0.0;
+        for (const double s : run.stepSeconds)
+            sum += s;
+        summary.msPerStepMean =
+            sum * 1e3 / static_cast<double>(run.stepSeconds.size());
+    }
+    return summary;
+}
+
+} // namespace figlut::bench

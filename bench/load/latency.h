@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Latency accounting of the serving load harness: an exact
+ * (nearest-rank) percentile estimator, per-request outcome records
+ * shared by the measured and simulated drivers, and SLO/goodput
+ * summarization.
+ *
+ * The estimator stores every sample and reports nearest-rank
+ * percentiles (rank = ceil(p/100 * n)), so p50/p95/p99 are exact
+ * order statistics — no interpolation, no sketching — which is what
+ * lets the tests pin them on known distributions. Harness-scale
+ * sample counts (thousands) make the O(n log n) sort-on-demand cost
+ * irrelevant.
+ */
+
+#ifndef FIGLUT_BENCH_LOAD_LATENCY_H
+#define FIGLUT_BENCH_LOAD_LATENCY_H
+
+#include <cstddef>
+#include <vector>
+
+namespace figlut::bench {
+
+/** Exact sample-storing percentile estimator. */
+class PercentileEstimator
+{
+  public:
+    /** Fold one sample in. */
+    void add(double x);
+
+    std::size_t count() const { return samples_.size(); }
+
+    /**
+     * Nearest-rank percentile for p in (0, 100]: the smallest sample
+     * with at least ceil(p/100 * n) samples <= it. Exact on any
+     * sample set; 0 when empty.
+     */
+    double percentile(double p) const;
+
+    double mean() const;
+    double min() const;
+    double max() const;
+
+  private:
+    std::vector<double> samples_;
+    /** Sorted view, rebuilt lazily (mutable cache of samples_). */
+    mutable std::vector<double> sorted_;
+    mutable bool dirty_ = false;
+};
+
+/** The percentile set every latency metric reports. */
+struct LatencySummary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/** Summarize an estimator into the standard percentile set. */
+LatencySummary summarizeLatency(const PercentileEstimator &samples);
+
+/**
+ * Outcome of one trace request after a load run — produced
+ * identically by the measured (serve::Engine, wall clock) and
+ * simulated (sim::replayTrace, virtual clock) drivers so every
+ * downstream metric is computed by the same code.
+ */
+struct RequestOutcome
+{
+    double arrivalS = 0.0;
+    std::size_t promptTokens = 0;
+    std::size_t outputTokens = 0;
+    bool shed = false; ///< rejected at submit (ResourceExhausted)
+    /** Submit to the start of the first decoding step. */
+    double queueS = 0.0;
+    /** Submit to the first token (queue wait + first step). */
+    double ttftS = 0.0;
+    /** Completion time of each decoded token (absolute seconds). */
+    std::vector<double> tokenTimesS;
+
+    std::size_t tokens() const { return tokenTimesS.size(); }
+    bool completed() const { return !shed && tokens() > 0; }
+};
+
+/** One full load run: per-request outcomes + per-step series. */
+struct LoadRun
+{
+    std::vector<RequestOutcome> requests; ///< trace order
+    std::vector<std::size_t> queueDepth;  ///< per step, after admission
+    std::vector<double> stepSeconds;      ///< per step duration
+};
+
+/** Latency SLO the goodput accounting scores requests against. */
+struct SloSpec
+{
+    double ttftMs = 200.0; ///< time-to-first-token bound
+    double itlMs = 50.0;   ///< mean inter-token latency bound
+};
+
+/**
+ * Whether a completed request met the SLO: TTFT within ttftMs and
+ * mean inter-token gap within itlMs (single-token requests meet the
+ * ITL bound vacuously). Shed or token-less requests never do.
+ */
+bool meetsSlo(const RequestOutcome &outcome, const SloSpec &slo);
+
+/** Aggregate metrics of one load run. */
+struct LoadSummary
+{
+    std::size_t requests = 0;
+    std::size_t shed = 0;
+    std::size_t completed = 0;
+    std::size_t sloMet = 0;
+    double shedRate = 0.0; ///< shed / requests
+    LatencySummary ttftMs; ///< across completed requests
+    LatencySummary itlMs;  ///< across all inter-token gaps
+    /** First arrival to last token completion. */
+    double makespanS = 0.0;
+    /** Decoded tokens / makespan. */
+    double tokensPerS = 0.0;
+    /** Tokens of SLO-meeting requests / makespan. */
+    double goodputTokPerS = 0.0;
+    double queueDepthMean = 0.0;
+    double queueDepthMax = 0.0;
+    double msPerStepMean = 0.0;
+};
+
+/** Compute every aggregate metric of a run under the given SLO. */
+LoadSummary summarizeRun(const LoadRun &run, const SloSpec &slo);
+
+} // namespace figlut::bench
+
+#endif // FIGLUT_BENCH_LOAD_LATENCY_H

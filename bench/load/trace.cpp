@@ -1,0 +1,132 @@
+#include "load/trace.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace figlut::bench {
+
+namespace {
+
+/** Exponential gap with the given rate (inverse-CDF of uniform()). */
+double
+exponentialGap(Rng &rng, double ratePerS)
+{
+    // uniform() is in [0, 1), so 1 - u is in (0, 1] and the log is
+    // finite; the gap is strictly positive.
+    return -std::log(1.0 - rng.uniform()) / ratePerS;
+}
+
+std::size_t
+drawLength(Rng &rng, const LengthRange &range)
+{
+    FIGLUT_ASSERT(range.lo <= range.hi, "length range [", range.lo,
+                  ", ", range.hi, "] is inverted");
+    return static_cast<std::size_t>(
+        rng.uniformInt(static_cast<int64_t>(range.lo),
+                       static_cast<int64_t>(range.hi)));
+}
+
+} // namespace
+
+std::vector<TraceRequest>
+generateTrace(const ScenarioSpec &scenario, std::size_t count,
+              std::uint64_t seed)
+{
+    FIGLUT_ASSERT(scenario.ratePerS > 0.0, "scenario \"", scenario.name,
+                  "\" needs a positive ratePerS, got ",
+                  scenario.ratePerS);
+    FIGLUT_ASSERT(scenario.output.lo >= 1 &&
+                      scenario.longOutput.lo >= 1,
+                  "scenario \"", scenario.name,
+                  "\" output ranges must start at >= 1 token");
+    FIGLUT_ASSERT(scenario.arrivals != ArrivalKind::Bursty ||
+                      scenario.burstSize >= 1,
+                  "bursty scenario \"", scenario.name,
+                  "\" needs burstSize >= 1");
+
+    Rng rng(seed);
+    std::vector<TraceRequest> trace;
+    trace.reserve(count);
+
+    // Arrival times first (one stream), then lengths (same stream),
+    // so the two draws cannot interleave differently across arrival
+    // kinds.
+    double t = 0.0;
+    while (trace.size() < count) {
+        if (scenario.arrivals == ArrivalKind::Poisson) {
+            t += exponentialGap(rng, scenario.ratePerS);
+            trace.push_back(TraceRequest{t, 0, 1, 0});
+        } else {
+            // Burst epochs keep the configured *mean* rate: epochs at
+            // ratePerS / burstSize, burstSize sends per epoch.
+            t += exponentialGap(rng, scenario.ratePerS /
+                                         static_cast<double>(
+                                             scenario.burstSize));
+            for (std::size_t i = 0;
+                 i < scenario.burstSize && trace.size() < count; ++i)
+                trace.push_back(TraceRequest{
+                    t + static_cast<double>(i) * scenario.burstJitterS,
+                    0, 1, 0});
+        }
+    }
+
+    // A tiny epoch gap can start a burst inside the previous burst's
+    // jitter window; clamp so the trace is sorted (replay requires it).
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        if (trace[i].arrivalS < trace[i - 1].arrivalS)
+            trace[i].arrivalS = trace[i - 1].arrivalS;
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const bool isLong = scenario.longFraction > 0.0 &&
+                            rng.uniform() < scenario.longFraction;
+        trace[i].promptTokens = drawLength(
+            rng, isLong ? scenario.longPrompt : scenario.prompt);
+        trace[i].outputTokens = drawLength(
+            rng, isLong ? scenario.longOutput : scenario.output);
+        trace[i].seed = rng.next();
+    }
+    return trace;
+}
+
+const std::vector<ScenarioSpec> &
+builtinScenarios()
+{
+    static const std::vector<ScenarioSpec> scenarios = [] {
+        std::vector<ScenarioSpec> s(3);
+        s[0].name = "poisson-short-chat";
+        s[0].arrivals = ArrivalKind::Poisson;
+        s[0].ratePerS = 32.0;
+        s[0].prompt = {8, 32};
+        s[0].output = {4, 16};
+
+        s[1].name = "bursty-short-chat";
+        s[1].arrivals = ArrivalKind::Bursty;
+        s[1].ratePerS = 32.0;
+        s[1].burstSize = 8;
+        s[1].prompt = {8, 32};
+        s[1].output = {4, 16};
+
+        s[2].name = "mixed-long-doc";
+        s[2].arrivals = ArrivalKind::Poisson;
+        s[2].ratePerS = 16.0;
+        s[2].prompt = {8, 32};
+        s[2].output = {4, 16};
+        s[2].longFraction = 0.3;
+        s[2].longPrompt = {96, 160};
+        s[2].longOutput = {24, 48};
+        return s;
+    }();
+    return scenarios;
+}
+
+const ScenarioSpec *
+scenarioByName(const std::string &name)
+{
+    for (const ScenarioSpec &s : builtinScenarios())
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+} // namespace figlut::bench

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Seeded arrival-trace generation for the serving load harness.
+ *
+ * A trace is a sorted sequence of request arrivals with prompt/output
+ * token lengths, fully determined by (scenario, count, seed) — the
+ * same trace drives the measured serve::Engine run and the simulated
+ * sim::replayTrace() run, which is what makes the measured-vs-
+ * simulated latency comparison apples-to-apples.
+ *
+ * Two arrival processes:
+ *  - Poisson: independent exponential inter-arrival gaps at ratePerS.
+ *  - Bursty: burst epochs arrive as a Poisson process at
+ *    ratePerS / burstSize, and each epoch releases burstSize requests
+ *    spaced burstJitterS apart — same mean rate, heavy short-range
+ *    clustering (the queue/shed stress case).
+ *
+ * Lengths are uniform over inclusive ranges; a scenario with
+ * longFraction > 0 mixes a second (long-document) range in with that
+ * probability per request — the "mixed" traffic class.
+ */
+
+#ifndef FIGLUT_BENCH_LOAD_TRACE_H
+#define FIGLUT_BENCH_LOAD_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace figlut::bench {
+
+/** One generated arrival. */
+struct TraceRequest
+{
+    double arrivalS = 0.0;        ///< seconds from trace start, sorted
+    std::size_t promptTokens = 0; ///< synthetic prompt KV length
+    std::size_t outputTokens = 1; ///< decode budget, always >= 1
+    std::uint64_t seed = 0;       ///< per-request synthetic-input seed
+};
+
+/** How arrivals are spaced in time. */
+enum class ArrivalKind
+{
+    Poisson, ///< independent exponential gaps
+    Bursty,  ///< Poisson burst epochs of burstSize back-to-back sends
+};
+
+/** Inclusive token-count range, drawn uniformly. */
+struct LengthRange
+{
+    std::size_t lo = 1;
+    std::size_t hi = 1;
+};
+
+/** A named traffic scenario: arrival process + length distributions. */
+struct ScenarioSpec
+{
+    std::string name;
+    ArrivalKind arrivals = ArrivalKind::Poisson;
+    /** Mean request rate in requests/second (both arrival kinds). */
+    double ratePerS = 32.0;
+    /** Bursty only: requests released per burst epoch. */
+    std::size_t burstSize = 8;
+    /** Bursty only: spacing between requests inside one burst. */
+    double burstJitterS = 5e-4;
+    LengthRange prompt{8, 32};
+    LengthRange output{4, 16};
+    /** Probability a request draws from the long ranges instead. */
+    double longFraction = 0.0;
+    LengthRange longPrompt{96, 160};
+    LengthRange longOutput{24, 48};
+};
+
+/**
+ * Generate `count` arrivals for the scenario, deterministic in
+ * (scenario, count, seed). Arrivals are sorted (nondecreasing), every
+ * outputTokens >= 1, and each request carries its own derived seed.
+ */
+std::vector<TraceRequest> generateTrace(const ScenarioSpec &scenario,
+                                        std::size_t count,
+                                        std::uint64_t seed);
+
+/**
+ * The built-in scenario set the harness (and CI's load smoke) sweeps:
+ * poisson-short-chat, bursty-short-chat, mixed-long-doc.
+ */
+const std::vector<ScenarioSpec> &builtinScenarios();
+
+/** Built-in scenario by name; nullptr when unknown. */
+const ScenarioSpec *scenarioByName(const std::string &name);
+
+} // namespace figlut::bench
+
+#endif // FIGLUT_BENCH_LOAD_TRACE_H

@@ -108,9 +108,14 @@ main(int argc, char **argv)
     }
 
     // 4. Retirement report: every request kept its own KV history and
-    //    an exact share of the fused kernel counters.
+    //    an exact share of the fused kernel counters. Wait and decode
+    //    are separate clocks — "wait (ms)" is submit until the first
+    //    decoding step began (queue + admitted-but-idle time), "ttft
+    //    (ms)" is submit until the first token landed, and "decode
+    //    (ms)" is only the request's share of fused GEMM steps.
     TextTable table({"request", "state", "tokens", "kv len",
-                     "queued steps", "LUT reads", "decode (ms)"});
+                     "queued steps", "LUT reads", "wait (ms)",
+                     "ttft (ms)", "decode (ms)"});
     for (const auto id : ids) {
         const auto snap = engine.poll(id);
         if (!snap.ok())
@@ -122,6 +127,8 @@ main(int argc, char **argv)
                       std::to_string(s.kvLength),
                       std::to_string(s.stats.queuedSteps),
                       std::to_string(s.stats.counters.lutReads),
+                      TextTable::num(s.stats.queueSeconds * 1e3, 2),
+                      TextTable::num(s.stats.ttftSeconds * 1e3, 2),
                       TextTable::num(s.stats.decodeSeconds * 1e3, 2)});
     }
     std::cout << "\n" << table.render();

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json perf records produced by bench binaries.
+
+Usage: check_bench_json.py FILE [FILE...]
+
+Every file must be a non-empty JSON array of records. Each record
+needs a non-empty string "name" and at least one finite, positive
+rate/latency field ("ns_per_iter" or "tokens_per_s"). Records from
+the serving_load harness (name starts with "serving_load/")
+additionally carry the full latency/SLO metric set and the config
+echoes that make a perf trajectory interpretable.
+
+Exits nonzero with a per-file message on the first malformed file, so
+CI's bench/load smoke steps fail loudly instead of uploading garbage
+artifacts. No third-party dependencies: stdlib json only.
+"""
+
+import json
+import math
+import sys
+
+SERVING_LOAD_KEYS = (
+    "requests",
+    "seed",
+    "rate_per_s",
+    "max_batch",
+    "max_queue",
+    "slo_ttft_ms",
+    "slo_itl_ms",
+    "ttft_ms_p50",
+    "ttft_ms_p95",
+    "ttft_ms_p99",
+    "itl_ms_p50",
+    "itl_ms_p95",
+    "itl_ms_p99",
+    "shed_rate",
+    "queue_depth_mean",
+    "queue_depth_max",
+    "goodput_tok_per_s",
+    "ms_per_step_mean",
+    "sim_ttft_ms_p50",
+    "sim_itl_ms_p50",
+    "sim_shed_rate",
+    "sim_tokens_per_s",
+    "sim_goodput_tok_per_s",
+    "sim_ms_per_step_mean",
+)
+
+
+def is_finite_number(value):
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def check_record(index, record):
+    """Return a list of problems with one record (empty = OK)."""
+    problems = []
+    if not isinstance(record, dict):
+        return ["record %d is not an object" % index]
+    name = record.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append("record %d has no non-empty name" % index)
+        name = "<record %d>" % index
+
+    ns = record.get("ns_per_iter")
+    tok = record.get("tokens_per_s")
+    has_rate = (is_finite_number(ns) and ns > 0) or (
+        is_finite_number(tok) and tok > 0
+    )
+    if not has_rate:
+        problems.append(
+            "%s: needs a finite positive ns_per_iter or tokens_per_s"
+            % name
+        )
+
+    for key, value in record.items():
+        if key == "name":
+            continue
+        if not is_finite_number(value):
+            problems.append(
+                "%s: field %r is not a finite number: %r"
+                % (name, key, value)
+            )
+
+    if name.startswith("serving_load/"):
+        for key in SERVING_LOAD_KEYS:
+            if not is_finite_number(record.get(key)):
+                problems.append(
+                    "%s: missing serving_load metric %r" % (name, key)
+                )
+    return problems
+
+
+def check_file(path):
+    """Return a list of problems with one file (empty = OK)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as err:
+        return ["cannot read: %s" % err]
+    except json.JSONDecodeError as err:
+        return ["malformed JSON: %s" % err]
+    if not isinstance(data, list):
+        return ["top level is not a JSON array"]
+    if not data:
+        return ["record array is empty"]
+
+    problems = []
+    names = set()
+    for index, record in enumerate(data):
+        problems.extend(check_record(index, record))
+        if isinstance(record, dict):
+            name = record.get("name")
+            if isinstance(name, str):
+                if name in names:
+                    problems.append("duplicate record name %r" % name)
+                names.add(name)
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(
+            "usage: check_bench_json.py FILE [FILE...]",
+            file=sys.stderr,
+        )
+        return 2
+    failed = False
+    for path in argv[1:]:
+        problems = check_file(path)
+        if problems:
+            failed = True
+            for problem in problems:
+                print("%s: %s" % (path, problem), file=sys.stderr)
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                count = len(json.load(handle))
+            print("%s: OK (%d records)" % (path, count))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

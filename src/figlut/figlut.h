@@ -64,6 +64,7 @@
 #include "sim/systolic_sim.h"
 #include "sim/tile_scheduler.h"
 #include "sim/timing_model.h"
+#include "sim/trace_replay.h"
 #include "sim/vpu.h"
 
 #include "model/opt_family.h"
@@ -77,6 +78,7 @@
 #include "runtime/reference_ops.h"
 #include "runtime/session.h"
 
+#include "serve/clock.h"
 #include "serve/engine.h"
 #include "serve/request.h"
 

@@ -1,0 +1,35 @@
+#include "serve/clock.h"
+
+#include "common/logging.h"
+
+namespace figlut {
+namespace serve {
+
+double
+SteadyClock::now() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void
+VirtualClock::advance(double seconds)
+{
+    FIGLUT_ASSERT(seconds >= 0.0,
+                  "VirtualClock cannot advance by negative seconds: ",
+                  seconds);
+    nowS_ += seconds;
+}
+
+void
+VirtualClock::set(double seconds)
+{
+    FIGLUT_ASSERT(seconds >= nowS_,
+                  "VirtualClock is monotonic: cannot set ", seconds,
+                  " below current ", nowS_);
+    nowS_ = seconds;
+}
+
+} // namespace serve
+} // namespace figlut

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Time source of the serving layer.
+ *
+ * Engine stamps every request-level timing (queue wait, TTFT, decode
+ * seconds) through an EngineClock instead of reading the system clock
+ * directly, so the same accounting code runs in two modes:
+ *
+ *  - SteadyClock: monotonic wall-clock seconds — production serving
+ *    and the measured runs of the serving_load harness.
+ *  - VirtualClock: a manually advanced timeline — deterministic
+ *    latency tests, and trace replays where simulated kernel durations
+ *    (sim/trace_replay.h) drive time instead of host speed.
+ *
+ * A clock is passed to the engine by pointer (EngineOptions::clock)
+ * and must outlive it; the engine only ever calls now(), so one
+ * VirtualClock can be shared between a test driver and the engine it
+ * drives.
+ */
+
+#ifndef FIGLUT_SERVE_CLOCK_H
+#define FIGLUT_SERVE_CLOCK_H
+
+#include <chrono>
+
+namespace figlut {
+namespace serve {
+
+/** Monotonic time source, in seconds on an arbitrary epoch. */
+class EngineClock
+{
+  public:
+    virtual ~EngineClock() = default;
+
+    /** Current time in seconds; never decreases between calls. */
+    virtual double now() const = 0;
+};
+
+/** Wall-clock seconds since construction (std::chrono::steady_clock). */
+class SteadyClock final : public EngineClock
+{
+  public:
+    double now() const override;
+
+  private:
+    std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
+};
+
+/** A timeline advanced explicitly by the driver (tests, replays). */
+class VirtualClock final : public EngineClock
+{
+  public:
+    double now() const override { return nowS_; }
+
+    /** Move time forward by `seconds` (must be >= 0). */
+    void advance(double seconds);
+
+    /** Jump to an absolute time (must not move backwards). */
+    void set(double seconds);
+
+  private:
+    double nowS_ = 0.0;
+};
+
+} // namespace serve
+} // namespace figlut
+
+#endif // FIGLUT_SERVE_CLOCK_H

@@ -92,7 +92,8 @@ Engine::create(const OptConfig &model, const EngineOptions &options)
 
 Engine::Engine(const OptConfig &model, const EngineOptions &options)
     : model_(model, modelOptionsFor(options)), options_(options),
-      ctx_(options.exec.threads)
+      ctx_(options.exec.threads),
+      clock_(options.clock != nullptr ? options.clock : &ownedClock_)
 {
     options_.model.packKeys = model_.options().packKeys;
     // Only the semantic op order is needed to drive the numeric step;
@@ -137,10 +138,22 @@ Engine::submit(const RequestOptions &request)
     const RequestId id = nextId_++;
     Request req;
     req.options = request;
-    req.submitTime = Clock::now();
+    req.submitTimeS = clock_->now();
     Rng rng(request.seed);
-    req.hidden = syntheticActivations(model_.config().hidden, 1, rng);
+    const std::size_t h = model_.config().hidden;
+    req.hidden = syntheticActivations(h, 1, rng);
     req.kv = KvCache(model_.layers());
+    // Synthetic prompt KV (the prefill stand-in): one K/V entry per
+    // (prompt token, layer), drawn from the request seed after the
+    // hidden state, so attention and the workloadTasks() context
+    // pricing both see the prompt from the first decode step.
+    for (std::size_t l = 0; l < model_.layers(); ++l) {
+        for (std::size_t t = 0; t < request.promptTokens; ++t) {
+            MatrixD k = syntheticActivations(h, 1, rng);
+            MatrixD v = syntheticActivations(h, 1, rng);
+            req.kv.append(l, std::move(k), std::move(v));
+        }
+    }
     if (direct) {
         req.state = RequestState::Active;
         active_.push_back(id);
@@ -175,15 +188,16 @@ Engine::provideInput(RequestId id, const MatrixD &hidden)
 std::size_t
 Engine::admitFromQueue()
 {
+    // queueSeconds is deliberately NOT stamped here: admission is
+    // bookkeeping, not decode. step() stamps it at the start of the
+    // first fused step that actually decodes the request, so the full
+    // pre-decode wait (queue + admitted-but-idle) lands in one bucket.
     std::size_t admitted = 0;
     while (active_.size() < options_.maxBatch && !queue_.empty()) {
         const RequestId id = queue_.front();
         queue_.pop_front();
         Request &req = requests_.at(id);
         req.state = RequestState::Active;
-        req.stats.queueSeconds =
-            std::chrono::duration<double>(Clock::now() - req.submitTime)
-                .count();
         active_.push_back(id);
         ++admitted;
     }
@@ -199,7 +213,7 @@ Engine::step()
         return Status::failedPrecondition(
             "no live requests to decode; submit() first");
 
-    const auto t0 = Clock::now();
+    const double t0 = clock_->now();
     const OptConfig &cfg = model_.config();
     const std::size_t h = cfg.hidden;
     const std::size_t b = active_.size();
@@ -209,6 +223,13 @@ Engine::step()
     live.reserve(b);
     for (const RequestId id : active_)
         live.push_back(&requests_.at(id));
+    stats.decodedIds = active_;
+
+    // First fused step for a request: everything before this instant
+    // was waiting (queue + admitted-but-idle), not decoding.
+    for (Request *req : live)
+        if (req->stats.tokensDecoded == 0)
+            req->stats.queueSeconds = t0 - req->submitTimeS;
 
     // Gather: one hidden column per live request, admission order, so
     // every layer GEMM below runs once over the whole live batch.
@@ -283,8 +304,8 @@ Engine::step()
         }
     }
 
-    stats.seconds =
-        std::chrono::duration<double>(Clock::now() - t0).count();
+    const double t1 = clock_->now();
+    stats.seconds = t1 - t0;
 
     // Scatter + per-request accounting, then retire exhausted budgets.
     const LutGemmCounters share = perColumnShare(stats.counters, b);
@@ -294,6 +315,8 @@ Engine::step()
         for (std::size_t r = 0; r < h; ++r)
             req.hidden(r, 0) = x(r, c);
         req.stats.tokensDecoded += 1;
+        if (req.stats.tokensDecoded == 1)
+            req.stats.ttftSeconds = t1 - req.submitTimeS;
         req.stats.gemmCalls += stats.gemmCalls;
         accumulate(req.stats.counters, share);
         req.stats.decodeSeconds += stats.seconds;
@@ -313,6 +336,7 @@ Engine::step()
     for (const RequestId id : queue_)
         requests_.at(id).stats.queuedSteps += 1;
     stats.admitted += admitFromQueue();
+    stats.queueDepth = queue_.size();
     ++stepsExecuted_;
     return stats;
 }

@@ -43,7 +43,6 @@
 #ifndef FIGLUT_SERVE_ENGINE_H
 #define FIGLUT_SERVE_ENGINE_H
 
-#include <chrono>
 #include <deque>
 #include <memory>
 #include <unordered_map>
@@ -55,6 +54,7 @@
 #include "runtime/exec_options.h"
 #include "runtime/kv_cache.h"
 #include "runtime/quantized_model.h"
+#include "serve/clock.h"
 #include "serve/request.h"
 #include "sim/accelerator.h"
 
@@ -77,6 +77,14 @@ struct EngineOptions
     std::size_t maxQueue = 64;
     /** Keep vector kernels in workloadTasks(). */
     bool includeVector = true;
+    /**
+     * Time source of every request-level timing (queue wait, TTFT,
+     * step seconds). nullptr = an engine-owned monotonic wall clock;
+     * a VirtualClock here makes latency accounting deterministic for
+     * tests and simulated-time replays (serve/clock.h). Not owned;
+     * must outlive the engine.
+     */
+    const EngineClock *clock = nullptr;
 };
 
 /** Whole-step accounting returned by Engine::step(). */
@@ -96,8 +104,16 @@ struct StepStats
     std::size_t gemmCalls = 0;
     /** Kernel op counters over the whole fused step. */
     LutGemmCounters counters;
-    /** Wall-clock seconds of the fused step. */
+    /** Clock seconds of the fused step (gather + layers, no admin). */
     double seconds = 0.0;
+    /** Requests still waiting after this step's final admission. */
+    std::size_t queueDepth = 0;
+    /**
+     * The requests this step decoded one token for, in fused batch
+     * column order — the per-token completion hook load harnesses use
+     * to stamp inter-token latencies without polling every id.
+     */
+    std::vector<RequestId> decodedIds;
 };
 
 /** A request-level serving engine over one shared quantized model. */
@@ -186,8 +202,6 @@ class Engine
     WorkloadResult simulate(const HwConfig &hw) const;
 
   private:
-    using Clock = std::chrono::steady_clock;
-
     /** One tracked request (see serve/request.h for the public view). */
     struct Request
     {
@@ -196,7 +210,7 @@ class Engine
         MatrixD hidden; ///< next-step input, hidden x 1
         KvCache kv;
         RequestStats stats;
-        Clock::time_point submitTime;
+        double submitTimeS = 0.0; ///< clock time of submit()
     };
 
     Engine(const OptConfig &model, const EngineOptions &options);
@@ -211,6 +225,9 @@ class Engine
     QuantizedModel model_;
     EngineOptions options_;
     ExecutionContext ctx_;
+    /** Fallback time source when EngineOptions::clock is null. */
+    SteadyClock ownedClock_;
+    const EngineClock *clock_ = nullptr;
     /** Semantic op order of one decoder layer (construction-invariant). */
     std::vector<LayerOp> layerOps_;
     std::unordered_map<RequestId, Request> requests_;

@@ -45,6 +45,16 @@ struct RequestOptions
      * overrides it with Engine::provideInput().
      */
     std::uint64_t seed = Rng::kDefaultSeed;
+    /**
+     * Prompt length in tokens. submit() seeds the request's KV cache
+     * with this many synthetic K/V entries per layer (drawn from
+     * `seed`, after the hidden state) — the stand-in for a real
+     * prefill until the prompt path lands (ROADMAP item 2). Decode
+     * attention and the workloadTasks() context pricing both see the
+     * prompt, so long-prompt traffic costs more per step, as it
+     * should.
+     */
+    std::size_t promptTokens = 0;
 };
 
 /** Where a request is in its lifecycle. */
@@ -75,9 +85,20 @@ struct RequestStats
     LutGemmCounters counters;
     /** Fused steps that ran while this request sat in the queue. */
     std::size_t queuedSteps = 0;
-    /** Wall-clock seconds from submit() to first decode step. */
+    /**
+     * Seconds from submit() to the *start* of the first fused step
+     * that decoded this request: the full pre-decode wait, covering
+     * both queue time and any admitted-but-idle gap until the driver's
+     * next step() call. 0 until the first decode step begins.
+     */
     double queueSeconds = 0.0;
-    /** Wall-clock seconds inside the fused steps this request joined. */
+    /**
+     * Time to first token: seconds from submit() to the end of the
+     * first fused step that decoded this request (queueSeconds plus
+     * that step's duration). 0 until the first token lands.
+     */
+    double ttftSeconds = 0.0;
+    /** Seconds inside the fused steps this request joined. */
     double decodeSeconds = 0.0;
 };
 

@@ -1,0 +1,132 @@
+#include "sim/trace_replay.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+namespace {
+
+/** Mutable scheduling state of one request during the replay. */
+struct Slot
+{
+    std::size_t decoded = 0;
+};
+
+} // namespace
+
+ReplayResult
+replayTrace(const OptConfig &model, const HwConfig &hw,
+            const ReplayOptions &options,
+            const std::vector<ReplayRequest> &trace)
+{
+    FIGLUT_ASSERT(options.maxBatch > 0,
+                  "replayTrace needs maxBatch >= 1, got ",
+                  options.maxBatch);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        FIGLUT_ASSERT(trace[i].outputTokens >= 1,
+                      "replayTrace request ", i,
+                      " has outputTokens == 0; a replay needs finite ",
+                      "decode budgets");
+        FIGLUT_ASSERT(i == 0 ||
+                          trace[i - 1].arrivalS <= trace[i].arrivalS,
+                      "replayTrace trace must be sorted by arrival: ",
+                      "request ", i, " at ", trace[i].arrivalS,
+                      " follows ", trace[i - 1].arrivalS);
+    }
+
+    ReplayResult result;
+    result.requests.resize(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        result.requests[i].arrivalS = trace[i].arrivalS;
+        result.requests[i].promptTokens = trace[i].promptTokens;
+        result.requests[i].outputTokens = trace[i].outputTokens;
+    }
+
+    const Accelerator accelerator(hw);
+    WorkloadOptions workload;
+    workload.weightBits = options.weightBits;
+    workload.includeVector = options.includeVector;
+    workload.groupSize = options.groupSize;
+    workload.hasOffset = options.hasOffset;
+
+    std::vector<Slot> slots(trace.size());
+    std::vector<std::size_t> active; ///< admission order = batch order
+    std::deque<std::size_t> queue;
+
+    // Mirror of Engine::submit(): direct admission only when a slot is
+    // free AND nothing is already waiting (FIFO fairness), a bounded
+    // queue otherwise, load-shed beyond it.
+    const auto submit = [&](std::size_t i) {
+        const bool direct =
+            active.size() < options.maxBatch && queue.empty();
+        if (direct)
+            active.push_back(i);
+        else if (queue.size() < options.maxQueue)
+            queue.push_back(i);
+        else
+            result.requests[i].shed = true;
+    };
+    // Mirror of Engine::admitFromQueue().
+    const auto admitFromQueue = [&] {
+        while (active.size() < options.maxBatch && !queue.empty()) {
+            active.push_back(queue.front());
+            queue.pop_front();
+        }
+    };
+
+    double simT = 0.0;
+    std::size_t next = 0;
+    while (true) {
+        // Arrivals up to the current virtual time join before the next
+        // step, exactly like submits landing between two step() calls.
+        while (next < trace.size() && trace[next].arrivalS <= simT)
+            submit(next++);
+        if (active.empty() && queue.empty()) {
+            if (next == trace.size())
+                break;
+            simT = trace[next].arrivalS;
+            continue;
+        }
+
+        // One fused step: admit, price the ragged-context batch on the
+        // accelerator, advance virtual time, decode one token each.
+        admitFromQueue();
+        const std::vector<std::size_t> batch = active;
+        workload.batch = batch.size();
+        std::vector<std::size_t> contextLens;
+        contextLens.reserve(batch.size());
+        for (const std::size_t i : batch)
+            contextLens.push_back(trace[i].promptTokens +
+                                  slots[i].decoded + 1);
+        const std::vector<KernelTask> tasks =
+            decodeStepWorkload(model, workload, contextLens);
+        const double stepS = accelerator.runWorkload(tasks).seconds;
+
+        for (const std::size_t i : batch)
+            if (slots[i].decoded == 0)
+                result.requests[i].queueS = simT - trace[i].arrivalS;
+        simT += stepS;
+        for (const std::size_t i : batch) {
+            slots[i].decoded += 1;
+            result.requests[i].tokenTimesS.push_back(simT);
+        }
+        active.erase(std::remove_if(active.begin(), active.end(),
+                                    [&](std::size_t i) {
+                                        return slots[i].decoded >=
+                                               trace[i].outputTokens;
+                                    }),
+                     active.end());
+        admitFromQueue();
+
+        result.stepSeconds.push_back(stepS);
+        result.queueDepth.push_back(queue.size());
+        ++result.steps;
+    }
+    result.endS = simT;
+    return result;
+}
+
+} // namespace figlut

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Trace replay on the simulated accelerator: the serving engine's
+ * continuous-batching schedule, re-run in virtual time with every
+ * fused step priced by sim::Accelerator instead of executed on the
+ * host.
+ *
+ * replayTrace() consumes the same arrival trace a measured
+ * serving_load run drives through serve::Engine and mirrors the
+ * engine's scheduling policy exactly — FIFO admission up to maxBatch,
+ * a bounded wait queue with load-shed beyond maxQueue, one token per
+ * live request per step, retirement at the output budget — but each
+ * step advances a virtual clock by the Accelerator-scored duration of
+ * that step's ragged-context KernelTask list (the same
+ * decodeStepWorkload() mapping Engine::workloadTasks() emits). The
+ * result is per-request latency in *simulated* seconds, directly
+ * comparable against the measured run: same trace, same schedule
+ * shape, modeled hardware instead of the host.
+ *
+ * The schedule equivalence is pinned by tests/bench_load: a
+ * serve::Engine driven on a VirtualClock advanced by the identical
+ * per-step scores produces bit-identical shed sets, token completion
+ * times, and queue depths.
+ */
+
+#ifndef FIGLUT_SIM_TRACE_REPLAY_H
+#define FIGLUT_SIM_TRACE_REPLAY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "model/workload.h"
+#include "sim/accelerator.h"
+
+namespace figlut {
+
+/** One arriving request of a replayed trace. */
+struct ReplayRequest
+{
+    double arrivalS = 0.0;         ///< submit time, seconds from start
+    std::size_t promptTokens = 0;  ///< synthetic prompt KV length
+    std::size_t outputTokens = 1;  ///< decode budget (must be >= 1)
+};
+
+/** Scheduling and workload-pricing knobs, mirroring EngineOptions. */
+struct ReplayOptions
+{
+    std::size_t maxBatch = 8; ///< live requests per fused step
+    std::size_t maxQueue = 64; ///< waiting bound; shed beyond
+    int weightBits = 4;        ///< quantized weight width of the GEMMs
+    bool includeVector = true; ///< price the VPU kernels too
+    std::size_t groupSize = 0; ///< scale-group geometry (0 = per-row)
+    bool hasOffset = true;     ///< BCQ offset term present
+};
+
+/** Simulated outcome of one trace request (trace order). */
+struct ReplayRequestResult
+{
+    double arrivalS = 0.0;
+    std::size_t promptTokens = 0;
+    std::size_t outputTokens = 0;
+    bool shed = false; ///< rejected at submit (queue full)
+    /** Arrival to the start of the first decoding step (0 if shed). */
+    double queueS = 0.0;
+    /** Virtual completion time of each decoded token, oldest first. */
+    std::vector<double> tokenTimesS;
+};
+
+/** Aggregated replay outcome. */
+struct ReplayResult
+{
+    /** Per-request outcomes, in trace order. */
+    std::vector<ReplayRequestResult> requests;
+    /** Fused steps executed. */
+    std::size_t steps = 0;
+    /** Simulated duration of each step, in execution order. */
+    std::vector<double> stepSeconds;
+    /** Wait-queue depth after each step's final admission. */
+    std::vector<std::size_t> queueDepth;
+    /** Virtual time when the last step finished. */
+    double endS = 0.0;
+};
+
+/**
+ * Replay an arrival trace (sorted by arrivalS, every outputTokens
+ * >= 1) against the accelerator model `hw`, mirroring serve::Engine's
+ * continuous-batching schedule. Deterministic: a pure function of its
+ * arguments.
+ */
+ReplayResult replayTrace(const OptConfig &model, const HwConfig &hw,
+                         const ReplayOptions &options,
+                         const std::vector<ReplayRequest> &trace);
+
+} // namespace figlut
+
+#endif // FIGLUT_SIM_TRACE_REPLAY_H

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Percentile estimator and SLO/goodput summarization tests: exact
+ * nearest-rank order statistics on known distributions, and the
+ * request-outcome aggregation both load drivers share.
+ */
+
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "load/latency.h"
+
+namespace figlut::bench {
+namespace {
+
+TEST(PercentileTest, ExactOnOneToHundred)
+{
+    // Insert 1..100 shuffled: nearest-rank pXX is exactly XX.
+    std::vector<double> values(100);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = static_cast<double>(i + 1);
+    std::mt19937 shuffler(7);
+    std::shuffle(values.begin(), values.end(), shuffler);
+
+    PercentileEstimator estimator;
+    for (const double v : values)
+        estimator.add(v);
+    EXPECT_EQ(estimator.count(), 100u);
+    EXPECT_DOUBLE_EQ(estimator.percentile(50.0), 50.0);
+    EXPECT_DOUBLE_EQ(estimator.percentile(95.0), 95.0);
+    EXPECT_DOUBLE_EQ(estimator.percentile(99.0), 99.0);
+    EXPECT_DOUBLE_EQ(estimator.percentile(100.0), 100.0);
+    EXPECT_DOUBLE_EQ(estimator.percentile(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(estimator.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(estimator.min(), 1.0);
+    EXPECT_DOUBLE_EQ(estimator.max(), 100.0);
+}
+
+TEST(PercentileTest, SmallSampleCounts)
+{
+    PercentileEstimator estimator;
+    estimator.add(42.0);
+    // One sample: every percentile is that sample.
+    EXPECT_DOUBLE_EQ(estimator.percentile(1.0), 42.0);
+    EXPECT_DOUBLE_EQ(estimator.percentile(50.0), 42.0);
+    EXPECT_DOUBLE_EQ(estimator.percentile(99.0), 42.0);
+
+    estimator.add(10.0);
+    // Two samples: p50 -> rank 1 (the smaller), p99 -> rank 2.
+    EXPECT_DOUBLE_EQ(estimator.percentile(50.0), 10.0);
+    EXPECT_DOUBLE_EQ(estimator.percentile(99.0), 42.0);
+}
+
+TEST(PercentileTest, EmptyIsZero)
+{
+    const PercentileEstimator estimator;
+    EXPECT_EQ(estimator.count(), 0u);
+    EXPECT_DOUBLE_EQ(estimator.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(estimator.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(estimator.min(), 0.0);
+    EXPECT_DOUBLE_EQ(estimator.max(), 0.0);
+}
+
+TEST(PercentileTest, AddAfterQueryInvalidatesCache)
+{
+    PercentileEstimator estimator;
+    estimator.add(1.0);
+    EXPECT_DOUBLE_EQ(estimator.percentile(99.0), 1.0);
+    estimator.add(5.0);
+    EXPECT_DOUBLE_EQ(estimator.percentile(99.0), 5.0);
+}
+
+TEST(PercentileTest, SummarizeLatencyFillsEveryField)
+{
+    PercentileEstimator estimator;
+    for (int i = 1; i <= 10; ++i)
+        estimator.add(static_cast<double>(i));
+    const LatencySummary s = summarizeLatency(estimator);
+    EXPECT_EQ(s.count, 10u);
+    EXPECT_DOUBLE_EQ(s.mean, 5.5);
+    EXPECT_DOUBLE_EQ(s.p50, 5.0);
+    EXPECT_DOUBLE_EQ(s.p95, 10.0);
+    EXPECT_DOUBLE_EQ(s.p99, 10.0);
+    EXPECT_DOUBLE_EQ(s.max, 10.0);
+}
+
+RequestOutcome
+outcomeAt(double arrivalS, double ttftS, std::vector<double> tokens)
+{
+    RequestOutcome outcome;
+    outcome.arrivalS = arrivalS;
+    outcome.ttftS = ttftS;
+    outcome.tokenTimesS = std::move(tokens);
+    outcome.outputTokens = outcome.tokenTimesS.size();
+    return outcome;
+}
+
+TEST(SloTest, MeetsSloCases)
+{
+    const SloSpec slo{100.0, 10.0}; // ttft <= 100ms, mean itl <= 10ms
+
+    // Good: 50ms TTFT, 5ms gaps.
+    EXPECT_TRUE(
+        meetsSlo(outcomeAt(0.0, 0.05, {0.05, 0.055, 0.06}), slo));
+    // TTFT violation.
+    EXPECT_FALSE(
+        meetsSlo(outcomeAt(0.0, 0.2, {0.2, 0.205}), slo));
+    // Mean-ITL violation: 50ms gaps.
+    EXPECT_FALSE(
+        meetsSlo(outcomeAt(0.0, 0.05, {0.05, 0.1, 0.15}), slo));
+    // Single token meets the ITL bound vacuously.
+    EXPECT_TRUE(meetsSlo(outcomeAt(0.0, 0.05, {0.05}), slo));
+    // Shed requests never meet the SLO.
+    RequestOutcome shed = outcomeAt(0.0, 0.0, {});
+    shed.shed = true;
+    EXPECT_FALSE(meetsSlo(shed, slo));
+    // Token-less (incomplete) requests never meet the SLO.
+    EXPECT_FALSE(meetsSlo(outcomeAt(0.0, 0.0, {}), slo));
+}
+
+TEST(SloTest, SummarizeRunAggregates)
+{
+    LoadRun run;
+    // Request 0: meets the SLO, 2 tokens.
+    run.requests.push_back(outcomeAt(0.0, 0.05, {0.05, 0.06}));
+    // Request 1: TTFT blows the SLO, 3 tokens.
+    run.requests.push_back(outcomeAt(0.0, 0.5, {0.5, 0.51, 0.52}));
+    // Request 2: shed.
+    RequestOutcome shed;
+    shed.arrivalS = 0.1;
+    shed.shed = true;
+    run.requests.push_back(shed);
+    run.queueDepth = {0, 2, 1};
+    run.stepSeconds = {0.01, 0.02, 0.03};
+
+    const SloSpec slo{100.0, 10.0};
+    const LoadSummary s = summarizeRun(run, slo);
+    EXPECT_EQ(s.requests, 3u);
+    EXPECT_EQ(s.shed, 1u);
+    EXPECT_EQ(s.completed, 2u);
+    EXPECT_EQ(s.sloMet, 1u);
+    EXPECT_DOUBLE_EQ(s.shedRate, 1.0 / 3.0);
+
+    // TTFT samples: 50ms and 500ms.
+    EXPECT_EQ(s.ttftMs.count, 2u);
+    EXPECT_DOUBLE_EQ(s.ttftMs.p50, 50.0);
+    EXPECT_DOUBLE_EQ(s.ttftMs.max, 500.0);
+    // ITL samples: 10ms, 10ms, 10ms.
+    EXPECT_EQ(s.itlMs.count, 3u);
+    EXPECT_NEAR(s.itlMs.p50, 10.0, 1e-9);
+
+    // Makespan: first arrival 0.0 to last token 0.52; 5 tokens total,
+    // 2 of them from the SLO-meeting request.
+    EXPECT_DOUBLE_EQ(s.makespanS, 0.52);
+    EXPECT_DOUBLE_EQ(s.tokensPerS, 5.0 / 0.52);
+    EXPECT_DOUBLE_EQ(s.goodputTokPerS, 2.0 / 0.52);
+
+    EXPECT_DOUBLE_EQ(s.queueDepthMean, 1.0);
+    EXPECT_DOUBLE_EQ(s.queueDepthMax, 2.0);
+    EXPECT_DOUBLE_EQ(s.msPerStepMean, 20.0);
+}
+
+TEST(SloTest, EmptyRunIsAllZero)
+{
+    const LoadSummary s = summarizeRun(LoadRun{}, SloSpec{});
+    EXPECT_EQ(s.requests, 0u);
+    EXPECT_EQ(s.completed, 0u);
+    EXPECT_DOUBLE_EQ(s.shedRate, 0.0);
+    EXPECT_DOUBLE_EQ(s.tokensPerS, 0.0);
+    EXPECT_DOUBLE_EQ(s.goodputTokPerS, 0.0);
+    EXPECT_DOUBLE_EQ(s.msPerStepMean, 0.0);
+}
+
+} // namespace
+} // namespace figlut::bench

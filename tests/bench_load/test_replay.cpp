@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Trace-replay tests: determinism, shed/queue behavior, and the pin
+ * that sim::replayTrace() mirrors serve::Engine's continuous-batching
+ * schedule exactly — an Engine driven on a VirtualClock advanced by
+ * the identical per-step Accelerator scores produces bit-identical
+ * shed sets, token completion times, and queue depths.
+ */
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "figlut/figlut.h"
+
+namespace figlut {
+namespace {
+
+OptConfig
+tinyModel()
+{
+    OptConfig model;
+    model.name = "OPT-replay-test";
+    model.hidden = 64;
+    model.layers = 1;
+    model.heads = 2;
+    model.ffn = 128;
+    return model;
+}
+
+HwConfig
+testHw()
+{
+    HwConfig hw;
+    hw.engine = EngineKind::FIGLUT_I;
+    return hw;
+}
+
+/** A small trace with simultaneous arrivals to force queuing. */
+std::vector<ReplayRequest>
+contendedTrace()
+{
+    return {
+        {0.0, 4, 3}, {0.0, 6, 2}, {0.0, 5, 1}, {0.0, 4, 2},
+        {1e-4, 3, 2}, {2e-3, 8, 3},
+    };
+}
+
+TEST(TraceReplayTest, Deterministic)
+{
+    ReplayOptions options;
+    options.maxBatch = 2;
+    options.maxQueue = 2;
+    const auto trace = contendedTrace();
+    const auto a = replayTrace(tinyModel(), testHw(), options, trace);
+    const auto b = replayTrace(tinyModel(), testHw(), options, trace);
+    ASSERT_EQ(a.steps, b.steps);
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    EXPECT_EQ(a.endS, b.endS);
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        EXPECT_EQ(a.requests[i].shed, b.requests[i].shed) << i;
+        EXPECT_EQ(a.requests[i].tokenTimesS,
+                  b.requests[i].tokenTimesS)
+            << i;
+    }
+    EXPECT_EQ(a.stepSeconds, b.stepSeconds);
+    EXPECT_EQ(a.queueDepth, b.queueDepth);
+}
+
+TEST(TraceReplayTest, ShedsBeyondQueueCapacity)
+{
+    ReplayOptions options;
+    options.maxBatch = 1;
+    options.maxQueue = 1;
+    // Four simultaneous arrivals into 1 slot + 1 queue entry: the
+    // last two are shed.
+    const std::vector<ReplayRequest> trace{
+        {0.0, 2, 1}, {0.0, 2, 1}, {0.0, 2, 1}, {0.0, 2, 1}};
+    const auto result =
+        replayTrace(tinyModel(), testHw(), options, trace);
+    EXPECT_FALSE(result.requests[0].shed);
+    EXPECT_FALSE(result.requests[1].shed);
+    EXPECT_TRUE(result.requests[2].shed);
+    EXPECT_TRUE(result.requests[3].shed);
+    EXPECT_TRUE(result.requests[2].tokenTimesS.empty());
+}
+
+TEST(TraceReplayTest, TokenBudgetsAndMonotoneVirtualTime)
+{
+    ReplayOptions options;
+    options.maxBatch = 2;
+    options.maxQueue = 8;
+    const auto trace = contendedTrace();
+    const auto result =
+        replayTrace(tinyModel(), testHw(), options, trace);
+    ASSERT_EQ(result.requests.size(), trace.size());
+    double lastEnd = 0.0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const auto &r = result.requests[i];
+        ASSERT_FALSE(r.shed) << i;
+        EXPECT_EQ(r.tokenTimesS.size(), trace[i].outputTokens) << i;
+        EXPECT_GE(r.queueS, 0.0) << i;
+        double prev = r.arrivalS;
+        for (const double t : r.tokenTimesS) {
+            EXPECT_GT(t, prev) << i;
+            prev = t;
+        }
+        lastEnd = std::max(lastEnd, r.tokenTimesS.back());
+    }
+    EXPECT_DOUBLE_EQ(result.endS, lastEnd);
+    EXPECT_EQ(result.stepSeconds.size(), result.steps);
+    EXPECT_EQ(result.queueDepth.size(), result.steps);
+    for (const double s : result.stepSeconds)
+        EXPECT_GT(s, 0.0);
+}
+
+TEST(TraceReplayTest, IdleGapJumpsToNextArrival)
+{
+    ReplayOptions options;
+    options.maxBatch = 4;
+    // Two arrivals far apart: the second request's first token lands
+    // shortly after its own arrival, not after an accumulated idle.
+    const std::vector<ReplayRequest> trace{{0.0, 2, 1}, {10.0, 2, 1}};
+    const auto result =
+        replayTrace(tinyModel(), testHw(), options, trace);
+    ASSERT_FALSE(result.requests[1].shed);
+    EXPECT_GE(result.requests[1].tokenTimesS.front(), 10.0);
+    EXPECT_LT(result.requests[1].tokenTimesS.front(), 10.0 + 1.0);
+    EXPECT_DOUBLE_EQ(result.requests[1].queueS, 0.0);
+}
+
+/**
+ * The load-bearing pin: a real serve::Engine on a VirtualClock,
+ * stepped through the same trace and advanced by the identical
+ * accelerator score per step, reproduces replayTrace() bit for bit —
+ * shed set, queue-depth series, queue waits, and every token
+ * completion time.
+ */
+TEST(TraceReplayTest, MatchesEngineOnVirtualClock)
+{
+    const OptConfig model = tinyModel();
+    const HwConfig hw = testHw();
+    ReplayOptions options;
+    options.maxBatch = 2;
+    options.maxQueue = 2;
+    const auto trace = contendedTrace();
+    const auto replay = replayTrace(model, hw, options, trace);
+
+    serve::VirtualClock clock;
+    serve::EngineOptions engineOptions;
+    engineOptions.clock = &clock;
+    engineOptions.maxBatch = options.maxBatch;
+    engineOptions.maxQueue = options.maxQueue;
+    engineOptions.model.weightBits = options.weightBits;
+    engineOptions.model.groupSize = options.groupSize;
+    engineOptions.model.useOffset = options.hasOffset;
+    engineOptions.model.bcqIterations = 1;
+    engineOptions.includeVector = options.includeVector;
+    auto created = serve::Engine::create(model, engineOptions);
+    ASSERT_TRUE(created.ok()) << created.status().toString();
+    serve::Engine &engine = *created.value();
+
+    const Accelerator accelerator(hw);
+    WorkloadOptions workload;
+    workload.weightBits = options.weightBits;
+    workload.includeVector = options.includeVector;
+    workload.groupSize = options.groupSize;
+    workload.hasOffset = options.hasOffset;
+
+    std::vector<bool> shed(trace.size(), false);
+    std::vector<std::vector<double>> tokenTimes(trace.size());
+    std::vector<std::size_t> queueDepth;
+    std::unordered_map<serve::RequestId, std::size_t> indexOf;
+
+    std::size_t next = 0;
+    while (true) {
+        while (next < trace.size() &&
+               trace[next].arrivalS <= clock.now()) {
+            serve::RequestOptions request;
+            request.maxTokens = trace[next].outputTokens;
+            request.promptTokens = trace[next].promptTokens;
+            request.seed = 100 + next;
+            const auto id = engine.submit(request);
+            if (id.ok())
+                indexOf.emplace(id.value(), next);
+            else
+                shed[next] = true;
+            ++next;
+        }
+        if (engine.liveRequests() == 0 &&
+            engine.queuedRequests() == 0) {
+            if (next == trace.size())
+                break;
+            clock.set(trace[next].arrivalS);
+            continue;
+        }
+
+        const auto stats = engine.step();
+        ASSERT_TRUE(stats.ok()) << stats.status().toString();
+        // Price this exact fused batch the way the replay does:
+        // ragged context lengths in batch-column order.
+        std::vector<std::size_t> contextLens;
+        for (const serve::RequestId id : stats.value().decodedIds) {
+            const std::size_t i = indexOf.at(id);
+            contextLens.push_back(trace[i].promptTokens +
+                                  tokenTimes[i].size() + 1);
+        }
+        workload.batch = contextLens.size();
+        const double stepS =
+            accelerator
+                .runWorkload(
+                    decodeStepWorkload(model, workload, contextLens))
+                .seconds;
+        clock.advance(stepS);
+        for (const serve::RequestId id : stats.value().decodedIds)
+            tokenTimes[indexOf.at(id)].push_back(clock.now());
+        queueDepth.push_back(stats.value().queueDepth);
+    }
+
+    // Bit-identical schedule: shed set, queue depths, token times.
+    ASSERT_EQ(queueDepth.size(), replay.steps);
+    EXPECT_EQ(queueDepth, replay.queueDepth);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(shed[i], replay.requests[i].shed) << i;
+        EXPECT_EQ(tokenTimes[i], replay.requests[i].tokenTimesS) << i;
+    }
+    // The engine's own queue-wait hook agrees with the replay.
+    for (const auto &[id, i] : indexOf) {
+        const auto snapshot = engine.poll(id);
+        ASSERT_TRUE(snapshot.ok()) << i;
+        EXPECT_DOUBLE_EQ(snapshot.value().stats.queueSeconds,
+                         replay.requests[i].queueS)
+            << i;
+    }
+}
+
+TEST(VirtualClockTest, AdvanceAndSetAreMonotone)
+{
+    serve::VirtualClock clock;
+    EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+    clock.advance(1.5);
+    EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+    clock.set(2.0);
+    EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+    clock.advance(0.0);
+    EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+}
+
+TEST(VirtualClockTest, EngineStampsWaitFromTheInjectedClock)
+{
+    serve::VirtualClock clock;
+    serve::EngineOptions options;
+    options.clock = &clock;
+    options.maxBatch = 1;
+    options.model.weightBits = 2;
+    options.model.bcqIterations = 1;
+    auto created = serve::Engine::create(tinyModel(), options);
+    ASSERT_TRUE(created.ok());
+    serve::Engine &engine = *created.value();
+
+    serve::RequestOptions first;
+    first.maxTokens = 2;
+    const auto a = engine.submit(first);
+    ASSERT_TRUE(a.ok());
+    clock.advance(3.0); // the request sits admitted-but-idle
+    serve::RequestOptions second;
+    second.maxTokens = 1;
+    const auto b = engine.submit(second); // queued behind a
+    ASSERT_TRUE(b.ok());
+
+    ASSERT_TRUE(engine.step().ok()); // a decodes; wait stamped at 3.0
+    clock.advance(1.0);
+    ASSERT_TRUE(engine.step().ok()); // a retires, b admitted
+    clock.advance(1.0);
+    ASSERT_TRUE(engine.step().ok()); // b decodes; waited 0..5
+
+    const auto snapA = engine.poll(a.value());
+    ASSERT_TRUE(snapA.ok());
+    EXPECT_DOUBLE_EQ(snapA.value().stats.queueSeconds, 3.0);
+    // TTFT is stamped at the end of the first decoding step; the
+    // virtual clock did not move inside step(), so it equals the wait.
+    EXPECT_DOUBLE_EQ(snapA.value().stats.ttftSeconds, 3.0);
+
+    const auto snapB = engine.poll(b.value());
+    ASSERT_TRUE(snapB.ok());
+    // b was submitted at t=3.0 and its first decoding step began at
+    // t=5.0 (after two advances).
+    EXPECT_DOUBLE_EQ(snapB.value().stats.queueSeconds, 2.0);
+}
+
+} // namespace
+} // namespace figlut

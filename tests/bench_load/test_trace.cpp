@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Arrival-trace generator tests: seeded reproducibility, sortedness,
+ * Poisson mean-rate accuracy, bursty clustering at the same mean rate,
+ * length-range and mixed-class behavior, and the built-in scenario
+ * registry the harness and CI smoke sweep.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "load/trace.h"
+
+namespace figlut::bench {
+namespace {
+
+ScenarioSpec
+poissonSpec()
+{
+    ScenarioSpec spec;
+    spec.name = "poisson-test";
+    spec.arrivals = ArrivalKind::Poisson;
+    spec.ratePerS = 32.0;
+    spec.prompt = {8, 32};
+    spec.output = {4, 16};
+    return spec;
+}
+
+ScenarioSpec
+burstySpec()
+{
+    ScenarioSpec spec = poissonSpec();
+    spec.name = "bursty-test";
+    spec.arrivals = ArrivalKind::Bursty;
+    spec.burstSize = 8;
+    spec.burstJitterS = 5e-4;
+    return spec;
+}
+
+TEST(TraceTest, DeterministicInSeed)
+{
+    const auto spec = poissonSpec();
+    const auto a = generateTrace(spec, 200, 7);
+    const auto b = generateTrace(spec, 200, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrivalS, b[i].arrivalS) << i;
+        EXPECT_EQ(a[i].promptTokens, b[i].promptTokens) << i;
+        EXPECT_EQ(a[i].outputTokens, b[i].outputTokens) << i;
+        EXPECT_EQ(a[i].seed, b[i].seed) << i;
+    }
+}
+
+TEST(TraceTest, SeedChangesTheTrace)
+{
+    const auto spec = poissonSpec();
+    const auto a = generateTrace(spec, 50, 1);
+    const auto b = generateTrace(spec, 50, 2);
+    bool anyDifferent = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        anyDifferent = anyDifferent || a[i].arrivalS != b[i].arrivalS;
+    EXPECT_TRUE(anyDifferent);
+}
+
+TEST(TraceTest, ArrivalsSortedAndLengthsInRange)
+{
+    for (const auto &spec : {poissonSpec(), burstySpec()}) {
+        const auto trace = generateTrace(spec, 500, 11);
+        ASSERT_EQ(trace.size(), 500u);
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            if (i > 0) {
+                EXPECT_LE(trace[i - 1].arrivalS, trace[i].arrivalS)
+                    << spec.name << " request " << i;
+            }
+            EXPECT_GE(trace[i].arrivalS, 0.0);
+            EXPECT_GE(trace[i].promptTokens, spec.prompt.lo);
+            EXPECT_LE(trace[i].promptTokens, spec.prompt.hi);
+            EXPECT_GE(trace[i].outputTokens, spec.output.lo);
+            EXPECT_LE(trace[i].outputTokens, spec.output.hi);
+            EXPECT_GE(trace[i].outputTokens, 1u);
+        }
+    }
+}
+
+TEST(TraceTest, PoissonMeanInterArrivalMatchesRate)
+{
+    const auto spec = poissonSpec();
+    const auto trace = generateTrace(spec, 4000, 3);
+    const double spanS = trace.back().arrivalS - trace.front().arrivalS;
+    const double meanGapS =
+        spanS / static_cast<double>(trace.size() - 1);
+    // 4000 exponential gaps: the sample mean is within a few percent
+    // of 1/rate with overwhelming probability; 15% is a safe bound.
+    EXPECT_NEAR(meanGapS, 1.0 / spec.ratePerS,
+                0.15 / spec.ratePerS);
+}
+
+TEST(TraceTest, BurstyKeepsTheMeanRateButClusters)
+{
+    const auto bursty = generateTrace(burstySpec(), 4000, 3);
+    const double spanS =
+        bursty.back().arrivalS - bursty.front().arrivalS;
+    const double meanGapS =
+        spanS / static_cast<double>(bursty.size() - 1);
+    EXPECT_NEAR(meanGapS, 1.0 / burstySpec().ratePerS,
+                0.2 / burstySpec().ratePerS);
+
+    // Clustering signature: most gaps are the tiny intra-burst jitter
+    // (7 of every 8 arrivals for burstSize 8), far below the mean gap.
+    std::size_t tinyGaps = 0;
+    for (std::size_t i = 1; i < bursty.size(); ++i)
+        if (bursty[i].arrivalS - bursty[i - 1].arrivalS <=
+            2.0 * burstySpec().burstJitterS)
+            ++tinyGaps;
+    EXPECT_GT(tinyGaps, bursty.size() / 2);
+}
+
+TEST(TraceTest, MixedLongFractionDrawsLongRanges)
+{
+    ScenarioSpec spec = poissonSpec();
+    spec.longFraction = 0.3;
+    spec.longPrompt = {96, 160};
+    spec.longOutput = {24, 48};
+    const auto trace = generateTrace(spec, 2000, 5);
+    std::size_t longCount = 0;
+    for (const auto &request : trace) {
+        const bool isLong = request.promptTokens >= spec.longPrompt.lo;
+        const bool isShort = request.promptTokens <= spec.prompt.hi;
+        ASSERT_TRUE(isLong || isShort);
+        if (isLong) {
+            ++longCount;
+            EXPECT_LE(request.promptTokens, spec.longPrompt.hi);
+            EXPECT_GE(request.outputTokens, spec.longOutput.lo);
+            EXPECT_LE(request.outputTokens, spec.longOutput.hi);
+        }
+    }
+    const double fraction = static_cast<double>(longCount) /
+                            static_cast<double>(trace.size());
+    EXPECT_NEAR(fraction, spec.longFraction, 0.05);
+}
+
+TEST(TraceTest, LongFractionOneIsAllLong)
+{
+    ScenarioSpec spec = poissonSpec();
+    spec.longFraction = 1.0;
+    for (const auto &request : generateTrace(spec, 100, 9)) {
+        EXPECT_GE(request.promptTokens, spec.longPrompt.lo);
+        EXPECT_LE(request.promptTokens, spec.longPrompt.hi);
+    }
+}
+
+TEST(TraceTest, PerRequestSeedsAreDistinct)
+{
+    const auto trace = generateTrace(poissonSpec(), 300, 13);
+    std::set<std::uint64_t> seeds;
+    for (const auto &request : trace)
+        seeds.insert(request.seed);
+    EXPECT_EQ(seeds.size(), trace.size());
+}
+
+TEST(TraceTest, BuiltinScenarioRegistry)
+{
+    const auto &scenarios = builtinScenarios();
+    ASSERT_EQ(scenarios.size(), 3u);
+    EXPECT_EQ(scenarios[0].name, "poisson-short-chat");
+    EXPECT_EQ(scenarios[1].name, "bursty-short-chat");
+    EXPECT_EQ(scenarios[2].name, "mixed-long-doc");
+    EXPECT_EQ(scenarios[1].arrivals, ArrivalKind::Bursty);
+    EXPECT_GT(scenarios[2].longFraction, 0.0);
+
+    for (const auto &scenario : scenarios) {
+        const ScenarioSpec *found = scenarioByName(scenario.name);
+        ASSERT_NE(found, nullptr) << scenario.name;
+        EXPECT_EQ(found->name, scenario.name);
+    }
+    EXPECT_EQ(scenarioByName("no-such-scenario"), nullptr);
+}
+
+TEST(TraceTest, CountZeroIsEmpty)
+{
+    EXPECT_TRUE(generateTrace(poissonSpec(), 0, 1).empty());
+}
+
+} // namespace
+} // namespace figlut::bench

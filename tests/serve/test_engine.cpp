@@ -425,11 +425,13 @@ TEST(Engine, WorkloadTasksTrackTheLiveRaggedBatch)
     expected =
         decodeStepWorkload(model, wl, std::vector<std::size_t>{2});
     ASSERT_EQ(tasks.size(), expected.size());
-    for (std::size_t i = 0; i < tasks.size(); ++i)
-        if (tasks[i].kind == KernelTask::Kind::Vector)
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (tasks[i].kind == KernelTask::Kind::Vector) {
             EXPECT_EQ(tasks[i].vector.total(),
                       expected[i].vector.total())
                 << "task " << i;
+        }
+    }
 
     // A request joining mid-flight widens the scored batch again:
     // one aged column (ctx 3 after this step) + one fresh column.
@@ -444,11 +446,13 @@ TEST(Engine, WorkloadTasksTrackTheLiveRaggedBatch)
     expected =
         decodeStepWorkload(model, wl, std::vector<std::size_t>{3, 1});
     ASSERT_EQ(tasks.size(), expected.size());
-    for (std::size_t i = 0; i < tasks.size(); ++i)
-        if (tasks[i].kind == KernelTask::Kind::Vector)
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (tasks[i].kind == KernelTask::Kind::Vector) {
             EXPECT_EQ(tasks[i].vector.total(),
                       expected[i].vector.total())
                 << "task " << i;
+        }
+    }
     const auto fused = engine.step();
     ASSERT_TRUE(fused.ok());
     EXPECT_EQ(fused.value().liveRequests, 2u);
