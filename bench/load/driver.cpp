@@ -46,6 +46,7 @@ runMeasured(const LoadConfig &config,
             request.maxTokens = trace[i].outputTokens;
             request.promptTokens = trace[i].promptTokens;
             request.seed = trace[i].seed;
+            request.deadlineS = config.deadlineS;
             std::lock_guard<std::mutex> lock(mu);
             RequestOutcome &outcome = run.requests[i];
             outcome.arrivalS = targetS;
@@ -79,10 +80,33 @@ runMeasured(const LoadConfig &config,
             fatal("runMeasured step failed: ",
                   stats.status().toString());
         const double nowS = clock.now();
-        for (const serve::RequestId id : stats.value().decodedIds)
+        const serve::StepStats &step = stats.value();
+        // Governance outcomes first: an evicted request restarts from
+        // scratch (its recorded tokens are discarded, like the
+        // engine's own resetKv), shed/deadline drops are terminal.
+        for (const serve::RequestId id : step.evictedIds) {
+            RequestOutcome &outcome = run.requests[indexOf.at(id)];
+            outcome.tokenTimesS.clear();
+            outcome.evictions += 1;
+        }
+        for (const serve::RequestId id : step.shedIds) {
+            RequestOutcome &outcome = run.requests[indexOf.at(id)];
+            outcome.tokenTimesS.clear();
+            outcome.shed = true;
+        }
+        for (const serve::RequestId id : step.deadlineIds) {
+            RequestOutcome &outcome = run.requests[indexOf.at(id)];
+            outcome.tokenTimesS.clear();
+            outcome.deadlineMiss = true;
+        }
+        for (const serve::RequestId id : step.decodedIds)
             run.requests[indexOf.at(id)].tokenTimesS.push_back(nowS);
-        run.queueDepth.push_back(stats.value().queueDepth);
-        run.stepSeconds.push_back(stats.value().seconds);
+        // Governance-only steps (every column shed/evicted/expired)
+        // decode nothing and are not recorded, matching the replay.
+        if (!step.decodedIds.empty()) {
+            run.queueDepth.push_back(step.queueDepth);
+            run.stepSeconds.push_back(step.seconds);
+        }
     }
     submitter.join();
 
@@ -106,7 +130,8 @@ runSimulated(const LoadConfig &config,
     for (const TraceRequest &request : trace)
         replay.push_back(ReplayRequest{request.arrivalS,
                                        request.promptTokens,
-                                       request.outputTokens});
+                                       request.outputTokens,
+                                       config.deadlineS});
     ReplayOptions options;
     options.maxBatch = config.engine.maxBatch;
     options.maxQueue = config.engine.maxQueue;
@@ -114,6 +139,10 @@ runSimulated(const LoadConfig &config,
     options.includeVector = config.engine.includeVector;
     options.groupSize = config.engine.model.groupSize;
     options.hasOffset = config.engine.model.useOffset;
+    options.kvBudgetBytes = config.engine.kvBudgetBytes;
+    options.kvBlockTokens = config.engine.kvBlockTokens;
+    options.policy = config.engine.policy;
+    options.faults = config.engine.faults;
     const ReplayResult result =
         replayTrace(config.model, config.hw, options, replay);
 
@@ -126,6 +155,8 @@ runSimulated(const LoadConfig &config,
         outcome.promptTokens = r.promptTokens;
         outcome.outputTokens = r.outputTokens;
         outcome.shed = r.shed;
+        outcome.deadlineMiss = r.deadlineMiss;
+        outcome.evictions = r.evictions;
         outcome.queueS = r.queueS;
         outcome.tokenTimesS = r.tokenTimesS;
         if (!r.tokenTimesS.empty())

@@ -34,8 +34,15 @@ struct LoadConfig
 {
     /** The served (and replayed) model architecture. */
     OptConfig model;
-    /** Engine knobs: quantization, exec backend, maxBatch/maxQueue. */
+    /** Engine knobs: quantization, exec backend, maxBatch/maxQueue,
+     *  KV budget, degradation policy, fault injector. The governance
+     *  knobs (kvBudgetBytes, kvBlockTokens, policy, faults) are
+     *  forwarded verbatim to the simulated replay so both drivers run
+     *  the identical admission/eviction schedule. */
     serve::EngineOptions engine;
+    /** Per-request deadline in seconds applied to every trace
+     *  request; 0 = no deadline. */
+    double deadlineS = 0.0;
     /** The accelerator model the simulated run prices steps on. */
     HwConfig hw;
 };

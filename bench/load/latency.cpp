@@ -107,8 +107,13 @@ summarizeRun(const LoadRun &run, const SloSpec &slo)
     bool any = false;
     std::size_t tokens = 0, goodTokens = 0;
     for (const RequestOutcome &outcome : run.requests) {
+        summary.evictions += outcome.evictions;
         if (outcome.shed) {
             ++summary.shed;
+            continue;
+        }
+        if (outcome.deadlineMiss) {
+            ++summary.deadlineMissed;
             continue;
         }
         if (!outcome.completed())
@@ -129,9 +134,14 @@ summarizeRun(const LoadRun &run, const SloSpec &slo)
             goodTokens += outcome.tokens();
         }
     }
-    if (summary.requests > 0)
-        summary.shedRate = static_cast<double>(summary.shed) /
-                           static_cast<double>(summary.requests);
+    if (summary.requests > 0) {
+        const auto n = static_cast<double>(summary.requests);
+        summary.shedRate = static_cast<double>(summary.shed) / n;
+        summary.deadlineMissRate =
+            static_cast<double>(summary.deadlineMissed) / n;
+        summary.evictRate =
+            static_cast<double>(summary.evictions) / n;
+    }
     summary.ttftMs = summarizeLatency(ttft);
     summary.itlMs = summarizeLatency(itl);
     if (any && lastToken > firstArrival) {

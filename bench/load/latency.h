@@ -73,7 +73,14 @@ struct RequestOutcome
     double arrivalS = 0.0;
     std::size_t promptTokens = 0;
     std::size_t outputTokens = 0;
-    bool shed = false; ///< rejected at submit (ResourceExhausted)
+    /** Dropped terminally under capacity pressure: rejected at
+     *  submit (queue full) or shed mid-flight by the KV budget. */
+    bool shed = false;
+    /** Dropped terminally past its deadline. */
+    bool deadlineMiss = false;
+    /** Times the request was evicted and re-queued; its token times
+     *  only reflect the final, surviving life. */
+    std::size_t evictions = 0;
     /** Submit to the start of the first decoding step. */
     double queueS = 0.0;
     /** Submit to the first token (queue wait + first step). */
@@ -82,7 +89,10 @@ struct RequestOutcome
     std::vector<double> tokenTimesS;
 
     std::size_t tokens() const { return tokenTimesS.size(); }
-    bool completed() const { return !shed && tokens() > 0; }
+    bool completed() const
+    {
+        return !shed && !deadlineMiss && tokens() > 0;
+    }
 };
 
 /** One full load run: per-request outcomes + per-step series. */
@@ -112,9 +122,13 @@ struct LoadSummary
 {
     std::size_t requests = 0;
     std::size_t shed = 0;
+    std::size_t deadlineMissed = 0;
+    std::size_t evictions = 0; ///< total evict/re-queue cycles
     std::size_t completed = 0;
     std::size_t sloMet = 0;
-    double shedRate = 0.0; ///< shed / requests
+    double shedRate = 0.0;         ///< shed / requests
+    double deadlineMissRate = 0.0; ///< deadlineMissed / requests
+    double evictRate = 0.0;        ///< evictions / requests
     LatencySummary ttftMs; ///< across completed requests
     LatencySummary itlMs;  ///< across all inter-token gaps
     /** First arrival to last token completion. */

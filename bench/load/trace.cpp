@@ -120,12 +120,33 @@ builtinScenarios()
     return scenarios;
 }
 
+const ScenarioSpec &
+overloadScenario()
+{
+    static const ScenarioSpec scenario = [] {
+        ScenarioSpec s;
+        s.name = "overload";
+        s.arrivals = ArrivalKind::Bursty;
+        s.ratePerS = 48.0;
+        s.burstSize = 8;
+        s.prompt = {16, 48};
+        s.output = {8, 24};
+        s.longFraction = 0.25;
+        s.longPrompt = {64, 128};
+        s.longOutput = {16, 32};
+        return s;
+    }();
+    return scenario;
+}
+
 const ScenarioSpec *
 scenarioByName(const std::string &name)
 {
     for (const ScenarioSpec &s : builtinScenarios())
         if (s.name == name)
             return &s;
+    if (name == overloadScenario().name)
+        return &overloadScenario();
     return nullptr;
 }
 

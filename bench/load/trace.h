@@ -84,11 +84,20 @@ std::vector<TraceRequest> generateTrace(const ScenarioSpec &scenario,
 
 /**
  * The built-in scenario set the harness (and CI's load smoke) sweeps:
- * poisson-short-chat, bursty-short-chat, mixed-long-doc.
+ * poisson-short-chat, bursty-short-chat, mixed-long-doc. The overload
+ * scenario is deliberately *not* in this sweep — it is its own mode
+ * (a KV-budget pressure sweep), selected by name.
  */
 const std::vector<ScenarioSpec> &builtinScenarios();
 
-/** Built-in scenario by name; nullptr when unknown. */
+/**
+ * The memory-governance stress scenario: bursty arrivals with a long
+ * tail, run by the harness as a KV-budget sweep (see the `overload`
+ * scenario of bench/serving_load) instead of a plain latency run.
+ */
+const ScenarioSpec &overloadScenario();
+
+/** Built-in or overload scenario by name; nullptr when unknown. */
 const ScenarioSpec *scenarioByName(const std::string &name);
 
 } // namespace figlut::bench

@@ -4,8 +4,18 @@
  * traces with prompt/output-length distributions, driven through a
  * real serve::Engine (submitter thread + step loop) AND replayed on
  * sim::Accelerator in virtual time — TTFT and inter-token latency
- * p50/p95/p99, queue depth, shed rate, and goodput under a
- * configurable SLO, measured and simulated side by side per scenario.
+ * p50/p95/p99, queue depth, shed/evict/deadline-miss rates, and
+ * goodput under a configurable SLO, measured and simulated side by
+ * side per scenario.
+ *
+ * The `overload` scenario is the memory-governance stress mode: the
+ * harness computes the trace's peak KV block demand and sweeps the
+ * engine's kvBudgetBytes through {100%, 60%, 35%} of it (records
+ * overload-b100/-b60/-b35), reporting how the degradation policy
+ * (load-shed or evict-and-requeue), deadlines, and injected
+ * allocation faults reshape the outcome mix. Both drivers run the
+ * same budget/policy/injector, so the shed/evict/deadline schedules
+ * stay measured-vs-simulated comparable.
  *
  * Outputs:
  *  - console tables (one row per scenario per source),
@@ -20,6 +30,8 @@
  * built-in scenarios on a tiny model, ~seconds of wall clock.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -51,6 +63,11 @@ struct CliOptions
     std::size_t ffn = 512;
     int weightBits = 4;
     int threads = 0;
+    double kvBudgetMb = 0.0; ///< 0 = unbounded (non-overload runs)
+    std::size_t blockTokens = 16;
+    std::string policy = "shed-newest";
+    double deadlineMs = 0.0; ///< 0 = no deadline
+    std::size_t faultEvery = 0; ///< 0 = no injected faults
     SloSpec slo;
     std::string jsonPath = "bench_out/BENCH_serving_load.json";
     std::string csvName = "serving_load_requests.csv";
@@ -63,7 +80,9 @@ printUsage()
     std::cout
         << "serving_load: trace-driven serving latency harness\n"
            "  --scenario NAME   poisson-short-chat | bursty-short-chat"
-           " | mixed-long-doc | all (default all)\n"
+           " | mixed-long-doc | overload | all\n"
+           "                    (default all; overload = KV-budget "
+           "pressure sweep, not in all)\n"
            "  --requests N      arrivals per scenario (default 48)\n"
            "  --rate R          mean arrivals/s (0 = scenario default)\n"
            "  --seed S          trace seed (default 42)\n"
@@ -73,6 +92,16 @@ printUsage()
            "(default 128/2/4/512)\n"
            "  --weight-bits Q   quantized weight width (default 4)\n"
            "  --threads T       GEMM workers (0 = hw concurrency)\n"
+           "  --kv-budget-mb X  KV arena byte budget in MiB (0 = "
+           "unbounded; overload\n"
+           "                    sweeps its own computed budgets)\n"
+           "  --block-tokens B  KV arena paging granularity "
+           "(default 16)\n"
+           "  --policy P        shed-newest | evict-idle "
+           "(default shed-newest)\n"
+           "  --deadline-ms X   per-request deadline (0 = none)\n"
+           "  --fault-every N   fail every Nth KV block allocation "
+           "(0 = none)\n"
            "  --slo-ttft-ms X   TTFT bound of the goodput SLO "
            "(default 200)\n"
            "  --slo-itl-ms X    mean-ITL bound of the goodput SLO "
@@ -144,6 +173,18 @@ parseArgs(int argc, char **argv, CliOptions &cli)
             cli.weightBits = std::atoi(argv[++i]);
         } else if (flag == "--threads") {
             cli.threads = std::atoi(argv[++i]);
+        } else if (flag == "--kv-budget-mb") {
+            cli.kvBudgetMb = std::atof(argv[++i]);
+        } else if (flag == "--block-tokens") {
+            cli.blockTokens =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (flag == "--policy") {
+            cli.policy = argv[++i];
+        } else if (flag == "--deadline-ms") {
+            cli.deadlineMs = std::atof(argv[++i]);
+        } else if (flag == "--fault-every") {
+            cli.faultEvery =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
         } else if (flag == "--slo-ttft-ms") {
             cli.slo.ttftMs = std::atof(argv[++i]);
         } else if (flag == "--slo-itl-ms") {
@@ -177,6 +218,8 @@ addSummaryRow(TextTable &table, const std::string &scenario,
     table.addRow({scenario, source, pct(summary.ttftMs),
                   pct(summary.itlMs),
                   TextTable::num(summary.shedRate * 100.0, 1),
+                  TextTable::num(summary.evictRate * 100.0, 1),
+                  TextTable::num(summary.deadlineMissRate * 100.0, 1),
                   TextTable::num(summary.queueDepthMean, 2) + " / " +
                       TextTable::num(summary.queueDepthMax, 0),
                   TextTable::num(summary.tokensPerS, 1),
@@ -192,6 +235,42 @@ meanItlMs(const RequestOutcome &outcome)
            1e3 / static_cast<double>(outcome.tokens() - 1);
 }
 
+/** One harness run: a scenario at one KV budget, under one record
+ *  name (the overload sweep expands to three of these). */
+struct SweepJob
+{
+    ScenarioSpec scenario;
+    std::string label; ///< record suffix ("overload-b60", ...)
+    std::size_t kvBudgetBytes = 0;
+};
+
+/**
+ * Peak concurrent KV block demand of the trace: the maxBatch largest
+ * per-request block footprints (prompt + full decode budget, rounded
+ * up to whole blocks, across every layer) summed — the budget a run
+ * would need for the worst admissible batch to fit with no
+ * degradation at all.
+ */
+std::size_t
+peakDemandBlocks(const std::vector<TraceRequest> &trace,
+                 std::size_t blockTokens, std::size_t layers,
+                 std::size_t maxBatch)
+{
+    std::vector<std::size_t> perRequest;
+    perRequest.reserve(trace.size());
+    for (const TraceRequest &r : trace) {
+        const std::size_t tokens = r.promptTokens + r.outputTokens;
+        perRequest.push_back(
+            (tokens + blockTokens - 1) / blockTokens * layers);
+    }
+    std::sort(perRequest.begin(), perRequest.end(),
+              std::greater<std::size_t>());
+    std::size_t blocks = 0;
+    for (std::size_t i = 0; i < perRequest.size() && i < maxBatch; ++i)
+        blocks += perRequest[i];
+    return blocks;
+}
+
 } // namespace
 
 int
@@ -200,6 +279,17 @@ main(int argc, char **argv)
     CliOptions cli;
     if (!parseArgs(argc, argv, cli))
         return 1;
+
+    serve::DegradationPolicy policy;
+    if (cli.policy == "shed-newest") {
+        policy = serve::DegradationPolicy::ShedNewest;
+    } else if (cli.policy == "evict-idle") {
+        policy = serve::DegradationPolicy::EvictLongestIdle;
+    } else {
+        std::cerr << "unknown policy: " << cli.policy
+                  << " (want shed-newest or evict-idle)\n";
+        return 1;
+    }
 
     std::vector<ScenarioSpec> scenarios;
     if (cli.scenario == "all") {
@@ -224,7 +314,62 @@ main(int argc, char **argv)
     config.engine.exec.threads = cli.threads;
     config.engine.maxBatch = cli.maxBatch;
     config.engine.maxQueue = cli.maxQueue;
+    config.engine.kvBlockTokens = cli.blockTokens;
+    config.engine.policy = policy;
+    config.deadlineS = cli.deadlineMs / 1e3;
     config.hw.engine = EngineKind::FIGLUT_I;
+
+    // One pure injector shared by the engine and the replay, so both
+    // see the identical fault/skew schedule (see FaultInjector).
+    CountingFaultInjector injector(cli.faultEvery, 0.0);
+    if (cli.faultEvery > 0)
+        config.engine.faults = &injector;
+
+    const std::size_t blockBytes =
+        cli.blockTokens * 2 * cli.hidden * sizeof(double);
+    const std::size_t budgetFloor = blockBytes * cli.layers;
+
+    // Expand scenarios into runnable jobs: the overload scenario
+    // becomes a budget sweep at {100%, 60%, 35%} of the trace's peak
+    // block demand; everything else runs once at --kv-budget-mb.
+    std::vector<SweepJob> jobs;
+    for (const ScenarioSpec &base : scenarios) {
+        ScenarioSpec scenario = base;
+        if (cli.ratePerS > 0.0)
+            scenario.ratePerS = cli.ratePerS;
+        if (scenario.name == overloadScenario().name) {
+            const auto trace =
+                generateTrace(scenario, cli.requests, cli.seed);
+            const std::size_t peak = peakDemandBlocks(
+                trace, cli.blockTokens, cli.layers, cli.maxBatch);
+            const struct
+            {
+                double fraction;
+                const char *tag;
+            } points[] = {{1.0, "b100"}, {0.6, "b60"}, {0.35, "b35"}};
+            for (const auto &point : points) {
+                const auto blocks = static_cast<std::size_t>(
+                    std::llround(point.fraction *
+                                 static_cast<double>(peak)));
+                SweepJob job;
+                job.scenario = scenario;
+                job.label = scenario.name + "-" + point.tag;
+                job.kvBudgetBytes =
+                    std::max(budgetFloor, blocks * blockBytes);
+                jobs.push_back(std::move(job));
+            }
+        } else {
+            SweepJob job;
+            job.scenario = scenario;
+            job.label = scenario.name;
+            job.kvBudgetBytes = static_cast<std::size_t>(
+                cli.kvBudgetMb * 1024.0 * 1024.0);
+            if (job.kvBudgetBytes > 0)
+                job.kvBudgetBytes =
+                    std::max(budgetFloor, job.kvBudgetBytes);
+            jobs.push_back(std::move(job));
+        }
+    }
 
     banner("serving_load",
            "trace-driven serving latency vs the simulated accelerator");
@@ -232,26 +377,32 @@ main(int argc, char **argv)
               << cli.weightBits << ", maxBatch " << cli.maxBatch
               << ", maxQueue " << cli.maxQueue << ", seed " << cli.seed
               << ", SLO ttft<=" << cli.slo.ttftMs << "ms itl<="
-              << cli.slo.itlMs << "ms\n\n";
+              << cli.slo.itlMs << "ms\n"
+              << "governance: policy "
+              << serve::degradationPolicyName(policy)
+              << ", blockTokens " << cli.blockTokens << ", deadline "
+              << cli.deadlineMs << "ms, fault-every " << cli.faultEvery
+              << "\n\n";
 
     auto requestCsv =
         openCsv(cli.csvName,
                 {"scenario", "source", "request", "arrival_s",
-                 "prompt_tokens", "output_tokens", "shed", "queue_ms",
-                 "ttft_ms", "mean_itl_ms", "tokens", "slo_met"});
+                 "prompt_tokens", "output_tokens", "shed",
+                 "deadline_miss", "evictions", "queue_ms", "ttft_ms",
+                 "mean_itl_ms", "tokens", "slo_met"});
     auto queueCsv = openCsv(cli.queueCsvName,
                             {"scenario", "source", "step",
                              "queue_depth", "step_ms"});
 
     TextTable table({"scenario", "source", "ttft ms p50/p95/p99",
-                     "itl ms p50/p95/p99", "shed %",
-                     "queue mean / max", "tok/s", "goodput tok/s"});
+                     "itl ms p50/p95/p99", "shed %", "evict %",
+                     "dl-miss %", "queue mean / max", "tok/s",
+                     "goodput tok/s"});
     std::vector<JsonBenchRecord> records;
 
-    for (const ScenarioSpec &base : scenarios) {
-        ScenarioSpec scenario = base;
-        if (cli.ratePerS > 0.0)
-            scenario.ratePerS = cli.ratePerS;
+    for (const SweepJob &job : jobs) {
+        const ScenarioSpec &scenario = job.scenario;
+        config.engine.kvBudgetBytes = job.kvBudgetBytes;
         const auto trace =
             generateTrace(scenario, cli.requests, cli.seed);
 
@@ -260,8 +411,8 @@ main(int argc, char **argv)
         const LoadSummary m = summarizeRun(measured, cli.slo);
         const LoadSummary s = summarizeRun(simulated, cli.slo);
 
-        addSummaryRow(table, scenario.name, "measured", m);
-        addSummaryRow(table, scenario.name, "simulated", s);
+        addSummaryRow(table, job.label, "measured", m);
+        addSummaryRow(table, job.label, "simulated", s);
 
         for (const auto &[source, run] :
              std::vector<std::pair<std::string, const LoadRun *>>{
@@ -269,11 +420,12 @@ main(int argc, char **argv)
             for (std::size_t i = 0; i < run->requests.size(); ++i) {
                 const RequestOutcome &o = run->requests[i];
                 requestCsv->addRow(
-                    {scenario.name, source, std::to_string(i),
+                    {job.label, source, std::to_string(i),
                      TextTable::num(o.arrivalS, 6),
                      std::to_string(o.promptTokens),
                      std::to_string(o.outputTokens),
-                     o.shed ? "1" : "0",
+                     o.shed ? "1" : "0", o.deadlineMiss ? "1" : "0",
+                     std::to_string(o.evictions),
                      TextTable::num(o.queueS * 1e3, 3),
                      TextTable::num(o.ttftS * 1e3, 3),
                      TextTable::num(meanItlMs(o), 3),
@@ -283,13 +435,13 @@ main(int argc, char **argv)
             for (std::size_t step = 0; step < run->queueDepth.size();
                  ++step)
                 queueCsv->addRow(
-                    {scenario.name, source, std::to_string(step),
+                    {job.label, source, std::to_string(step),
                      std::to_string(run->queueDepth[step]),
                      TextTable::num(run->stepSeconds[step] * 1e3, 4)});
         }
 
         JsonBenchRecord record;
-        record.name = "serving_load/" + scenario.name;
+        record.name = "serving_load/" + job.label;
         record.nsPerIter = m.msPerStepMean * 1e6;
         record.tokensPerS = m.tokensPerS;
         record.extra = {
@@ -303,6 +455,11 @@ main(int argc, char **argv)
             {"weight_bits", static_cast<double>(cli.weightBits)},
             {"slo_ttft_ms", cli.slo.ttftMs},
             {"slo_itl_ms", cli.slo.itlMs},
+            {"kv_budget_mb", static_cast<double>(job.kvBudgetBytes) /
+                                 (1024.0 * 1024.0)},
+            {"kv_block_tokens", static_cast<double>(cli.blockTokens)},
+            {"fault_every", static_cast<double>(cli.faultEvery)},
+            {"deadline_ms", cli.deadlineMs},
             {"ttft_ms_p50", m.ttftMs.p50},
             {"ttft_ms_p95", m.ttftMs.p95},
             {"ttft_ms_p99", m.ttftMs.p99},
@@ -310,6 +467,8 @@ main(int argc, char **argv)
             {"itl_ms_p95", m.itlMs.p95},
             {"itl_ms_p99", m.itlMs.p99},
             {"shed_rate", m.shedRate},
+            {"evict_rate", m.evictRate},
+            {"deadline_miss_rate", m.deadlineMissRate},
             {"queue_depth_mean", m.queueDepthMean},
             {"queue_depth_max", m.queueDepthMax},
             {"goodput_tok_per_s", m.goodputTokPerS},
@@ -321,14 +480,23 @@ main(int argc, char **argv)
             {"sim_itl_ms_p95", s.itlMs.p95},
             {"sim_itl_ms_p99", s.itlMs.p99},
             {"sim_shed_rate", s.shedRate},
+            {"sim_evict_rate", s.evictRate},
+            {"sim_deadline_miss_rate", s.deadlineMissRate},
             {"sim_tokens_per_s", s.tokensPerS},
             {"sim_goodput_tok_per_s", s.goodputTokPerS},
             {"sim_ms_per_step_mean", s.msPerStepMean},
         };
         records.push_back(std::move(record));
 
-        std::cout << scenario.name << ": " << trace.size()
-                  << " arrivals, measured " << measured.stepSeconds.size()
+        std::cout << job.label << ": " << trace.size()
+                  << " arrivals, budget "
+                  << (job.kvBudgetBytes == 0
+                          ? std::string("unbounded")
+                          : TextTable::num(
+                                static_cast<double>(job.kvBudgetBytes) /
+                                    (1024.0 * 1024.0),
+                                2) + " MiB")
+                  << ", measured " << measured.stepSeconds.size()
                   << " steps / simulated "
                   << simulated.stepSeconds.size() << " steps\n";
     }

@@ -4,7 +4,13 @@
  * retiring independent requests over one shared quantized model —
  * continuous batching with ragged token budgets, recoverable
  * (Status-based) rejection of over-capacity traffic, and per-request
- * stats at retirement.
+ * stats (including why each request ended) at retirement.
+ *
+ * The second half re-runs the traffic against a KV-budget-governed
+ * engine: a paged KV arena too small for the whole batch, so the
+ * degradation policy load-sheds the newest requests mid-flight and
+ * every non-completed request retires with a definite terminal
+ * status instead of an abort.
  *
  * Build & run:  ./build/examples/serve_demo [requests] [maxBatch]
  * Defaults: 6 requests into a 3-slot batch, so traffic queues, joins
@@ -113,7 +119,7 @@ main(int argc, char **argv)
     //    decoding step began (queue + admitted-but-idle time), "ttft
     //    (ms)" is submit until the first token landed, and "decode
     //    (ms)" is only the request's share of fused GEMM steps.
-    TextTable table({"request", "state", "tokens", "kv len",
+    TextTable table({"request", "state", "why", "tokens", "kv len",
                      "queued steps", "LUT reads", "wait (ms)",
                      "ttft (ms)", "decode (ms)"});
     for (const auto id : ids) {
@@ -123,6 +129,9 @@ main(int argc, char **argv)
         const auto &s = snap.value();
         table.addRow({std::to_string(s.id),
                       serve::requestStateName(s.state),
+                      s.terminal.ok()
+                          ? "completed"
+                          : statusCodeName(s.terminal.code()),
                       std::to_string(s.stats.tokensDecoded),
                       std::to_string(s.kvLength),
                       std::to_string(s.stats.queuedSteps),
@@ -135,5 +144,75 @@ main(int argc, char **argv)
     std::cout << "\n" << step << " fused steps served "
               << ids.size() << " requests; a lock-step Session would "
                  "have run every sequence to the longest budget.\n";
+
+    // 5. Memory-governed admission: the same traffic against an arena
+    //    whose byte budget holds roughly one request's KV, so the
+    //    budget — not a crash — decides who decodes. Every dropped
+    //    request carries a definite terminal status.
+    const std::size_t blockTokens = 4;
+    const std::size_t blockBytes =
+        blockTokens * 2 * tiny.hidden * sizeof(double);
+    serve::EngineOptions tight = opts;
+    tight.kvBlockTokens = blockTokens;
+    // Two blocks per layer: enough for one ~8-token context per
+    // layer, far short of the whole batch.
+    tight.kvBudgetBytes = 2 * tiny.layers * blockBytes;
+    tight.policy = serve::DegradationPolicy::ShedNewest;
+
+    auto governed = serve::Engine::create(tiny, tight);
+    if (!governed.ok()) {
+        std::cerr << "governed engine rejected: "
+                  << governed.status().toString() << "\n";
+        return 1;
+    }
+    serve::Engine &small = *governed.value();
+    std::cout << "\nKV-governed engine: budget "
+              << tight.kvBudgetBytes / 1024 << " KiB ("
+              << small.arena().budgetBlocks() << " blocks of "
+              << blockTokens << " tokens), policy "
+              << serve::degradationPolicyName(tight.policy) << "\n";
+
+    std::vector<serve::RequestId> governedIds;
+    for (std::size_t i = 0; i < requests; ++i) {
+        serve::RequestOptions req;
+        req.maxTokens = 2 + i % 4;
+        req.promptTokens = 4;
+        req.seed = 42 + i;
+        const auto id = small.submit(req);
+        if (id.ok())
+            governedIds.push_back(id.value());
+        else
+            std::cout << "request " << i << " rejected at submit: "
+                      << id.status().toString() << "\n";
+    }
+    while (small.liveRequests() > 0 || small.queuedRequests() > 0) {
+        const auto stats = small.step();
+        if (!stats.ok()) {
+            std::cerr << "governed step failed: "
+                      << stats.status().toString() << "\n";
+            return 1;
+        }
+        for (const auto id : stats.value().shedIds)
+            std::cout << "  step shed request " << id
+                      << " (KV budget exhausted)\n";
+    }
+    TextTable outcomeTable({"request", "state", "why", "tokens"});
+    for (const auto id : governedIds) {
+        const auto snap = small.poll(id);
+        if (!snap.ok())
+            continue;
+        const auto &s = snap.value();
+        outcomeTable.addRow(
+            {std::to_string(s.id), serve::requestStateName(s.state),
+             s.terminal.ok() ? "completed"
+                             : statusCodeName(s.terminal.code()),
+             std::to_string(s.stats.tokensDecoded)});
+    }
+    std::cout << "\n" << outcomeTable.render();
+    std::cout << "\npeak arena usage "
+              << small.arena().peakBytes() / 1024 << " KiB of "
+              << tight.kvBudgetBytes / 1024
+              << " KiB budget; survivors decoded to their budgets, "
+                 "everyone else ended with an explicit status.\n";
     return 0;
 }

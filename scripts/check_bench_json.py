@@ -34,6 +34,12 @@ SERVING_LOAD_KEYS = (
     "itl_ms_p95",
     "itl_ms_p99",
     "shed_rate",
+    "evict_rate",
+    "deadline_miss_rate",
+    "kv_budget_mb",
+    "kv_block_tokens",
+    "fault_every",
+    "deadline_ms",
     "queue_depth_mean",
     "queue_depth_max",
     "goodput_tok_per_s",
@@ -41,6 +47,8 @@ SERVING_LOAD_KEYS = (
     "sim_ttft_ms_p50",
     "sim_itl_ms_p50",
     "sim_shed_rate",
+    "sim_evict_rate",
+    "sim_deadline_miss_rate",
     "sim_tokens_per_s",
     "sim_goodput_tok_per_s",
     "sim_ms_per_step_mean",

@@ -11,6 +11,9 @@ statusCodeName(StatusCode code)
       case StatusCode::NotFound: return "NOT_FOUND";
       case StatusCode::ResourceExhausted: return "RESOURCE_EXHAUSTED";
       case StatusCode::FailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::DeadlineExceeded: return "DEADLINE_EXCEEDED";
+      case StatusCode::Cancelled: return "CANCELLED";
+      case StatusCode::Preempted: return "PREEMPTED";
     }
     return "UNKNOWN";
 }

@@ -16,9 +16,10 @@
  * Conventions:
  *  - Status::okStatus() / a value-holding Result is the success path.
  *  - Error codes follow the usual RPC vocabulary (InvalidArgument,
- *    NotFound, ResourceExhausted, FailedPrecondition) so callers can
- *    branch without parsing messages; messages stay actionable (what
- *    was wrong, what the bound was).
+ *    NotFound, ResourceExhausted, FailedPrecondition, plus the
+ *    serving-outcome trio DeadlineExceeded / Cancelled / Preempted) so
+ *    callers can branch without parsing messages; messages stay
+ *    actionable (what was wrong, what the bound was).
  *  - Accessing the value of an error Result is a *library-client* bug
  *    and panics (PanicError), mirroring FIGLUT_ASSERT discipline.
  */
@@ -40,8 +41,11 @@ enum class StatusCode
     Ok,
     InvalidArgument,    ///< the supplied configuration/value is malformed
     NotFound,           ///< the named entity (e.g. RequestId) is unknown
-    ResourceExhausted,  ///< a capacity bound (batch/queue) is full
+    ResourceExhausted,  ///< a capacity bound (batch/queue/KV bytes) is full
     FailedPrecondition, ///< the call is valid but not in this state
+    DeadlineExceeded,   ///< the request outlived its deadline
+    Cancelled,          ///< the client cancelled the request
+    Preempted,          ///< evicted under memory pressure (may restart)
 };
 
 /** Stable name of a StatusCode ("INVALID_ARGUMENT", ...). */
@@ -86,6 +90,30 @@ class Status
     failedPrecondition(Args &&...args)
     {
         return Status(StatusCode::FailedPrecondition,
+                      detail::concat(std::forward<Args>(args)...));
+    }
+
+    template <typename... Args>
+    static Status
+    deadlineExceeded(Args &&...args)
+    {
+        return Status(StatusCode::DeadlineExceeded,
+                      detail::concat(std::forward<Args>(args)...));
+    }
+
+    template <typename... Args>
+    static Status
+    cancelled(Args &&...args)
+    {
+        return Status(StatusCode::Cancelled,
+                      detail::concat(std::forward<Args>(args)...));
+    }
+
+    template <typename... Args>
+    static Status
+    preempted(Args &&...args)
+    {
+        return Status(StatusCode::Preempted,
                       detail::concat(std::forward<Args>(args)...));
     }
 

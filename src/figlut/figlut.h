@@ -11,10 +11,13 @@
  *   arch     - 28nm technology, LUT power, memory, area/energy models
  *   sim      - tile timing, detailed systolic sim, engine simulator
  *   model    - OPT workloads, synthetic data, perplexity proxy
- *   runtime  - quantized models, KV caches, inference sessions
- *              (numeric decode steps + the matching analytic workload)
+ *   runtime  - quantized models, KV caches + the paged KV arena,
+ *              inference sessions (numeric decode steps + the
+ *              matching analytic workload)
  *   serve    - request-level engine with continuous batching over one
- *              shared quantized model (Status/Result error surface)
+ *              shared quantized model (Status/Result error surface),
+ *              memory-governed by a KV byte budget with pluggable
+ *              degradation policies and fault injection
  */
 
 #ifndef FIGLUT_FIGLUT_H
@@ -73,12 +76,14 @@
 #include "model/workload.h"
 
 #include "runtime/exec_options.h"
+#include "runtime/kv_arena.h"
 #include "runtime/kv_cache.h"
 #include "runtime/quantized_model.h"
 #include "runtime/reference_ops.h"
 #include "runtime/session.h"
 
 #include "serve/clock.h"
+#include "serve/degradation.h"
 #include "serve/engine.h"
 #include "serve/request.h"
 

@@ -1,0 +1,258 @@
+#include "runtime/kv_arena.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace figlut {
+
+namespace {
+
+/** Blocks per slab chunk: big enough to amortize the allocation,
+ *  small enough that a tiny test arena stays tiny. */
+constexpr std::size_t kChunkBlocks = 16;
+
+std::size_t
+ceilDiv(std::size_t a, std::size_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+KvArena::KvArena(const Options &options, FaultInjector *faults)
+    : options_(options), faults_(faults)
+{
+    FIGLUT_ASSERT(options.hidden >= 1,
+                  "KvArena needs hidden >= 1, got ", options.hidden);
+    FIGLUT_ASSERT(options.layers >= 1,
+                  "KvArena needs layers >= 1, got ", options.layers);
+    FIGLUT_ASSERT(options.blockTokens >= 1,
+                  "KvArena needs blockTokens >= 1, got ",
+                  options.blockTokens);
+    blockDoubles_ = options.blockTokens * 2 * options.hidden;
+    budgetBlocks_ =
+        options.budgetBytes == 0 ? 0 : options.budgetBytes / blockBytes();
+    FIGLUT_ASSERT(options.budgetBytes == 0 || budgetBlocks_ >= 1,
+                  "KvArena budgetBytes ", options.budgetBytes,
+                  " cannot hold a single ", blockBytes(),
+                  "-byte block");
+}
+
+KvArena::SeqId
+KvArena::createSequence()
+{
+    const SeqId id = nextSeq_++;
+    Seq seq;
+    seq.blocks.resize(options_.layers);
+    seq.cursor.assign(options_.layers, 0);
+    seqs_.emplace(id, std::move(seq));
+    return id;
+}
+
+KvArena::Alloc
+KvArena::allocBlock(std::uint32_t &id)
+{
+    // Budget first, injector second: an allocation the budget denies
+    // is not an "attempt", so a shared injector sees the identical
+    // attempt sequence on the engine and the replay side.
+    if (budgetBlocks_ != 0 && blocksInUse_ >= budgetBlocks_)
+        return Alloc::NoCapacity;
+    ++attempts_;
+    if (faults_ != nullptr && faults_->failBlockAllocation(attempts_)) {
+        ++faultsInjected_;
+        return Alloc::Fault;
+    }
+    if (!freeBlocks_.empty()) {
+        id = freeBlocks_.back();
+        freeBlocks_.pop_back();
+    } else {
+        id = blocksCreated_++;
+    }
+    ++blocksInUse_;
+    peakBlocks_ = std::max(peakBlocks_, blocksInUse_);
+    return Alloc::Ok;
+}
+
+void
+KvArena::freeBlock(std::uint32_t id)
+{
+    freeBlocks_.push_back(id);
+    FIGLUT_ASSERT(blocksInUse_ > 0,
+                  "KvArena freed block ", id, " with none in use");
+    --blocksInUse_;
+}
+
+KvArena::Reserve
+KvArena::reserveTokens(SeqId seq, std::size_t tokens)
+{
+    Seq &s = seqAt(seq);
+    const std::size_t need = ceilDiv(tokens, options_.blockTokens);
+    const std::size_t cur = s.blocks[0].size();
+    if (need <= cur)
+        return Reserve::Ok;
+
+    // All-or-nothing growth: collect every new block first, roll the
+    // lot back on the first failure, and only then extend the tables
+    // (so a failed reservation leaves the sequence untouched).
+    std::vector<std::uint32_t> granted;
+    granted.reserve((need - cur) * options_.layers);
+    Reserve outcome = Reserve::Ok;
+    for (std::size_t b = cur; b < need && outcome == Reserve::Ok; ++b) {
+        for (std::size_t l = 0; l < options_.layers; ++l) {
+            std::uint32_t id = 0;
+            const Alloc r = allocBlock(id);
+            if (r == Alloc::Ok) {
+                granted.push_back(id);
+                continue;
+            }
+            outcome = r == Alloc::NoCapacity ? Reserve::NoCapacity
+                                             : Reserve::Fault;
+            break;
+        }
+    }
+    if (outcome != Reserve::Ok) {
+        for (const std::uint32_t id : granted)
+            freeBlock(id);
+        return outcome;
+    }
+    std::size_t g = 0;
+    for (std::size_t b = cur; b < need; ++b)
+        for (std::size_t l = 0; l < options_.layers; ++l)
+            s.blocks[l].push_back(granted[g++]);
+    return Reserve::Ok;
+}
+
+double *
+KvArena::blockData(std::uint32_t id)
+{
+    const std::size_t chunk = id / kChunkBlocks;
+    while (chunks_.size() <= chunk)
+        // Value-initialized, like the Matrix storage KvCache uses.
+        chunks_.push_back(std::make_unique<double[]>(kChunkBlocks *
+                                                     blockDoubles_));
+    return chunks_[chunk].get() + (id % kChunkBlocks) * blockDoubles_;
+}
+
+const double *
+KvArena::blockData(std::uint32_t id) const
+{
+    const std::size_t chunk = id / kChunkBlocks;
+    FIGLUT_ASSERT(chunk < chunks_.size(),
+                  "KvArena read of block ", id,
+                  " before any token was written to its chunk");
+    return chunks_[chunk].get() + (id % kChunkBlocks) * blockDoubles_;
+}
+
+KvArena::TokenSlot
+KvArena::appendToken(SeqId seq, std::size_t layer)
+{
+    Seq &s = seqAt(seq);
+    FIGLUT_ASSERT(layer < options_.layers,
+                  "KvArena appendToken layer ", layer, " out of range ",
+                  options_.layers);
+    const std::size_t t = s.cursor[layer];
+    FIGLUT_ASSERT(t < s.blocks[layer].size() * options_.blockTokens,
+                  "KvArena appendToken without reserved capacity: seq ",
+                  seq, " layer ", layer, " token ", t, " but only ",
+                  s.blocks[layer].size(), " blocks of ",
+                  options_.blockTokens, " tokens are reserved");
+    double *base =
+        blockData(s.blocks[layer][t / options_.blockTokens]) +
+        (t % options_.blockTokens) * 2 * options_.hidden;
+    ++s.cursor[layer];
+    return TokenSlot{base, base + options_.hidden};
+}
+
+std::size_t
+KvArena::tokens(SeqId seq) const
+{
+    return seqAt(seq).cursor[0];
+}
+
+void
+KvArena::tokenRefs(SeqId seq, std::size_t layer,
+                   std::vector<KvTokenRef> &out) const
+{
+    const Seq &s = seqAt(seq);
+    FIGLUT_ASSERT(layer < options_.layers,
+                  "KvArena tokenRefs layer ", layer, " out of range ",
+                  options_.layers);
+    const std::size_t n = s.cursor[layer];
+    out.resize(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        const double *base =
+            blockData(s.blocks[layer][t / options_.blockTokens]) +
+            (t % options_.blockTokens) * 2 * options_.hidden;
+        out[t] = KvTokenRef{base, base + options_.hidden, 1};
+    }
+}
+
+KvCache
+KvArena::materialize(SeqId seq) const
+{
+    const Seq &s = seqAt(seq);
+    KvCache cache(options_.layers);
+    const std::size_t h = options_.hidden;
+    for (std::size_t l = 0; l < options_.layers; ++l) {
+        FIGLUT_ASSERT(s.cursor[l] == s.cursor[0],
+                      "KvArena materialize needs lock-step layers: ",
+                      "layer ", l, " holds ", s.cursor[l],
+                      " tokens vs ", s.cursor[0]);
+        for (std::size_t t = 0; t < s.cursor[l]; ++t) {
+            const double *base =
+                blockData(s.blocks[l][t / options_.blockTokens]) +
+                (t % options_.blockTokens) * 2 * h;
+            MatrixD k(h, 1), v(h, 1);
+            for (std::size_t r = 0; r < h; ++r) {
+                k(r, 0) = base[r];
+                v(r, 0) = base[h + r];
+            }
+            cache.append(l, std::move(k), std::move(v));
+        }
+    }
+    return cache;
+}
+
+void
+KvArena::resetSequence(SeqId seq)
+{
+    Seq &s = seqAt(seq);
+    for (auto &table : s.blocks) {
+        for (const std::uint32_t id : table)
+            freeBlock(id);
+        table.clear();
+    }
+    s.cursor.assign(options_.layers, 0);
+}
+
+void
+KvArena::releaseSequence(SeqId seq)
+{
+    resetSequence(seq);
+    seqs_.erase(seq);
+}
+
+bool
+KvArena::hasSequence(SeqId seq) const
+{
+    return seqs_.count(seq) != 0;
+}
+
+const KvArena::Seq &
+KvArena::seqAt(SeqId seq) const
+{
+    const auto it = seqs_.find(seq);
+    FIGLUT_ASSERT(it != seqs_.end(), "KvArena unknown sequence ", seq);
+    return it->second;
+}
+
+KvArena::Seq &
+KvArena::seqAt(SeqId seq)
+{
+    const auto it = seqs_.find(seq);
+    FIGLUT_ASSERT(it != seqs_.end(), "KvArena unknown sequence ", seq);
+    return it->second;
+}
+
+} // namespace figlut

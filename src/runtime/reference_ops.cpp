@@ -135,28 +135,71 @@ referenceDecodeAttention(const MatrixD &q,
         }
     }
 
+    // Convert each matrix column to strided token views and run the
+    // shared arithmetic core: element (r0 + d, c) of a row-major h x B
+    // snapshot is data()[(r0 + d) * B + c], i.e. a column pointer with
+    // stride B — the exact doubles the loop read before the paged
+    // arena introduced the KvTokenRef layer.
+    std::vector<std::vector<KvTokenRef>> views(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        const KvColumn &col = kv[b];
+        views[b].resize(col.length);
+        for (std::size_t t = 0; t < col.length; ++t) {
+            const MatrixD &k = (*col.kSteps)[t];
+            const MatrixD &v = (*col.vSteps)[t];
+            views[b][t] = KvTokenRef{k.data() + col.column,
+                                     v.data() + col.column, k.cols()};
+        }
+    }
+    return referenceDecodeAttention(q, views, heads);
+}
+
+MatrixD
+referenceDecodeAttention(const MatrixD &q,
+                         const std::vector<std::vector<KvTokenRef>> &kv,
+                         std::size_t heads)
+{
+    const std::size_t h = q.rows();
+    const std::size_t batch = q.cols();
+    if (heads == 0 || h % heads != 0)
+        fatal("attention needs hidden divisible by heads, got ", h,
+              " / ", heads);
+    if (kv.size() != batch)
+        fatal("attention needs one KV history per query column, got ",
+              kv.size(), " for ", batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        if (kv[b].empty())
+            fatal("attention KV history ", b,
+                  " needs at least one cached step");
+        for (std::size_t t = 0; t < kv[b].size(); ++t)
+            if (kv[b][t].k == nullptr || kv[b][t].v == nullptr)
+                fatal("attention KV history ", b, " token ", t,
+                      " has null storage");
+    }
+
     const std::size_t headDim = h / heads;
     const double scale = 1.0 / std::sqrt(static_cast<double>(headDim));
     MatrixD out(h, batch, 0.0);
     std::vector<double> scores;
     for (std::size_t b = 0; b < batch; ++b) {
-        const KvColumn &col = kv[b];
-        const std::size_t steps = col.length;
-        const std::size_t c = col.column;
+        const std::vector<KvTokenRef> &toks = kv[b];
+        const std::size_t steps = toks.size();
         scores.resize(steps);
         for (std::size_t hd = 0; hd < heads; ++hd) {
             const std::size_t r0 = hd * headDim;
             for (std::size_t t = 0; t < steps; ++t) {
                 double dot = 0.0;
                 for (std::size_t d = 0; d < headDim; ++d)
-                    dot += q(r0 + d, b) * (*col.kSteps)[t](r0 + d, c);
+                    dot += q(r0 + d, b) *
+                           toks[t].k[(r0 + d) * toks[t].stride];
                 scores[t] = dot * scale;
             }
             referenceSoftmaxInPlace(scores.data(), steps);
             for (std::size_t t = 0; t < steps; ++t) {
                 const double p = scores[t];
                 for (std::size_t d = 0; d < headDim; ++d)
-                    out(r0 + d, b) += p * (*col.vSteps)[t](r0 + d, c);
+                    out(r0 + d, b) +=
+                        p * toks[t].v[(r0 + d) * toks[t].stride];
             }
         }
     }

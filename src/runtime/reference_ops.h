@@ -81,6 +81,33 @@ MatrixD referenceDecodeAttention(const MatrixD &q,
                                  const std::vector<KvColumn> &kv,
                                  std::size_t heads);
 
+/**
+ * One cached token's K/V as raw strided views — the storage-agnostic
+ * attention input. Element d of K is k[d * stride] (likewise V):
+ * stride 1 for the paged-arena slab layout, the snapshot width for a
+ * column of an h x B KvCache matrix. Borrowed; the caller keeps the
+ * backing storage alive for the duration of the attention call.
+ */
+struct KvTokenRef
+{
+    const double *k = nullptr;
+    const double *v = nullptr;
+    std::size_t stride = 1;
+};
+
+/**
+ * Ragged-batch decode attention over raw token views: kv[b] holds
+ * column b's cached tokens, oldest first. This is the arithmetic core
+ * both cache layouts share — the KvColumn overload above converts its
+ * matrix columns to strided views and delegates here, so a paged-arena
+ * read (stride 1) is bit-identical to the contiguous KvCache read
+ * (stride = snapshot width) by construction.
+ */
+MatrixD
+referenceDecodeAttention(const MatrixD &q,
+                         const std::vector<std::vector<KvTokenRef>> &kv,
+                         std::size_t heads);
+
 } // namespace figlut
 
 #endif // FIGLUT_RUNTIME_REFERENCE_OPS_H

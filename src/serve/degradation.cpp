@@ -1,0 +1,117 @@
+#include "serve/degradation.h"
+
+namespace figlut {
+namespace serve {
+
+namespace {
+
+enum class Fate
+{
+    Pending,
+    Committed,
+    Evicted,
+    Shed,
+};
+
+constexpr std::size_t kNoVictim = static_cast<std::size_t>(-1);
+
+/**
+ * Pick the item that gives up its blocks so item i can reserve.
+ * Pending items are the only candidates: earlier items already
+ * resolved (committed blocks are never clawed back), so a candidate
+ * is always i itself or a later batch column — which is what makes
+ * the pass terminate.
+ */
+std::size_t
+pickVictim(DegradationPolicy policy, const std::vector<Fate> &fate,
+           const std::vector<ReservationItem> &items, std::size_t i)
+{
+    std::size_t victim = kNoVictim;
+    for (std::size_t j = 0; j < items.size(); ++j) {
+        if (fate[j] != Fate::Pending)
+            continue;
+        switch (policy) {
+          case DegradationPolicy::ShedNewest:
+            // Most recently admitted, the requester included.
+            if (victim == kNoVictim ||
+                items[j].admitSeq > items[victim].admitSeq)
+                victim = j;
+            break;
+          case DegradationPolicy::EvictLongestIdle:
+            // Longest idle *other* request; newest admission breaks
+            // ties so the re-queue order stays deterministic.
+            if (j == i)
+                break;
+            if (victim == kNoVictim ||
+                items[j].lastActivityS < items[victim].lastActivityS ||
+                (items[j].lastActivityS == items[victim].lastActivityS &&
+                 items[j].admitSeq > items[victim].admitSeq))
+                victim = j;
+            break;
+        }
+    }
+    return victim;
+}
+
+} // namespace
+
+const char *
+degradationPolicyName(DegradationPolicy policy)
+{
+    switch (policy) {
+      case DegradationPolicy::ShedNewest: return "shed-newest";
+      case DegradationPolicy::EvictLongestIdle: return "evict-idle";
+    }
+    return "unknown";
+}
+
+ReservationPlan
+planStepReservations(KvArena &arena, DegradationPolicy policy,
+                     const std::vector<ReservationItem> &items)
+{
+    std::vector<Fate> fate(items.size(), Fate::Pending);
+
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (fate[i] != Fate::Pending)
+            continue;
+        while (fate[i] == Fate::Pending) {
+            const KvArena::Reserve r =
+                arena.reserveTokens(items[i].seq, items[i].needTokens);
+            if (r == KvArena::Reserve::Ok) {
+                fate[i] = Fate::Committed;
+                break;
+            }
+            // NoCapacity and an injected Fault degrade identically:
+            // treating a fault as retryable would loop forever under a
+            // fail-every-allocation injector.
+            const std::size_t victim = pickVictim(policy, fate, items, i);
+            if (victim == kNoVictim || victim == i) {
+                // No one left to sacrifice (or the requester is the
+                // sacrifice): shed i itself.
+                arena.releaseSequence(items[i].seq);
+                fate[i] = Fate::Shed;
+                break;
+            }
+            arena.releaseSequence(items[victim].seq);
+            // ShedNewest victims are dropped for good; EvictLongestIdle
+            // victims restart from the queue.
+            fate[victim] = policy == DegradationPolicy::ShedNewest
+                               ? Fate::Shed
+                               : Fate::Evicted;
+        }
+    }
+
+    ReservationPlan plan;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        switch (fate[i]) {
+          case Fate::Committed: plan.decode.push_back(i); break;
+          case Fate::Evicted: plan.evicted.push_back(i); break;
+          case Fate::Shed: plan.shed.push_back(i); break;
+          case Fate::Pending: break; // unreachable: the loop resolves all
+        }
+    }
+    return plan;
+}
+
+} // namespace serve
+} // namespace figlut

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Degradation policies of the memory-governed engine: what happens
+ * when a fused step's KV reservations exceed the arena budget (or an
+ * injected fault denies a block).
+ *
+ * planStepReservations() is the single shared implementation of the
+ * per-step reservation pass — serve::Engine runs it against its live
+ * arena and sim::replayTrace() runs it against a shadow arena with the
+ * same geometry, which is what keeps the measured and simulated
+ * admission/eviction schedules bit-identical: same items in the same
+ * batch order against the same allocator state yield the same plan.
+ *
+ * The per-item state machine (items processed in fused-batch order):
+ *
+ *     Pending --reserve ok--------------------------> Committed
+ *     Pending --reserve fails, policy finds victim--> retry
+ *                (victim: Pending -> Evicted | Shed)
+ *     Pending --reserve fails, no victim------------> Shed (self)
+ *
+ * Committed items are never victims — blocks granted this step are
+ * never clawed back, so the pass cannot ping-pong and terminates:
+ * every retry either frees a victim's blocks (finitely many) or sheds
+ * the requester. An injected Fault is handled exactly like NoCapacity,
+ * so even a fail-every-allocation injector degrades the step to sheds
+ * instead of looping.
+ *
+ * Ownership: the planner calls KvArena::releaseSequence() on every
+ * evicted or shed victim (their blocks fund the retries); the caller
+ * must treat those SeqIds as gone and re-create sequences on
+ * re-admission.
+ */
+
+#ifndef FIGLUT_SERVE_DEGRADATION_H
+#define FIGLUT_SERVE_DEGRADATION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/kv_arena.h"
+
+namespace figlut {
+namespace serve {
+
+/** What to do with live traffic when the KV budget runs out. */
+enum class DegradationPolicy
+{
+    /**
+     * Shed the most recently admitted request among those still
+     * un-reserved this step (possibly the requester itself) — drop it
+     * terminally with ResourceExhausted. Protects old traffic.
+     */
+    ShedNewest,
+    /**
+     * Evict the longest-idle un-reserved request (excluding the
+     * requester): release its KV and re-queue it as Preempted for a
+     * from-scratch restart. Sheds the requester only when no victim
+     * remains. Trades recompute for admission.
+     */
+    EvictLongestIdle,
+};
+
+/** Stable name of a DegradationPolicy ("shed-newest", ...). */
+const char *degradationPolicyName(DegradationPolicy policy);
+
+/** One live request's view of the reservation pass, in fused-batch
+ *  order. The caller computes needTokens (context length + 1). */
+struct ReservationItem
+{
+    KvArena::SeqId seq = KvArena::kInvalidSeq;
+    /** Token slots per layer this step needs block-backed. */
+    std::size_t needTokens = 0;
+    /** Clock time of the last step that decoded this request (its
+     *  admission time until then) — the EvictLongestIdle key. */
+    double lastActivityS = 0.0;
+    /** Admission counter (monotone; bumped on every (re-)admission) —
+     *  the ShedNewest key and the idle tie-break. */
+    std::uint64_t admitSeq = 0;
+};
+
+/** The plan: index lists into the items vector (disjoint, covering). */
+struct ReservationPlan
+{
+    /** Items whose reservation succeeded — this step's decode set,
+     *  in the original batch order. */
+    std::vector<std::size_t> decode;
+    /** Victims released for their blocks: re-queue as Preempted. */
+    std::vector<std::size_t> evicted;
+    /** Items dropped terminally (ResourceExhausted). */
+    std::vector<std::size_t> shed;
+};
+
+/**
+ * Run the reservation pass: for each item in batch order, reserve its
+ * needTokens in the arena, resolving NoCapacity/Fault through the
+ * policy until the item commits or sheds. Releases every victim's
+ * sequence (see the ownership note above). Deterministic: a pure
+ * function of the arena state, policy, and items.
+ */
+ReservationPlan planStepReservations(
+    KvArena &arena, DegradationPolicy policy,
+    const std::vector<ReservationItem> &items);
+
+} // namespace serve
+} // namespace figlut
+
+#endif // FIGLUT_SERVE_DEGRADATION_H

@@ -77,7 +77,34 @@ validateEngineConfig(const OptConfig &model, const EngineOptions &options)
         return Status::invalidArgument(
             "Engine maxBatch must be positive: a batch of 0 can never ",
             "decode a request");
+    if (options.kvBlockTokens == 0)
+        return Status::invalidArgument(
+            "Engine kvBlockTokens must be >= 1: the KV arena cannot ",
+            "page with empty blocks");
+    if (options.kvBudgetBytes > 0) {
+        // One decode step needs at least one block on every layer.
+        const std::size_t blockBytes =
+            options.kvBlockTokens * 2 * model.hidden * sizeof(double);
+        const std::size_t floor = blockBytes * model.layers;
+        if (options.kvBudgetBytes < floor)
+            return Status::invalidArgument(
+                "Engine kvBudgetBytes ", options.kvBudgetBytes,
+                " cannot hold one block per layer (", model.layers,
+                " layers x ", blockBytes, "-byte blocks = ", floor,
+                " bytes); raise the budget or shrink kvBlockTokens");
+    }
     return validateExecOptions(options.exec, options.model.mu);
+}
+
+KvArena::Options
+arenaOptionsFor(const OptConfig &model, const EngineOptions &options)
+{
+    KvArena::Options arena;
+    arena.hidden = model.hidden;
+    arena.layers = model.layers;
+    arena.blockTokens = options.kvBlockTokens;
+    arena.budgetBytes = options.kvBudgetBytes;
+    return arena;
 }
 
 } // namespace
@@ -93,7 +120,8 @@ Engine::create(const OptConfig &model, const EngineOptions &options)
 Engine::Engine(const OptConfig &model, const EngineOptions &options)
     : model_(model, modelOptionsFor(options)), options_(options),
       ctx_(options.exec.threads),
-      clock_(options.clock != nullptr ? options.clock : &ownedClock_)
+      clock_(options.clock != nullptr ? options.clock : &ownedClock_),
+      arena_(arenaOptionsFor(model, options), options.faults)
 {
     options_.model.packKeys = model_.options().packKeys;
     // Only the semantic op order is needed to drive the numeric step;
@@ -120,9 +148,26 @@ Engine::find(RequestId id) const
     return it == requests_.end() ? nullptr : &it->second;
 }
 
+std::size_t
+Engine::contextTokens(const Request &req) const
+{
+    // Before the prompt is materialized (queued, or re-queued after an
+    // eviction) the count is analytic; once the arena sequence holds
+    // the tokens, it is authoritative.
+    if (!req.promptWritten)
+        return (req.promptDropped ? 0 : req.options.promptTokens) +
+               req.lifeTokens;
+    if (req.seq != KvArena::kInvalidSeq)
+        return arena_.tokens(req.seq);
+    return req.lifeTokens;
+}
+
 Result<RequestId>
 Engine::submit(const RequestOptions &request)
 {
+    if (request.deadlineS < 0.0)
+        return Status::invalidArgument(
+            "request deadlineS must be >= 0, got ", request.deadlineS);
     // A new request only bypasses the queue when the queue is empty —
     // earlier submits waiting for a slot keep their FIFO position even
     // if a cancellation just freed one (the next step admits them).
@@ -139,23 +184,16 @@ Engine::submit(const RequestOptions &request)
     Request req;
     req.options = request;
     req.submitTimeS = clock_->now();
+    // The initial hidden state comes first in the request's RNG
+    // stream; the synthetic prompt KV follows, but is materialized
+    // lazily into the arena at the request's first decode step (see
+    // writePromptIfNeeded) so queued traffic holds no KV bytes.
     Rng rng(request.seed);
-    const std::size_t h = model_.config().hidden;
-    req.hidden = syntheticActivations(h, 1, rng);
-    req.kv = KvCache(model_.layers());
-    // Synthetic prompt KV (the prefill stand-in): one K/V entry per
-    // (prompt token, layer), drawn from the request seed after the
-    // hidden state, so attention and the workloadTasks() context
-    // pricing both see the prompt from the first decode step.
-    for (std::size_t l = 0; l < model_.layers(); ++l) {
-        for (std::size_t t = 0; t < request.promptTokens; ++t) {
-            MatrixD k = syntheticActivations(h, 1, rng);
-            MatrixD v = syntheticActivations(h, 1, rng);
-            req.kv.append(l, std::move(k), std::move(v));
-        }
-    }
+    req.hidden = syntheticActivations(model_.config().hidden, 1, rng);
     if (direct) {
         req.state = RequestState::Active;
+        req.admitSeq = ++admitCounter_;
+        req.lastActivityS = req.submitTimeS;
         active_.push_back(id);
     } else {
         req.state = RequestState::Queued;
@@ -171,8 +209,7 @@ Engine::provideInput(RequestId id, const MatrixD &hidden)
     Request *req = find(id);
     if (req == nullptr)
         return Status::notFound("unknown request id ", id);
-    if (req->state == RequestState::Finished ||
-        req->state == RequestState::Cancelled)
+    if (requestStateTerminal(req->state))
         return Status::failedPrecondition(
             "request ", id, " already retired (",
             requestStateName(req->state), ")");
@@ -186,7 +223,7 @@ Engine::provideInput(RequestId id, const MatrixD &hidden)
 }
 
 std::size_t
-Engine::admitFromQueue()
+Engine::admitFromQueue(double nowS)
 {
     // queueSeconds is deliberately NOT stamped here: admission is
     // bookkeeping, not decode. step() stamps it at the start of the
@@ -198,22 +235,187 @@ Engine::admitFromQueue()
         queue_.pop_front();
         Request &req = requests_.at(id);
         req.state = RequestState::Active;
+        req.admitSeq = ++admitCounter_;
+        req.lastActivityS = nowS;
         active_.push_back(id);
         ++admitted;
     }
     return admitted;
 }
 
+void
+Engine::retireSequence(Request &req, bool retain)
+{
+    if (req.seq == KvArena::kInvalidSeq)
+        return;
+    if (retain && options_.retainFinishedKv)
+        req.retainedKv = arena_.materialize(req.seq);
+    arena_.releaseSequence(req.seq);
+    req.seq = KvArena::kInvalidSeq;
+}
+
+void
+Engine::sweepDeadlines(double nowS, std::vector<RequestId> &expired)
+{
+    // Active columns first, then the queue, both in order — the same
+    // sweep order replayTrace() mirrors.
+    std::vector<RequestId> sweep(active_.begin(), active_.end());
+    sweep.insert(sweep.end(), queue_.begin(), queue_.end());
+    for (const RequestId id : sweep) {
+        Request &req = requests_.at(id);
+        if (req.options.deadlineS <= 0.0 ||
+            nowS <= req.submitTimeS + req.options.deadlineS)
+            continue;
+        retireSequence(req, /*retain=*/false);
+        removeFromSchedule(id);
+        req.state = RequestState::DeadlineExceeded;
+        req.terminal = Status::deadlineExceeded(
+            "request ", id, " missed its ", req.options.deadlineS,
+            "s deadline at t=", nowS);
+        expired.push_back(id);
+    }
+}
+
+void
+Engine::reserveStep(StepStats &stats)
+{
+    // Build the reservation view of the live batch, in column order.
+    std::vector<ReservationItem> items;
+    items.reserve(active_.size());
+    for (const RequestId id : active_) {
+        Request &req = requests_.at(id);
+        if (req.seq == KvArena::kInvalidSeq)
+            req.seq = arena_.createSequence();
+        ReservationItem item;
+        item.seq = req.seq;
+        item.needTokens = contextTokens(req) + 1;
+        item.lastActivityS = req.lastActivityS;
+        item.admitSeq = req.admitSeq;
+        items.push_back(item);
+    }
+    const ReservationPlan plan =
+        planStepReservations(arena_, options_.policy, items);
+
+    // The planner already released every victim's sequence; apply the
+    // request-side transitions here.
+    std::vector<RequestId> evicted;
+    for (const std::size_t idx : plan.evicted) {
+        const RequestId id = active_[idx];
+        Request &req = requests_.at(id);
+        req.seq = KvArena::kInvalidSeq;
+        req.state = RequestState::Preempted;
+        req.stats.preemptions += 1;
+        req.lifeTokens = 0;
+        req.promptWritten = false;
+        evicted.push_back(id);
+        stats.evictedIds.push_back(id);
+    }
+    for (const std::size_t idx : plan.shed) {
+        const RequestId id = active_[idx];
+        Request &req = requests_.at(id);
+        req.seq = KvArena::kInvalidSeq;
+        req.state = RequestState::Shed;
+        req.terminal = Status::resourceExhausted(
+            "request ", id, " shed: KV budget of ",
+            options_.kvBudgetBytes, " bytes cannot back its next token ",
+            "(policy ", degradationPolicyName(options_.policy), ")");
+        stats.shedIds.push_back(id);
+    }
+
+    // The decode set keeps its batch order; evicted requests rejoin
+    // the queue FRONT in admission order, ahead of never-admitted
+    // traffic (they already waited once).
+    std::vector<RequestId> decode;
+    decode.reserve(plan.decode.size());
+    for (const std::size_t idx : plan.decode)
+        decode.push_back(active_[idx]);
+    active_ = std::move(decode);
+    std::sort(evicted.begin(), evicted.end(),
+              [this](RequestId a, RequestId b) {
+                  return requests_.at(a).admitSeq >
+                         requests_.at(b).admitSeq;
+              });
+    for (const RequestId id : evicted) {
+        requests_.at(id).state = RequestState::Queued;
+        queue_.push_front(id);
+    }
+}
+
+void
+Engine::writePromptIfNeeded(Request &req)
+{
+    if (req.promptWritten)
+        return;
+    const std::size_t h = model_.config().hidden;
+    // Replay the submit-time RNG stream: hidden state first, then the
+    // prompt K/V per (layer, token). On a preemption restart the
+    // redrawn hidden replaces the evicted life's progress (the
+    // from-scratch recompute); on a first admission the request still
+    // holds that exact draw (or a provideInput override, which must
+    // win), so the redraw is discarded.
+    Rng rng(req.options.seed);
+    MatrixD first = syntheticActivations(h, 1, rng);
+    if (req.stats.preemptions > 0)
+        req.hidden = std::move(first);
+    if (!req.promptDropped) {
+        for (std::size_t l = 0; l < model_.layers(); ++l) {
+            for (std::size_t t = 0; t < req.options.promptTokens; ++t) {
+                const MatrixD k = syntheticActivations(h, 1, rng);
+                const MatrixD v = syntheticActivations(h, 1, rng);
+                const KvArena::TokenSlot slot =
+                    arena_.appendToken(req.seq, l);
+                for (std::size_t r = 0; r < h; ++r) {
+                    slot.k[r] = k(r, 0);
+                    slot.v[r] = v(r, 0);
+                }
+            }
+        }
+    }
+    req.promptWritten = true;
+}
+
 Result<StepStats>
 Engine::step()
 {
-    StepStats stats;
-    stats.admitted = admitFromQueue();
-    if (active_.empty())
+    if (active_.empty() && queue_.empty())
         return Status::failedPrecondition(
             "no live requests to decode; submit() first");
 
+    StepStats stats;
     const double t0 = clock_->now();
+    // Injected skew shifts only the deadline clock: latency accounting
+    // stays on the real time source, but deadlines can fire early or
+    // late — the overload harness's "clock skew" fault.
+    const double skewS = options_.faults != nullptr
+                             ? options_.faults->clockSkewS(stepsExecuted_)
+                             : 0.0;
+    sweepDeadlines(t0 + skewS, stats.deadlineIds);
+
+    stats.admitted = admitFromQueue(t0);
+    if (active_.empty()) {
+        // The sweep emptied the schedule. Not an error (the caller
+        // did have live traffic) — an empty step that decodes nothing
+        // and does not count toward stepsExecuted().
+        stats.queueDepth = queue_.size();
+        stats.kvBlocksInUse = arena_.blocksInUse();
+        stats.kvBytesInUse = arena_.bytesInUse();
+        return stats;
+    }
+
+    // KV reservation pass: after this, every surviving column has its
+    // next token block-backed, so the numeric step cannot fail.
+    reserveStep(stats);
+    if (active_.empty()) {
+        // Governance dropped every column (all shed, or the whole
+        // batch evicted and re-queued). Refill and report the empty
+        // step; the next step decodes the re-admitted traffic.
+        stats.admitted += admitFromQueue(t0);
+        stats.queueDepth = queue_.size();
+        stats.kvBlocksInUse = arena_.blocksInUse();
+        stats.kvBytesInUse = arena_.bytesInUse();
+        return stats;
+    }
+
     const OptConfig &cfg = model_.config();
     const std::size_t h = cfg.hidden;
     const std::size_t b = active_.size();
@@ -224,6 +426,12 @@ Engine::step()
     for (const RequestId id : active_)
         live.push_back(&requests_.at(id));
     stats.decodedIds = active_;
+
+    // First decode step of a request's first life: materialize its
+    // synthetic prompt into the freshly reserved sequence. Restarts
+    // after eviction rebuild prompt + hidden the same way.
+    for (Request *req : live)
+        writePromptIfNeeded(*req);
 
     // First fused step for a request: everything before this instant
     // was waiting (queue + admitted-but-idle), not decoding.
@@ -255,6 +463,7 @@ Engine::step()
     // is bit-identical to running alone (the differential suite pins
     // this).
     MatrixD ln, qkv, attn, proj, ffn;
+    std::vector<std::vector<KvTokenRef>> views(b);
     for (std::size_t l = 0; l < model_.layers(); ++l) {
         const QuantizedLayer &layer = model_.layer(l);
         for (const LayerOp op : layerOps_) {
@@ -268,18 +477,17 @@ Engine::step()
                 break;
               case LayerOp::Attention: {
                 MatrixD q(h, b);
-                std::vector<KvColumn> views(b);
                 for (std::size_t c = 0; c < b; ++c) {
-                    MatrixD k(h, 1), v(h, 1);
+                    // This token's K/V go straight into the reserved
+                    // arena slot — the slab doubles attention reads.
+                    const KvArena::TokenSlot slot =
+                        arena_.appendToken(live[c]->seq, l);
                     for (std::size_t r = 0; r < h; ++r) {
                         q(r, c) = qkv(r, c);
-                        k(r, 0) = qkv(h + r, c);
-                        v(r, 0) = qkv(2 * h + r, c);
+                        slot.k[r] = qkv(h + r, c);
+                        slot.v[r] = qkv(2 * h + r, c);
                     }
-                    KvCache &kv = live[c]->kv;
-                    kv.append(l, std::move(k), std::move(v));
-                    views[c] = KvColumn{&kv.keys(l), &kv.values(l), 0,
-                                        kv.length()};
+                    arena_.tokenRefs(live[c]->seq, l, views[c]);
                 }
                 attn = referenceDecodeAttention(q, views, cfg.heads);
                 break;
@@ -315,14 +523,17 @@ Engine::step()
         for (std::size_t r = 0; r < h; ++r)
             req.hidden(r, 0) = x(r, c);
         req.stats.tokensDecoded += 1;
+        req.lifeTokens += 1;
         if (req.stats.tokensDecoded == 1)
             req.stats.ttftSeconds = t1 - req.submitTimeS;
         req.stats.gemmCalls += stats.gemmCalls;
         accumulate(req.stats.counters, share);
         req.stats.decodeSeconds += stats.seconds;
+        req.lastActivityS = t0;
         if (req.options.maxTokens > 0 &&
-            req.stats.tokensDecoded >= req.options.maxTokens) {
+            req.lifeTokens >= req.options.maxTokens) {
             req.state = RequestState::Finished;
+            retireSequence(req, /*retain=*/true);
             retired.push_back(active_[c]);
         }
     }
@@ -335,8 +546,10 @@ Engine::step()
     // as possible).
     for (const RequestId id : queue_)
         requests_.at(id).stats.queuedSteps += 1;
-    stats.admitted += admitFromQueue();
+    stats.admitted += admitFromQueue(t0);
     stats.queueDepth = queue_.size();
+    stats.kvBlocksInUse = arena_.blocksInUse();
+    stats.kvBytesInUse = arena_.bytesInUse();
     ++stepsExecuted_;
     return stats;
 }
@@ -351,8 +564,11 @@ Engine::poll(RequestId id) const
     snap.id = id;
     snap.state = req->state;
     snap.hidden = req->hidden;
-    snap.kvLength = req->kv.length();
+    snap.kvLength = requestStateTerminal(req->state)
+                        ? req->retainedKv.length()
+                        : contextTokens(*req);
     snap.stats = req->stats;
+    snap.terminal = req->terminal;
     return snap;
 }
 
@@ -362,13 +578,15 @@ Engine::cancel(RequestId id)
     Request *req = find(id);
     if (req == nullptr)
         return Status::notFound("unknown request id ", id);
-    if (req->state == RequestState::Finished ||
-        req->state == RequestState::Cancelled)
+    if (requestStateTerminal(req->state))
         return Status::failedPrecondition(
             "request ", id, " already retired (",
             requestStateName(req->state), ")");
     removeFromSchedule(id);
+    retireSequence(*req, /*retain=*/true);
     req->state = RequestState::Cancelled;
+    req->terminal = Status::cancelled("request ", id,
+                                      " cancelled by the client");
     return Status::okStatus();
 }
 
@@ -378,12 +596,17 @@ Engine::resetKv(RequestId id)
     Request *req = find(id);
     if (req == nullptr)
         return Status::notFound("unknown request id ", id);
-    if (req->state == RequestState::Finished ||
-        req->state == RequestState::Cancelled)
+    if (requestStateTerminal(req->state))
         return Status::failedPrecondition(
             "request ", id, " already retired (",
             requestStateName(req->state), ")");
-    req->kv.clear();
+    if (req->seq != KvArena::kInvalidSeq)
+        arena_.resetSequence(req->seq);
+    // The prompt is gone for good, like the old contiguous clear():
+    // a later prompt-materialization pass must not resurrect it.
+    req->promptDropped = true;
+    req->promptWritten = true;
+    req->lifeTokens = 0;
     return Status::okStatus();
 }
 
@@ -393,7 +616,9 @@ Engine::kvHistory(RequestId id) const
     const Request *req = find(id);
     if (req == nullptr)
         return Status::notFound("unknown request id ", id);
-    return req->kv;
+    if (req->seq != KvArena::kInvalidSeq)
+        return arena_.materialize(req->seq);
+    return req->retainedKv;
 }
 
 void
@@ -430,11 +655,11 @@ Engine::workloadTasks() const
     opts.groupSize = options_.model.groupSize;
     opts.hasOffset = options_.model.useOffset;
     // The next step appends before attending, so each column's
-    // analytic context length is its cached length plus one.
+    // analytic context length is its held entries plus one.
     std::vector<std::size_t> contextLens;
     contextLens.reserve(next.size());
     for (const Request *req : next)
-        contextLens.push_back(req->kv.length() + 1);
+        contextLens.push_back(contextTokens(*req) + 1);
     return decodeStepWorkload(model_.config(), opts, contextLens);
 }
 

@@ -19,11 +19,23 @@
  * Packed LUT kernel exactly once per step — all requests share the
  * model's pre-packed keys and the engine's one ExecutionContext (the
  * paper's repeated-inference amortization, applied across clients).
- * Attention is ragged: every request attends over its own
- * single-column KvCache, whose length is that request's age. Requests
- * admit up to maxBatch; excess submits wait in a FIFO queue (up to
- * maxQueue) and join as slots retire — continuous batching, not
- * lock-step epochs.
+ * Attention is ragged: every request attends over its own sequence of
+ * the engine's paged KV arena, whose length is that request's age.
+ * Requests admit up to maxBatch; excess submits wait in a FIFO queue
+ * (up to maxQueue) and join as slots retire — continuous batching,
+ * not lock-step epochs.
+ *
+ * The engine is memory-governed and failure-aware: all KV bytes live
+ * in one paged arena (runtime/kv_arena.h) under an optional byte
+ * budget, every fused step starts with a deadline sweep and a KV
+ * reservation pass, and shortfalls resolve through a degradation
+ * policy (serve/degradation.h) — shed-newest drops the youngest
+ * traffic terminally, evict-longest-idle releases a victim's KV and
+ * re-queues it as Preempted for a from-scratch restart. A restarted
+ * request re-derives its inputs from its seed, so its surviving
+ * decode output is bit-identical to an unconstrained run. An optional
+ * FaultInjector adds deterministic allocation failures and deadline
+ * clock skew on top.
  *
  * Errors on the construction/submission paths are recoverable
  * (common/status.h): create() validates the model shape and every
@@ -52,9 +64,11 @@
 #include "core/execution_context.h"
 #include "model/workload.h"
 #include "runtime/exec_options.h"
+#include "runtime/kv_arena.h"
 #include "runtime/kv_cache.h"
 #include "runtime/quantized_model.h"
 #include "serve/clock.h"
+#include "serve/degradation.h"
 #include "serve/request.h"
 #include "sim/accelerator.h"
 
@@ -85,6 +99,32 @@ struct EngineOptions
      * must outlive the engine.
      */
     const EngineClock *clock = nullptr;
+    /**
+     * KV arena byte budget across all live requests; 0 = unbounded
+     * (the pre-governance behavior). When bounded, each fused step
+     * runs a reservation pass and resolves shortfalls through the
+     * degradation policy below. Must hold at least one block per
+     * layer.
+     */
+    std::size_t kvBudgetBytes = 0;
+    /** Paging granularity of the KV arena, in tokens per block. */
+    std::size_t kvBlockTokens = 16;
+    /** What to do with live traffic when the budget runs out. */
+    DegradationPolicy policy = DegradationPolicy::ShedNewest;
+    /**
+     * Optional failure seam: consulted on every arena block
+     * allocation and for per-step clock skew on the deadline clock.
+     * Not owned; must outlive the engine. Implementations must be
+     * pure (see FaultInjector) when shared with a trace replay.
+     */
+    FaultInjector *faults = nullptr;
+    /**
+     * Materialize a request's KV into a contiguous snapshot when it
+     * finishes or is cancelled (so kvHistory() keeps working after
+     * the arena blocks are reclaimed). Serving fleets that never read
+     * finished KV can turn this off.
+     */
+    bool retainFinishedKv = true;
 };
 
 /** Whole-step accounting returned by Engine::step(). */
@@ -111,9 +151,22 @@ struct StepStats
     /**
      * The requests this step decoded one token for, in fused batch
      * column order — the per-token completion hook load harnesses use
-     * to stamp inter-token latencies without polling every id.
+     * to stamp inter-token latencies without polling every id. Empty
+     * (with ok status) when deadline sweeps or the reservation pass
+     * left nothing to decode — such steps do not count toward
+     * stepsExecuted().
      */
     std::vector<RequestId> decodedIds;
+    /** Requests shed terminally by the reservation pass this step. */
+    std::vector<RequestId> shedIds;
+    /** Requests evicted (Preempted, re-queued) this step. */
+    std::vector<RequestId> evictedIds;
+    /** Requests dropped by the deadline sweep this step. */
+    std::vector<RequestId> deadlineIds;
+    /** Arena blocks held after this step. */
+    std::size_t kvBlocksInUse = 0;
+    /** Arena bytes held after this step. */
+    std::size_t kvBytesInUse = 0;
 };
 
 /** A request-level serving engine over one shared quantized model. */
@@ -153,12 +206,16 @@ class Engine
     Status provideInput(RequestId id, const MatrixD &hidden);
 
     /**
-     * One fused decode step over all live requests: admit from the
-     * queue into free slots, gather hidden columns, run every layer's
-     * GEMMs once over the whole batch (pre-packed keys, shared
-     * context) with ragged KV attention, append one KV entry per
-     * (request, layer), then retire requests that reached their token
-     * budget. FailedPrecondition when no request is live or queued.
+     * One fused decode step over all live requests: sweep deadlines,
+     * admit from the queue into free slots, run the KV reservation
+     * pass (shedding or evicting through the degradation policy when
+     * the budget or an injected fault denies blocks), gather hidden
+     * columns, run every layer's GEMMs once over the whole batch
+     * (pre-packed keys, shared context) with ragged paged-KV
+     * attention, append one KV entry per (request, layer), then
+     * retire requests that reached their token budget.
+     * FailedPrecondition when no request is live or queued; ok with
+     * empty decodedIds when governance dropped every live column.
      */
     Result<StepStats> step();
 
@@ -173,20 +230,28 @@ class Engine
     Status cancel(RequestId id);
 
     /**
-     * Drop a request's KV history (restart its sequence; weights,
-     * stats, and budget are unaffected). Rejected once retired.
+     * Drop a request's KV history, prompt included (restart its
+     * sequence; weights, stats, and budget are unaffected). Rejected
+     * once retired.
      */
     Status resetKv(RequestId id);
 
-    /** Copy of a request's full KV history; NotFound if unknown. */
+    /**
+     * Copy of a request's full KV history: materialized from the
+     * arena while live, the retained snapshot after Finished or
+     * cancel() (empty when retainFinishedKv is off, and for requests
+     * dropped by governance). NotFound if unknown.
+     */
     Result<KvCache> kvHistory(RequestId id) const;
 
     /** Requests currently decoding (columns of the next fused step). */
     std::size_t liveRequests() const { return active_.size(); }
     /** Requests waiting for a slot. */
     std::size_t queuedRequests() const { return queue_.size(); }
-    /** Fused steps executed so far. */
+    /** Fused steps executed so far (steps that decoded tokens). */
     std::size_t stepsExecuted() const { return stepsExecuted_; }
+    /** The paged KV arena backing every live request. */
+    const KvArena &arena() const { return arena_; }
 
     /**
      * The KernelTask list of the *next* fused step: GEMMs at the batch
@@ -208,19 +273,51 @@ class Engine
         RequestOptions options;
         RequestState state = RequestState::Queued;
         MatrixD hidden; ///< next-step input, hidden x 1
-        KvCache kv;
+        /** This request's arena sequence (invalid until admitted and
+         *  after any terminal transition or eviction). */
+        KvArena::SeqId seq = KvArena::kInvalidSeq;
+        /** Contiguous snapshot kept at Finished/Cancelled when
+         *  retainFinishedKv is on (the arena blocks are reclaimed). */
+        KvCache retainedKv;
         RequestStats stats;
         double submitTimeS = 0.0; ///< clock time of submit()
+        /** Step-start time of the last step that decoded this request
+         *  (admission time until then) — the eviction idle key. */
+        double lastActivityS = 0.0;
+        /** Admission counter value of the latest (re-)admission. */
+        std::uint64_t admitSeq = 0;
+        /** Tokens decoded in the current life (reset by eviction;
+         *  drives retirement, unlike the cumulative stats count). */
+        std::size_t lifeTokens = 0;
+        /** Prompt KV already materialized into the arena sequence. */
+        bool promptWritten = false;
+        /** resetKv() dropped the prompt for good. */
+        bool promptDropped = false;
+        /** Definite terminal outcome (see RequestSnapshot::terminal). */
+        Status terminal;
     };
 
     Engine(const OptConfig &model, const EngineOptions &options);
 
     Request *find(RequestId id);
     const Request *find(RequestId id) const;
-    /** Admit queued requests into free batch slots (FIFO). */
-    std::size_t admitFromQueue();
+    /** Admit queued requests into free batch slots (FIFO), stamping
+     *  admission metadata at step-start time nowS. */
+    std::size_t admitFromQueue(double nowS);
     /** Remove id from the active list / queue (state already set). */
     void removeFromSchedule(RequestId id);
+    /** Drop expired requests (active first, then queued). */
+    void sweepDeadlines(double nowS, std::vector<RequestId> &expired);
+    /** Reservation pass over the live batch; returns the decode set. */
+    void reserveStep(StepStats &stats);
+    /** Materialize the synthetic prompt KV into the arena on the
+     *  request's first decode step (or restart after eviction). */
+    void writePromptIfNeeded(Request &req);
+    /** KV entries the request holds (prompt + decode this life). */
+    std::size_t contextTokens(const Request &req) const;
+    /** Release the arena sequence, materializing into retainedKv
+     *  first when asked. */
+    void retireSequence(Request &req, bool retain);
 
     QuantizedModel model_;
     EngineOptions options_;
@@ -230,12 +327,16 @@ class Engine
     const EngineClock *clock_ = nullptr;
     /** Semantic op order of one decoder layer (construction-invariant). */
     std::vector<LayerOp> layerOps_;
+    /** Paged KV slab shared by all requests. */
+    KvArena arena_;
     std::unordered_map<RequestId, Request> requests_;
     /** Live requests in admission order = fused batch column order. */
     std::vector<RequestId> active_;
     std::deque<RequestId> queue_;
     RequestId nextId_ = 1;
     std::size_t stepsExecuted_ = 0;
+    /** Monotone admission counter (ShedNewest recency key). */
+    std::uint64_t admitCounter_ = 0;
 };
 
 } // namespace serve

@@ -6,11 +6,17 @@
  * its own token budget and input seed, admitted into the engine's
  * fused batch when a slot frees, decoded one token per Engine::step()
  * alongside every other live request, and retired when it reaches its
- * budget (or is cancelled). Each request owns a single-column KvCache,
- * so live requests may have arbitrarily different context lengths.
+ * budget (or is cancelled). Each request holds one sequence of the
+ * engine's paged KV arena, so live requests may have arbitrarily
+ * different context lengths — and the engine can reclaim a sequence
+ * whole under memory pressure.
  *
- * Lifecycle:  submit() -> Queued -> Active -> Finished
- *                               \-> Cancelled (any time before Finished)
+ * Lifecycle:  submit() -> Queued <-> Active -> Finished
+ *                               \-> Cancelled (client, pre-Finished)
+ *                               \-> Shed (memory pressure, terminal)
+ *                               \-> DeadlineExceeded (terminal)
+ * The Queued <-> Active back edge is Preempted: an eviction releases
+ * the request's KV and re-queues it for a from-scratch restart.
  */
 
 #ifndef FIGLUT_SERVE_REQUEST_H
@@ -21,6 +27,7 @@
 
 #include "common/matrix.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/lut_gemm.h"
 
 namespace figlut {
@@ -46,15 +53,21 @@ struct RequestOptions
      */
     std::uint64_t seed = Rng::kDefaultSeed;
     /**
-     * Prompt length in tokens. submit() seeds the request's KV cache
-     * with this many synthetic K/V entries per layer (drawn from
-     * `seed`, after the hidden state) — the stand-in for a real
-     * prefill until the prompt path lands (ROADMAP item 2). Decode
-     * attention and the workloadTasks() context pricing both see the
-     * prompt, so long-prompt traffic costs more per step, as it
-     * should.
+     * Prompt length in tokens. The engine seeds the request's KV
+     * arena sequence with this many synthetic K/V entries per layer
+     * (drawn from `seed`, after the hidden state) — the stand-in for
+     * a real prefill until the prompt path lands (ROADMAP item 2).
+     * Decode attention and the workloadTasks() context pricing both
+     * see the prompt, so long-prompt traffic costs more per step, as
+     * it should.
      */
     std::size_t promptTokens = 0;
+    /**
+     * Seconds after submit() by which the request must finish; past
+     * it the engine drops the request with DeadlineExceeded at the
+     * start of the next fused step. 0 = no deadline.
+     */
+    double deadlineS = 0.0;
 };
 
 /** Where a request is in its lifecycle. */
@@ -64,10 +77,21 @@ enum class RequestState
     Active,    ///< participating in fused decode steps
     Finished,  ///< reached its token budget; record kept for poll()
     Cancelled, ///< cancelled by the client; record kept for poll()
+    /** Evicted under memory pressure (EvictLongestIdle): KV released,
+     *  re-queued for a from-scratch restart. Not terminal. */
+    Preempted,
+    /** Dropped under memory pressure (terminal, ResourceExhausted). */
+    Shed,
+    /** Dropped past its deadline (terminal, DeadlineExceeded). */
+    DeadlineExceeded,
 };
 
 /** Stable name of a RequestState ("queued", ...). */
 const char *requestStateName(RequestState state);
+
+/** True for the states a request never leaves (Finished, Cancelled,
+ *  Shed, DeadlineExceeded). */
+bool requestStateTerminal(RequestState state);
 
 /** Per-request accounting, updated by every fused step. */
 struct RequestStats
@@ -85,6 +109,8 @@ struct RequestStats
     LutGemmCounters counters;
     /** Fused steps that ran while this request sat in the queue. */
     std::size_t queuedSteps = 0;
+    /** Times this request was evicted (KV dropped, restarted). */
+    std::size_t preemptions = 0;
     /**
      * Seconds from submit() to the *start* of the first fused step
      * that decoded this request: the full pre-decode wait, covering
@@ -109,9 +135,16 @@ struct RequestSnapshot
     RequestState state = RequestState::Queued;
     /** Latest hidden state, hidden x 1 (the next step's input). */
     MatrixD hidden;
-    /** Decode steps currently held in the request's KV cache. */
+    /** KV entries (prompt + decode) the request currently holds. */
     std::size_t kvLength = 0;
     RequestStats stats;
+    /**
+     * Why the request ended: OK while live and for Finished; the
+     * definite terminal Status (Cancelled, ResourceExhausted for a
+     * shed, DeadlineExceeded) otherwise — every non-completed request
+     * carries one.
+     */
+    Status terminal;
 };
 
 } // namespace serve

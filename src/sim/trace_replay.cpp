@@ -12,7 +12,19 @@ namespace {
 /** Mutable scheduling state of one request during the replay. */
 struct Slot
 {
+    /** Tokens decoded in the current life (reset by eviction). */
     std::size_t decoded = 0;
+    /** Shadow-arena sequence while live (reservation-only). */
+    KvArena::SeqId seq = KvArena::kInvalidSeq;
+    /** Step-start time of the last decoding step (admission time
+     *  until then) — the eviction idle key, as in the engine. */
+    double lastActivityS = 0.0;
+    /** Admission counter value of the latest (re-)admission. */
+    std::uint64_t admitSeq = 0;
+    /** queueS stamped (first decode reached; never re-stamped). */
+    bool everStamped = false;
+    /** Dropped terminally mid-flight (shed or deadline). */
+    bool terminal = false;
 };
 
 } // namespace
@@ -25,11 +37,17 @@ replayTrace(const OptConfig &model, const HwConfig &hw,
     FIGLUT_ASSERT(options.maxBatch > 0,
                   "replayTrace needs maxBatch >= 1, got ",
                   options.maxBatch);
+    FIGLUT_ASSERT(options.kvBlockTokens > 0,
+                  "replayTrace needs kvBlockTokens >= 1, got ",
+                  options.kvBlockTokens);
     for (std::size_t i = 0; i < trace.size(); ++i) {
         FIGLUT_ASSERT(trace[i].outputTokens >= 1,
                       "replayTrace request ", i,
                       " has outputTokens == 0; a replay needs finite ",
                       "decode budgets");
+        FIGLUT_ASSERT(trace[i].deadlineS >= 0.0,
+                      "replayTrace request ", i,
+                      " has a negative deadline ", trace[i].deadlineS);
         FIGLUT_ASSERT(i == 0 ||
                           trace[i - 1].arrivalS <= trace[i].arrivalS,
                       "replayTrace trace must be sorted by arrival: ",
@@ -52,28 +70,51 @@ replayTrace(const OptConfig &model, const HwConfig &hw,
     workload.groupSize = options.groupSize;
     workload.hasOffset = options.hasOffset;
 
+    // The shadow arena: same geometry, budget, and injector as the
+    // engine's, but only ever reserve/release — no token is written,
+    // so no slab chunk is materialized.
+    KvArena::Options arenaOptions;
+    arenaOptions.hidden = model.hidden;
+    arenaOptions.layers = model.layers;
+    arenaOptions.blockTokens = options.kvBlockTokens;
+    arenaOptions.budgetBytes = options.kvBudgetBytes;
+    KvArena arena(arenaOptions, options.faults);
+
     std::vector<Slot> slots(trace.size());
     std::vector<std::size_t> active; ///< admission order = batch order
     std::deque<std::size_t> queue;
+    std::uint64_t admitCounter = 0;
 
     // Mirror of Engine::submit(): direct admission only when a slot is
     // free AND nothing is already waiting (FIFO fairness), a bounded
     // queue otherwise, load-shed beyond it.
-    const auto submit = [&](std::size_t i) {
+    const auto submit = [&](std::size_t i, double nowS) {
         const bool direct =
             active.size() < options.maxBatch && queue.empty();
-        if (direct)
+        if (direct) {
+            slots[i].admitSeq = ++admitCounter;
+            slots[i].lastActivityS = nowS;
             active.push_back(i);
-        else if (queue.size() < options.maxQueue)
+        } else if (queue.size() < options.maxQueue) {
             queue.push_back(i);
-        else
+        } else {
             result.requests[i].shed = true;
+        }
     };
     // Mirror of Engine::admitFromQueue().
-    const auto admitFromQueue = [&] {
+    const auto admitFromQueue = [&](double nowS) {
         while (active.size() < options.maxBatch && !queue.empty()) {
-            active.push_back(queue.front());
+            const std::size_t i = queue.front();
             queue.pop_front();
+            slots[i].admitSeq = ++admitCounter;
+            slots[i].lastActivityS = nowS;
+            active.push_back(i);
+        }
+    };
+    const auto releaseSeq = [&](std::size_t i) {
+        if (slots[i].seq != KvArena::kInvalidSeq) {
+            arena.releaseSequence(slots[i].seq);
+            slots[i].seq = KvArena::kInvalidSeq;
         }
     };
 
@@ -82,8 +123,10 @@ replayTrace(const OptConfig &model, const HwConfig &hw,
     while (true) {
         // Arrivals up to the current virtual time join before the next
         // step, exactly like submits landing between two step() calls.
-        while (next < trace.size() && trace[next].arrivalS <= simT)
-            submit(next++);
+        while (next < trace.size() && trace[next].arrivalS <= simT) {
+            submit(next, simT);
+            ++next;
+        }
         if (active.empty() && queue.empty()) {
             if (next == trace.size())
                 break;
@@ -91,9 +134,91 @@ replayTrace(const OptConfig &model, const HwConfig &hw,
             continue;
         }
 
-        // One fused step: admit, price the ragged-context batch on the
+        // Mirror of Engine::step(), in the same order: deadline sweep
+        // (on the skewed clock), admission, reservation pass, decode.
+        const double t0 = simT;
+        const double skewS =
+            options.faults != nullptr
+                ? options.faults->clockSkewS(result.steps)
+                : 0.0;
+        const double dlNowS = t0 + skewS;
+        // Active columns first, then the queue, both in order.
+        {
+            std::vector<std::size_t> sweep(active.begin(), active.end());
+            sweep.insert(sweep.end(), queue.begin(), queue.end());
+            for (const std::size_t i : sweep) {
+                if (trace[i].deadlineS <= 0.0 ||
+                    dlNowS <= trace[i].arrivalS + trace[i].deadlineS)
+                    continue;
+                releaseSeq(i);
+                slots[i].terminal = true;
+                result.requests[i].deadlineMiss = true;
+                result.requests[i].tokenTimesS.clear();
+                active.erase(std::remove(active.begin(), active.end(),
+                                         i),
+                             active.end());
+                const auto it =
+                    std::find(queue.begin(), queue.end(), i);
+                if (it != queue.end())
+                    queue.erase(it);
+            }
+        }
+        admitFromQueue(t0);
+        if (active.empty())
+            continue; // empty governance step: nothing recorded
+
+        // Reservation pass against the shadow arena — the exact
+        // planner the engine runs, on the same items in the same
+        // batch order.
+        std::vector<serve::ReservationItem> items;
+        items.reserve(active.size());
+        for (const std::size_t i : active) {
+            if (slots[i].seq == KvArena::kInvalidSeq)
+                slots[i].seq = arena.createSequence();
+            serve::ReservationItem item;
+            item.seq = slots[i].seq;
+            item.needTokens =
+                trace[i].promptTokens + slots[i].decoded + 1;
+            item.lastActivityS = slots[i].lastActivityS;
+            item.admitSeq = slots[i].admitSeq;
+            items.push_back(item);
+        }
+        const serve::ReservationPlan plan =
+            serve::planStepReservations(arena, options.policy, items);
+        std::vector<std::size_t> evicted;
+        for (const std::size_t idx : plan.evicted) {
+            const std::size_t i = active[idx];
+            slots[i].seq = KvArena::kInvalidSeq; // planner released it
+            slots[i].decoded = 0;
+            result.requests[i].evictions += 1;
+            result.requests[i].tokenTimesS.clear();
+            evicted.push_back(i);
+        }
+        for (const std::size_t idx : plan.shed) {
+            const std::size_t i = active[idx];
+            slots[i].seq = KvArena::kInvalidSeq;
+            slots[i].terminal = true;
+            result.requests[i].shed = true;
+            result.requests[i].tokenTimesS.clear();
+        }
+        std::vector<std::size_t> decode;
+        decode.reserve(plan.decode.size());
+        for (const std::size_t idx : plan.decode)
+            decode.push_back(active[idx]);
+        active = std::move(decode);
+        std::sort(evicted.begin(), evicted.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return slots[a].admitSeq > slots[b].admitSeq;
+                  });
+        for (const std::size_t i : evicted)
+            queue.push_front(i);
+        if (active.empty()) {
+            admitFromQueue(t0);
+            continue; // all columns shed/evicted: nothing recorded
+        }
+
+        // One fused step: price the ragged-context batch on the
         // accelerator, advance virtual time, decode one token each.
-        admitFromQueue();
         const std::vector<std::size_t> batch = active;
         workload.batch = batch.size();
         std::vector<std::size_t> contextLens;
@@ -106,20 +231,26 @@ replayTrace(const OptConfig &model, const HwConfig &hw,
         const double stepS = accelerator.runWorkload(tasks).seconds;
 
         for (const std::size_t i : batch)
-            if (slots[i].decoded == 0)
-                result.requests[i].queueS = simT - trace[i].arrivalS;
+            if (!slots[i].everStamped) {
+                result.requests[i].queueS = t0 - trace[i].arrivalS;
+                slots[i].everStamped = true;
+            }
         simT += stepS;
         for (const std::size_t i : batch) {
             slots[i].decoded += 1;
+            slots[i].lastActivityS = t0;
             result.requests[i].tokenTimesS.push_back(simT);
         }
+        for (const std::size_t i : batch)
+            if (slots[i].decoded >= trace[i].outputTokens)
+                releaseSeq(i);
         active.erase(std::remove_if(active.begin(), active.end(),
                                     [&](std::size_t i) {
                                         return slots[i].decoded >=
                                                trace[i].outputTokens;
                                     }),
                      active.end());
-        admitFromQueue();
+        admitFromQueue(t0);
 
         result.stepSeconds.push_back(stepS);
         result.queueDepth.push_back(queue.size());

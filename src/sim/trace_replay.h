@@ -17,10 +17,27 @@
  * comparable against the measured run: same trace, same schedule
  * shape, modeled hardware instead of the host.
  *
+ * The memory governance is mirrored too: a bounded kvBudgetBytes runs
+ * the replay against a shadow KvArena (same block geometry, same
+ * FaultInjector) through the identical planStepReservations() pass
+ * the engine runs, so shed/evict/deadline outcomes reproduce the
+ * engine's schedule — the shadow arena only *reserves* blocks, it
+ * never writes a KV byte, so a replay costs block-table bookkeeping,
+ * not slab memory. This is a deliberate inversion of the layer map
+ * (sim consuming runtime/kv_arena.h and serve/degradation.h, like
+ * runtime/session consuming serve/engine.h): the replay is a model
+ * *of* the serving engine and shares its policy code by construction
+ * rather than by transcription. One divergence to know about:
+ * deadlines are measured from arrivalS here but from the actual
+ * submit time in the engine — identical whenever arrivals are
+ * released on time (the pinned case), off by the submit lag
+ * otherwise.
+ *
  * The schedule equivalence is pinned by tests/bench_load: a
  * serve::Engine driven on a VirtualClock advanced by the identical
  * per-step scores produces bit-identical shed sets, token completion
- * times, and queue depths.
+ * times, and queue depths — with and without a KV budget, eviction,
+ * deadlines, and injected allocation faults.
  */
 
 #ifndef FIGLUT_SIM_TRACE_REPLAY_H
@@ -30,6 +47,8 @@
 #include <vector>
 
 #include "model/workload.h"
+#include "runtime/kv_arena.h"
+#include "serve/degradation.h"
 #include "sim/accelerator.h"
 
 namespace figlut {
@@ -40,6 +59,9 @@ struct ReplayRequest
     double arrivalS = 0.0;         ///< submit time, seconds from start
     std::size_t promptTokens = 0;  ///< synthetic prompt KV length
     std::size_t outputTokens = 1;  ///< decode budget (must be >= 1)
+    /** Seconds after arrival by which the request must finish; 0 =
+     *  no deadline (mirrors RequestOptions::deadlineS). */
+    double deadlineS = 0.0;
 };
 
 /** Scheduling and workload-pricing knobs, mirroring EngineOptions. */
@@ -51,6 +73,16 @@ struct ReplayOptions
     bool includeVector = true; ///< price the VPU kernels too
     std::size_t groupSize = 0; ///< scale-group geometry (0 = per-row)
     bool hasOffset = true;     ///< BCQ offset term present
+    /** KV byte budget (0 = unbounded), as EngineOptions::kvBudgetBytes. */
+    std::size_t kvBudgetBytes = 0;
+    /** Arena paging granularity, as EngineOptions::kvBlockTokens. */
+    std::size_t kvBlockTokens = 16;
+    /** Degradation policy under budget pressure. */
+    serve::DegradationPolicy policy =
+        serve::DegradationPolicy::ShedNewest;
+    /** Shared failure seam (must be pure; see FaultInjector). Not
+     *  owned. nullptr = no faults, no clock skew. */
+    FaultInjector *faults = nullptr;
 };
 
 /** Simulated outcome of one trace request (trace order). */
@@ -59,7 +91,14 @@ struct ReplayRequestResult
     double arrivalS = 0.0;
     std::size_t promptTokens = 0;
     std::size_t outputTokens = 0;
-    bool shed = false; ///< rejected at submit (queue full)
+    /** Dropped terminally under capacity pressure: rejected at submit
+     *  (queue full) or shed mid-flight by the KV budget. */
+    bool shed = false;
+    /** Dropped past its deadline (terminal). */
+    bool deadlineMiss = false;
+    /** Times the request was evicted and re-queued (its token times
+     *  only reflect the final, surviving life). */
+    std::size_t evictions = 0;
     /** Arrival to the start of the first decoding step (0 if shed). */
     double queueS = 0.0;
     /** Virtual completion time of each decoded token, oldest first. */
@@ -71,7 +110,8 @@ struct ReplayResult
 {
     /** Per-request outcomes, in trace order. */
     std::vector<ReplayRequestResult> requests;
-    /** Fused steps executed. */
+    /** Fused steps that decoded tokens (empty governance-only steps
+     *  are not counted, matching Engine::stepsExecuted()). */
     std::size_t steps = 0;
     /** Simulated duration of each step, in execution order. */
     std::vector<double> stepSeconds;
@@ -84,8 +124,8 @@ struct ReplayResult
 /**
  * Replay an arrival trace (sorted by arrivalS, every outputTokens
  * >= 1) against the accelerator model `hw`, mirroring serve::Engine's
- * continuous-batching schedule. Deterministic: a pure function of its
- * arguments.
+ * continuous-batching schedule and memory governance. Deterministic:
+ * a pure function of its arguments (FaultInjector purity included).
  */
 ReplayResult replayTrace(const OptConfig &model, const HwConfig &hw,
                          const ReplayOptions &options,

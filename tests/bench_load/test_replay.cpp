@@ -234,6 +234,165 @@ TEST(TraceReplayTest, MatchesEngineOnVirtualClock)
     }
 }
 
+/**
+ * The governed twin of the pin above: with a KV byte budget, the
+ * EvictLongestIdle policy, injected allocation faults AND clock skew,
+ * and a per-request deadline in play, the replay still reproduces the
+ * engine's schedule bit for bit — including which requests are shed,
+ * evicted, or expired, and when every surviving token lands.
+ */
+TEST(TraceReplayTest, GovernedReplayMatchesEngineOnVirtualClock)
+{
+    const OptConfig model = tinyModel();
+    const HwConfig hw = testHw();
+    // Simultaneous arrivals, so the engine's deadline base (submit
+    // time) and the replay's (arrival time) coincide exactly.
+    const std::vector<ReplayRequest> trace{
+        {0.0, 4, 3, 0.0}, {0.0, 6, 2, 0.0}, {0.0, 5, 2, 0.0},
+        {0.0, 3, 2, 1e-6}, {0.0, 4, 2, 0.0},
+    };
+    CountingFaultInjector faults(/*failEvery=*/7, /*skewS=*/0.05);
+
+    ReplayOptions options;
+    options.maxBatch = 2;
+    options.maxQueue = 3;
+    options.kvBlockTokens = 2;
+    // Six blocks cannot hold two worst-case contexts at once, so the
+    // reservation pass must evict or shed mid-trace.
+    options.kvBudgetBytes = 6 * 2 * 2 * model.hidden * sizeof(double);
+    options.policy = serve::DegradationPolicy::EvictLongestIdle;
+    options.faults = &faults;
+    const auto replay = replayTrace(model, hw, options, trace);
+
+    // The scenario must actually exercise the governance paths, or
+    // the pin below is vacuous.
+    std::size_t evictions = 0, sheds = 0, misses = 0;
+    for (const auto &r : replay.requests) {
+        evictions += r.evictions;
+        sheds += r.shed ? 1 : 0;
+        misses += r.deadlineMiss ? 1 : 0;
+    }
+    EXPECT_GT(evictions + sheds, 0u);
+    EXPECT_GT(misses, 0u);
+
+    serve::VirtualClock clock;
+    serve::EngineOptions engineOptions;
+    engineOptions.clock = &clock;
+    engineOptions.maxBatch = options.maxBatch;
+    engineOptions.maxQueue = options.maxQueue;
+    engineOptions.model.weightBits = options.weightBits;
+    engineOptions.model.groupSize = options.groupSize;
+    engineOptions.model.useOffset = options.hasOffset;
+    engineOptions.model.bcqIterations = 1;
+    engineOptions.includeVector = options.includeVector;
+    engineOptions.kvBudgetBytes = options.kvBudgetBytes;
+    engineOptions.kvBlockTokens = options.kvBlockTokens;
+    engineOptions.policy = options.policy;
+    engineOptions.faults = &faults;
+    auto created = serve::Engine::create(model, engineOptions);
+    ASSERT_TRUE(created.ok()) << created.status().toString();
+    serve::Engine &engine = *created.value();
+
+    const Accelerator accelerator(hw);
+    WorkloadOptions workload;
+    workload.weightBits = options.weightBits;
+    workload.includeVector = options.includeVector;
+    workload.groupSize = options.groupSize;
+    workload.hasOffset = options.hasOffset;
+
+    std::vector<bool> shed(trace.size(), false);
+    std::vector<bool> deadlineMiss(trace.size(), false);
+    std::vector<std::size_t> evicted(trace.size(), 0);
+    std::vector<std::vector<double>> tokenTimes(trace.size());
+    std::vector<std::size_t> queueDepth;
+    std::unordered_map<serve::RequestId, std::size_t> indexOf;
+
+    std::size_t next = 0, rounds = 0;
+    while (true) {
+        ASSERT_LT(++rounds, 10000u) << "engine failed to drain";
+        while (next < trace.size() &&
+               trace[next].arrivalS <= clock.now()) {
+            serve::RequestOptions request;
+            request.maxTokens = trace[next].outputTokens;
+            request.promptTokens = trace[next].promptTokens;
+            request.deadlineS = trace[next].deadlineS;
+            request.seed = 100 + next;
+            const auto id = engine.submit(request);
+            if (id.ok())
+                indexOf.emplace(id.value(), next);
+            else
+                shed[next] = true;
+            ++next;
+        }
+        if (engine.liveRequests() == 0 &&
+            engine.queuedRequests() == 0) {
+            if (next == trace.size())
+                break;
+            clock.set(trace[next].arrivalS);
+            continue;
+        }
+
+        const auto stats = engine.step();
+        ASSERT_TRUE(stats.ok()) << stats.status().toString();
+        const serve::StepStats &step = stats.value();
+        // Same bookkeeping as the replay and the load driver: an
+        // eviction discards the life's recorded tokens, shed and
+        // deadline drops are terminal.
+        for (const serve::RequestId id : step.evictedIds) {
+            const std::size_t i = indexOf.at(id);
+            tokenTimes[i].clear();
+            evicted[i] += 1;
+        }
+        for (const serve::RequestId id : step.shedIds) {
+            const std::size_t i = indexOf.at(id);
+            tokenTimes[i].clear();
+            shed[i] = true;
+        }
+        for (const serve::RequestId id : step.deadlineIds) {
+            const std::size_t i = indexOf.at(id);
+            tokenTimes[i].clear();
+            deadlineMiss[i] = true;
+        }
+        // Governance-only steps decode nothing, advance no time, and
+        // are not recorded — exactly like the replay's `continue`.
+        if (step.decodedIds.empty())
+            continue;
+        std::vector<std::size_t> contextLens;
+        for (const serve::RequestId id : step.decodedIds) {
+            const std::size_t i = indexOf.at(id);
+            contextLens.push_back(trace[i].promptTokens +
+                                  tokenTimes[i].size() + 1);
+        }
+        workload.batch = contextLens.size();
+        const double stepS =
+            accelerator
+                .runWorkload(
+                    decodeStepWorkload(model, workload, contextLens))
+                .seconds;
+        clock.advance(stepS);
+        for (const serve::RequestId id : step.decodedIds)
+            tokenTimes[indexOf.at(id)].push_back(clock.now());
+        queueDepth.push_back(step.queueDepth);
+    }
+
+    ASSERT_EQ(queueDepth.size(), replay.steps);
+    EXPECT_EQ(queueDepth, replay.queueDepth);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(shed[i], replay.requests[i].shed) << i;
+        EXPECT_EQ(deadlineMiss[i], replay.requests[i].deadlineMiss)
+            << i;
+        EXPECT_EQ(evicted[i], replay.requests[i].evictions) << i;
+        EXPECT_EQ(tokenTimes[i], replay.requests[i].tokenTimesS) << i;
+    }
+    for (const auto &[id, i] : indexOf) {
+        const auto snapshot = engine.poll(id);
+        ASSERT_TRUE(snapshot.ok()) << i;
+        EXPECT_DOUBLE_EQ(snapshot.value().stats.queueSeconds,
+                         replay.requests[i].queueS)
+            << i;
+    }
+}
+
 TEST(VirtualClockTest, AdvanceAndSetAreMonotone)
 {
     serve::VirtualClock clock;

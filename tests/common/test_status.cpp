@@ -40,6 +40,10 @@ TEST(Status, ErrorFactoriesCarryCodeAndStreamedMessage)
               StatusCode::ResourceExhausted);
     EXPECT_EQ(Status::failedPrecondition("x").code(),
               StatusCode::FailedPrecondition);
+    EXPECT_EQ(Status::deadlineExceeded("x").code(),
+              StatusCode::DeadlineExceeded);
+    EXPECT_EQ(Status::cancelled("x").code(), StatusCode::Cancelled);
+    EXPECT_EQ(Status::preempted("x").code(), StatusCode::Preempted);
 }
 
 TEST(Status, CodeNamesAreStable)
@@ -52,6 +56,10 @@ TEST(Status, CodeNamesAreStable)
                  "RESOURCE_EXHAUSTED");
     EXPECT_STREQ(statusCodeName(StatusCode::FailedPrecondition),
                  "FAILED_PRECONDITION");
+    EXPECT_STREQ(statusCodeName(StatusCode::DeadlineExceeded),
+                 "DEADLINE_EXCEEDED");
+    EXPECT_STREQ(statusCodeName(StatusCode::Cancelled), "CANCELLED");
+    EXPECT_STREQ(statusCodeName(StatusCode::Preempted), "PREEMPTED");
 }
 
 TEST(Result, HoldsValueOnSuccess)
