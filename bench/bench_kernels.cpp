@@ -20,6 +20,7 @@
 
 #include "bench_util.h"
 #include "figlut/figlut.h"
+#include "stream_util.h"
 
 using namespace figlut;
 
@@ -190,6 +191,48 @@ BM_LutGemmPacked(benchmark::State &state)
     setLutReadRate(state, perCall);
 }
 BENCHMARK(BM_LutGemmPacked)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * SIMD LUT-GEMM on the same 1024x1024x8 shape and pre-packed keys as
+ * BM_LutGemmPacked. Compare the Arg(t) row against BM_LutGemmPacked/t
+ * at equal thread count for the vectorized key-walk speedup (>= 1.5x
+ * expected on an AVX2 host; on hosts where dispatch falls back to the
+ * scalar table the ratio is ~1x and the outputs stay bit-identical by
+ * construction). "simd_isa" tags each --json record with the
+ * dispatched ISA code (0 scalar, 1 AVX2, 2 NEON).
+ */
+void
+BM_LutGemmSimd(benchmark::State &state)
+{
+    const int threads = static_cast<int>(state.range(0));
+    const std::size_t m = 1024, n = 1024, batch = 8;
+    const auto tensor = benchTensor(m, n, 4);
+    Rng rng(8);
+    const auto x = syntheticActivations(n, batch, rng);
+    LutGemmConfig cfg;
+    cfg.preAligned = true;
+    cfg.backend = LutGemmBackend::Simd;
+    cfg.threads = threads;
+    cfg.blockRows = 64;
+    const auto packed = packLutKeys(tensor, cfg.mu);
+    LutGemmCounters perCall;
+    (void)lutGemm(tensor, x, cfg, packed, &perCall);
+    for (auto _ : state) {
+        auto y = lutGemm(tensor, x, cfg, packed);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * m * n * batch));
+    state.counters["simd_isa"] = benchmark::Counter(
+        static_cast<double>(simdIsaCode(activeSimdIsa())));
+    setLutReadRate(state, perCall);
+}
+BENCHMARK(BM_LutGemmSimd)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
@@ -531,7 +574,25 @@ main(int argc, char **argv)
     } else {
         JsonCaptureReporter reporter;
         benchmark::RunSpecifiedBenchmarks(&reporter);
-        figlut::bench::writeBenchJson(json_path, reporter.records());
+        // Calibrate the roofline ceiling once (CI smoke sizing) and
+        // stamp every record that reports a LUT read rate with the
+        // measured bandwidth and its roofline fraction: a RAC read
+        // moves kLutReadBytes, so frac = reads/s * bytes-per-read
+        // divided by the best STREAM rate. bench_stream is the
+        // full-size standalone calibration.
+        const auto bw = figlut::bench::measureStreamBandwidth(
+            std::size_t{1} << 21, 3);
+        auto records = reporter.records();
+        for (auto &rec : records) {
+            if (rec.lutReadsPerS <= 0.0 || bw.best() <= 0.0)
+                continue;
+            rec.extra.emplace_back("mem_bw_bytes_per_s", bw.best());
+            rec.extra.emplace_back(
+                "roofline_frac", rec.lutReadsPerS *
+                                     figlut::bench::kLutReadBytes /
+                                     bw.best());
+        }
+        figlut::bench::writeBenchJson(json_path, records);
     }
     benchmark::Shutdown();
     return 0;

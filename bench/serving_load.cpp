@@ -63,6 +63,7 @@ struct CliOptions
     std::size_t ffn = 512;
     int weightBits = 4;
     int threads = 0;
+    LutGemmBackend backend = LutGemmBackend::Simd;
     double kvBudgetMb = 0.0; ///< 0 = unbounded (non-overload runs)
     std::size_t blockTokens = 16;
     std::string policy = "shed-newest";
@@ -92,6 +93,8 @@ printUsage()
            "(default 128/2/4/512)\n"
            "  --weight-bits Q   quantized weight width (default 4)\n"
            "  --threads T       GEMM workers (0 = hw concurrency)\n"
+           "  --backend B       reference | threaded | packed | simd "
+           "(default simd)\n"
            "  --kv-budget-mb X  KV arena byte budget in MiB (0 = "
            "unbounded; overload\n"
            "                    sweeps its own computed budgets)\n"
@@ -173,6 +176,13 @@ parseArgs(int argc, char **argv, CliOptions &cli)
             cli.weightBits = std::atoi(argv[++i]);
         } else if (flag == "--threads") {
             cli.threads = std::atoi(argv[++i]);
+        } else if (flag == "--backend") {
+            if (!parseLutGemmBackend(argv[++i], &cli.backend)) {
+                std::cerr << "unknown backend: " << argv[i]
+                          << " (want reference | threaded | packed |"
+                             " simd)\n";
+                return false;
+            }
         } else if (flag == "--kv-budget-mb") {
             cli.kvBudgetMb = std::atof(argv[++i]);
         } else if (flag == "--block-tokens") {
@@ -312,12 +322,17 @@ main(int argc, char **argv)
     config.engine.model.weightBits = cli.weightBits;
     config.engine.model.bcqIterations = 1;
     config.engine.exec.threads = cli.threads;
+    config.engine.exec.backend = cli.backend;
     config.engine.maxBatch = cli.maxBatch;
     config.engine.maxQueue = cli.maxQueue;
     config.engine.kvBlockTokens = cli.blockTokens;
     config.engine.policy = policy;
     config.deadlineS = cli.deadlineMs / 1e3;
     config.hw.engine = EngineKind::FIGLUT_I;
+
+    std::cout << "gemm backend: " << lutGemmBackendName(cli.backend)
+              << ", simd isa: " << simdIsaName(activeSimdIsa())
+              << "\n";
 
     // One pure injector shared by the engine and the replay, so both
     // see the identical fault/skew schedule (see FaultInjector).
@@ -453,6 +468,12 @@ main(int argc, char **argv)
             {"hidden", static_cast<double>(cli.hidden)},
             {"layers", static_cast<double>(cli.layers)},
             {"weight_bits", static_cast<double>(cli.weightBits)},
+            // Numeric codes (the record schema is all-numbers): see
+            // lutGemmBackendCode() and simdIsaCode().
+            {"gemm_backend",
+             static_cast<double>(lutGemmBackendCode(cli.backend))},
+            {"simd_isa",
+             static_cast<double>(simdIsaCode(activeSimdIsa()))},
             {"slo_ttft_ms", cli.slo.ttftMs},
             {"slo_itl_ms", cli.slo.itlMs},
             {"kv_budget_mb", static_cast<double>(job.kvBudgetBytes) /

@@ -5,10 +5,15 @@ Usage: check_bench_json.py FILE [FILE...]
 
 Every file must be a non-empty JSON array of records. Each record
 needs a non-empty string "name" and at least one finite, positive
-rate/latency field ("ns_per_iter" or "tokens_per_s"). Records from
+rate/latency field ("ns_per_iter", "tokens_per_s", or — for the
+STREAM calibration records — "mem_bw_bytes_per_s"). Records from
 the serving_load harness (name starts with "serving_load/")
 additionally carry the full latency/SLO metric set and the config
-echoes that make a perf trajectory interpretable.
+echoes that make a perf trajectory interpretable (including the
+numeric "gemm_backend" and "simd_isa" codes). STREAM records (name
+starts with "stream/") must carry a finite positive
+"mem_bw_bytes_per_s"; any record's optional "mem_bw_bytes_per_s" /
+"roofline_frac" pair must be positive-finite and consistent.
 
 Exits nonzero with a per-file message on the first malformed file, so
 CI's bench/load smoke steps fail loudly instead of uploading garbage
@@ -52,6 +57,8 @@ SERVING_LOAD_KEYS = (
     "sim_tokens_per_s",
     "sim_goodput_tok_per_s",
     "sim_ms_per_step_mean",
+    "gemm_backend",
+    "simd_isa",
 )
 
 
@@ -75,13 +82,16 @@ def check_record(index, record):
 
     ns = record.get("ns_per_iter")
     tok = record.get("tokens_per_s")
-    has_rate = (is_finite_number(ns) and ns > 0) or (
-        is_finite_number(tok) and tok > 0
+    bw = record.get("mem_bw_bytes_per_s")
+    has_rate = (
+        (is_finite_number(ns) and ns > 0)
+        or (is_finite_number(tok) and tok > 0)
+        or (is_finite_number(bw) and bw > 0)
     )
     if not has_rate:
         problems.append(
-            "%s: needs a finite positive ns_per_iter or tokens_per_s"
-            % name
+            "%s: needs a finite positive ns_per_iter, tokens_per_s,"
+            " or mem_bw_bytes_per_s" % name
         )
 
     for key, value in record.items():
@@ -98,6 +108,49 @@ def check_record(index, record):
             if not is_finite_number(record.get(key)):
                 problems.append(
                     "%s: missing serving_load metric %r" % (name, key)
+                )
+
+    if name.startswith("stream/") and not (
+        is_finite_number(bw) and bw > 0
+    ):
+        problems.append(
+            "%s: stream record needs a finite positive"
+            " mem_bw_bytes_per_s" % name
+        )
+
+    # The roofline pair travels together: a fraction without a
+    # measured ceiling (or vice versa on records that report LUT read
+    # rates) is a harness bug, and both must be positive. The fraction
+    # must also agree with lut_reads_per_s * 12 bytes / ceiling when
+    # the read rate is present.
+    frac = record.get("roofline_frac")
+    if frac is not None or (bw is not None and not name.startswith("stream/")):
+        if not (is_finite_number(bw) and bw > 0):
+            problems.append(
+                "%s: roofline_frac needs a positive"
+                " mem_bw_bytes_per_s" % name
+            )
+        if not (is_finite_number(frac) and frac > 0):
+            problems.append(
+                "%s: mem_bw_bytes_per_s needs a positive"
+                " roofline_frac" % name
+            )
+        reads = record.get("lut_reads_per_s")
+        if (
+            is_finite_number(frac)
+            and is_finite_number(bw)
+            and bw > 0
+            and is_finite_number(reads)
+            and reads > 0
+        ):
+            # 1e-4 relative: every operand was independently rounded
+            # to the writer's 6 significant digits.
+            expected = reads * 12.0 / bw
+            if abs(frac - expected) > 1e-4 * max(1.0, abs(expected)):
+                problems.append(
+                    "%s: roofline_frac %r inconsistent with"
+                    " lut_reads_per_s * 12 / mem_bw_bytes_per_s (%r)"
+                    % (name, frac, expected)
                 )
     return problems
 

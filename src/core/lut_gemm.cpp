@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "core/execution_context.h"
 #include "core/parallel.h"
+#include "core/simd.h"
 
 namespace figlut {
 
@@ -137,7 +138,7 @@ chunkKey(const BcqTensor &w, int plane, std::size_t r, std::size_t c0,
 }
 
 /**
- * Shared kernel state for all three backends. Reference and Threaded
+ * Shared kernel state for all backends. Reference and Threaded
  * execute processRows() — the cache-blocked (M-tile x chunk)
  * traversal that rebuilds each (column, group) LUT arena per tile.
  * The Packed backend instead reads pre-packed [plane][chunk][row] key
@@ -396,6 +397,133 @@ class LutGemmKernel
                     if constexpr (Instr)
                         ++cnt.offsetOps;
                 }
+            }
+            for (std::size_t r = 0; r < tile; ++r)
+                y(rows.begin + r, b) =
+                    fpAdd(y(rows.begin + r, b), acc[r], arith);
+        }
+    }
+
+    /**
+     * Simd variants of the packed accumulates: same traversal, same
+     * per-row operation order, with the per-chunk key walk executed
+     * by the dispatched vector kernels (core/simd.h). Rows are
+     * independent lanes, so each row's psum sequence is exactly the
+     * Packed one; the FpArith::Fp32 per-add rounding is the binary32
+     * round-trip the kernels implement (equal to fpAdd's softfloat
+     * RNE rounding — the 4-backend suite proves it), and Fp16/Bf16 —
+     * whose per-add rounding has no hardware vector equivalent —
+     * fall back to the scalar Packed loop entirely. The alpha /
+     * offset / y-fold stages reuse the exact Packed scalar code:
+     * they are O(groups) per row rather than O(chunks), and sharing
+     * them keeps bit-identity trivially true where it is cheap.
+     */
+    void
+    accumulateSimdFp(BlockRange rows, std::size_t b,
+                     const PackedLutKeys &pk, const FpColumnTables &t,
+                     MatrixD &y, Scratch &s,
+                     const SimdKernels &simd) const
+    {
+        const FpArith arith = config_.arith;
+        const auto accum = arith == FpArith::Fp32
+                               ? simd.accumFpSpanFp32
+                               : arith == FpArith::Exact
+                                     ? simd.accumFpSpanExact
+                                     : nullptr;
+        if (accum == nullptr) {
+            LutGemmCounters unused;
+            accumulatePackedFp<false>(rows, b, pk, t, y, unused, s);
+            return;
+        }
+        const int q = w_.bits;
+        const std::size_t tile = rows.size();
+        s.fpPsum.resize(tile);
+        s.rowAcc.resize(tile);
+        double *psum = s.fpPsum.data();
+        double *acc = s.rowAcc.data();
+        for (std::size_t g = 0; g < geom_.size(); ++g) {
+            const GroupGeom &gg = geom_[g];
+            std::fill(acc, acc + tile, 0.0);
+            for (int i = 0; i < q; ++i) {
+                std::fill(psum, psum + tile, 0.0);
+                // One span call walks every chunk of the group: the
+                // group's arena slabs are contiguous (stride
+                // t.arena.stride) and the per-chunk key arrays of one
+                // plane are pk.rows apart (packing.h layout note).
+                accum(psum, t.arena.chunk(gg.chunkBase),
+                      t.arena.stride,
+                      pk.chunkKeys(i, gg.chunkBase) + rows.begin,
+                      pk.rows, gg.chunks, tile);
+                const auto &alpha =
+                    w_.alphas[static_cast<std::size_t>(i)];
+                for (std::size_t r = 0; r < tile; ++r)
+                    acc[r] = fpAdd(acc[r],
+                                   fpRound(alpha(rows.begin + r, g) *
+                                               psum[r],
+                                           arith),
+                                   arith);
+            }
+            if (w_.hasOffset) {
+                for (std::size_t r = 0; r < tile; ++r)
+                    acc[r] = fpAdd(
+                        acc[r],
+                        fpRound(w_.offsets(rows.begin + r, g) *
+                                    t.sumx[g],
+                                arith),
+                        arith);
+            }
+            for (std::size_t r = 0; r < tile; ++r)
+                y(rows.begin + r, b) =
+                    fpAdd(y(rows.begin + r, b), acc[r], arith);
+        }
+    }
+
+    void
+    accumulateSimdInt(BlockRange rows, std::size_t b,
+                      const PackedLutKeys &pk, const IntColumnTables &t,
+                      MatrixD &y, Scratch &s,
+                      const SimdKernels &simd) const
+    {
+        const int q = w_.bits;
+        const FpArith arith = config_.arith;
+        const std::size_t tile = rows.size();
+        s.intPsum.resize(tile);
+        s.rowAcc.resize(tile);
+        int64_t *psum = s.intPsum.data();
+        double *acc = s.rowAcc.data();
+        for (std::size_t g = 0; g < geom_.size(); ++g) {
+            const GroupGeom &gg = geom_[g];
+            const double scale = t.scale[g];
+            std::fill(acc, acc + tile, 0.0);
+            for (int i = 0; i < q; ++i) {
+                std::fill(psum, psum + tile, int64_t{0});
+                // One span call per (group, plane); see the FP variant
+                // above for the stride facts.
+                simd.accumIntSpan(psum, t.arena.chunk(gg.chunkBase),
+                                  t.arena.stride,
+                                  pk.chunkKeys(i, gg.chunkBase) +
+                                      rows.begin,
+                                  pk.rows, gg.chunks, tile);
+                const auto &alpha =
+                    w_.alphas[static_cast<std::size_t>(i)];
+                for (std::size_t r = 0; r < tile; ++r)
+                    acc[r] = fpAdd(
+                        acc[r],
+                        fpRound(alpha(rows.begin + r, g) *
+                                    (static_cast<double>(psum[r]) *
+                                     scale),
+                                arith),
+                        arith);
+            }
+            if (w_.hasOffset) {
+                const double sumx =
+                    static_cast<double>(t.sumMant[g]) * scale;
+                for (std::size_t r = 0; r < tile; ++r)
+                    acc[r] = fpAdd(
+                        acc[r],
+                        fpRound(w_.offsets(rows.begin + r, g) * sumx,
+                                arith),
+                        arith);
             }
             for (std::size_t r = 0; r < tile; ++r)
                 y(rows.begin + r, b) =
@@ -746,6 +874,46 @@ runPackedBackend(const LutGemmKernel &kernel, const PackedLutKeys &pk,
 }
 
 /**
+ * The Simd backend's runner: the Packed column/tile structure with
+ * the vectorized accumulates. Only the uninstrumented path lives
+ * here — instrumented Simd calls run the Packed loops with per-read
+ * counters instead (identical outputs by the backend's contract), so
+ * the counter-equivalence proof covers Simd without threading
+ * counters through the vector kernels. The kernel table is resolved
+ * once on the submitting thread and shared read-only by the workers.
+ */
+void
+runSimdBackend(const LutGemmKernel &kernel, const PackedLutKeys &pk,
+               const LutGemmConfig &config, std::size_t m,
+               std::size_t batch, MatrixD &y, ExecutionContext *ctx)
+{
+    const SimdKernels &simd = simdKernels();
+    std::optional<ThreadPool> localPool;
+    ThreadPool &pool = acquirePool(ctx, config, m, localPool);
+    std::optional<CallWorkspace> localWs;
+    CallWorkspace &ws = acquireWorkspace(ctx, localWs);
+    LutGemmCounters unused;
+    for (std::size_t b = 0; b < batch; ++b) {
+        if (!config.preAligned)
+            kernel.buildFpColumn<false>(b, ws.fp, ws.scratch, unused);
+        else
+            kernel.buildIntColumn<false>(b, ws.ig, ws.scratch,
+                                         unused);
+        pool.parallelForBlocked(
+            m, static_cast<std::size_t>(config.blockRows),
+            [&, b](BlockRange rows) {
+                static thread_local Scratch s;
+                if (!config.preAligned)
+                    kernel.accumulateSimdFp(rows, b, pk, ws.fp, y, s,
+                                            simd);
+                else
+                    kernel.accumulateSimdInt(rows, b, pk, ws.ig, y, s,
+                                             simd);
+            });
+    }
+}
+
+/**
  * Closed-form operation counts: every counter is an exact function of
  * the shapes and the backend's traversal, so the fast path derives
  * them after the loops instead of paying per-read increments. The
@@ -793,8 +961,10 @@ lutGemmImpl(const BcqTensor &weights, const MatrixD &x,
         fatal("LUT-GEMM shape mismatch: weights are ", weights.rows, "x",
               weights.cols, " but activations have ", x.rows(), " rows");
     if (prepacked) {
-        if (config.backend != LutGemmBackend::Packed)
-            fatal("pre-packed LUT keys require the Packed backend");
+        if (config.backend != LutGemmBackend::Packed &&
+            config.backend != LutGemmBackend::Simd)
+            fatal("pre-packed LUT keys require the Packed or Simd "
+                  "backend");
         if (prepacked->mu != config.mu ||
             prepacked->rows != weights.rows ||
             prepacked->cols != weights.cols ||
@@ -868,6 +1038,25 @@ lutGemmImpl(const BcqTensor &weights, const MatrixD &x,
                                       cnt, ctx);
           break;
       }
+      case LutGemmBackend::Simd: {
+          PackedLutKeys localPack;
+          const PackedLutKeys *pk = prepacked;
+          if (!pk) {
+              localPack = packLutKeys(weights, config.mu);
+              pk = &localPack;
+          }
+          // Instrumented Simd runs the Packed loops (same outputs by
+          // the backend contract) so the per-read counter path stays
+          // scalar; the fast path uses the vector kernels and gets
+          // the closed-form counts below, which are backend-invariant
+          // between Packed and Simd (both build each LUT set once).
+          if (config.instrument)
+              runPackedBackend<true>(kernel, *pk, config, m, batch, y,
+                                     cnt, ctx);
+          else
+              runSimdBackend(kernel, *pk, config, m, batch, y, ctx);
+          break;
+      }
     }
 
     if (!config.instrument)
@@ -876,6 +1065,46 @@ lutGemmImpl(const BcqTensor &weights, const MatrixD &x,
 }
 
 } // namespace
+
+int
+lutGemmBackendCode(LutGemmBackend backend)
+{
+    switch (backend) {
+      case LutGemmBackend::Reference: return 0;
+      case LutGemmBackend::Threaded: return 1;
+      case LutGemmBackend::Packed: return 2;
+      case LutGemmBackend::Simd: return 3;
+    }
+    return 0;
+}
+
+const char *
+lutGemmBackendName(LutGemmBackend backend)
+{
+    switch (backend) {
+      case LutGemmBackend::Reference: return "reference";
+      case LutGemmBackend::Threaded: return "threaded";
+      case LutGemmBackend::Packed: return "packed";
+      case LutGemmBackend::Simd: return "simd";
+    }
+    return "reference";
+}
+
+bool
+parseLutGemmBackend(const std::string &name, LutGemmBackend *out)
+{
+    if (name == "reference")
+        *out = LutGemmBackend::Reference;
+    else if (name == "threaded")
+        *out = LutGemmBackend::Threaded;
+    else if (name == "packed")
+        *out = LutGemmBackend::Packed;
+    else if (name == "simd")
+        *out = LutGemmBackend::Simd;
+    else
+        return false;
+    return true;
+}
 
 Status
 validateLutGemmConfig(const LutGemmConfig &config)

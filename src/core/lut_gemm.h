@@ -25,6 +25,7 @@
 #define FIGLUT_CORE_LUT_GEMM_H
 
 #include <cstdint>
+#include <string>
 
 #include "common/matrix.h"
 #include "common/status.h"
@@ -50,14 +51,31 @@ class ExecutionContext;
  * cache-hot for exactly the rows of its block; Packed builds each
  * activation column's LUT arenas exactly once, pre-packs (or reuses
  * pre-packed) per-(plane, chunk) key arrays, and streams row tiles as
- * linear key walks + table reads with zero per-read bit-gathering.
+ * linear key walks + table reads with zero per-read bit-gathering;
+ * Simd is the Packed traversal with the per-chunk key walk executed
+ * by the runtime-dispatched vector kernels of core/simd.h (AVX2
+ * gathers / NEON lanes, scalar fallback) — rows are independent
+ * vector lanes, so per-row accumulation order is unchanged and the
+ * outputs remain bit-identical (FpArith::Fp16/Bf16 accumulate falls
+ * back to the Packed scalar loop inside the backend, since only the
+ * binary32 round-trip has a hardware vector equivalent).
  */
 enum class LutGemmBackend
 {
     Reference, ///< single-threaded scalar loop (differential oracle)
     Threaded,  ///< cache-blocked row tiles on a ThreadPool work queue
-    Packed,    ///< packed-key layout + flat LUT arenas (fastest)
+    Packed,    ///< packed-key layout + flat LUT arenas
+    Simd,      ///< Packed layout + vectorized key walk (fastest)
 };
+
+/** Stable numeric code for JSON records ("gemm_backend" fields). */
+int lutGemmBackendCode(LutGemmBackend backend);
+
+/** Lower-case name ("reference", "threaded", "packed", "simd"). */
+const char *lutGemmBackendName(LutGemmBackend backend);
+
+/** Parse a backend name as printed by lutGemmBackendName(). */
+bool parseLutGemmBackend(const std::string &name, LutGemmBackend *out);
 
 /** Configuration of the functional LUT-GEMM kernel. */
 struct LutGemmConfig
@@ -71,8 +89,8 @@ struct LutGemmConfig
     bool useGeneratorTree = true;          ///< tree generator vs direct
 
     LutGemmBackend backend = LutGemmBackend::Reference;
-    int threads = 0;   ///< Threaded/Packed: workers, <= 0 = hardware
-    int blockRows = 64;///< Threaded/Packed: rows per work item (M-tile)
+    int threads = 0;   ///< blocked backends: workers, <= 0 = hardware
+    int blockRows = 64;///< blocked backends: rows per work item (M-tile)
 
     /**
      * Count operations by per-read increments inside the hot loops
@@ -104,8 +122,9 @@ Status validateLutGemmConfig(const LutGemmConfig &config);
  * Counts report the work the selected backend actually performed: the
  * Threaded backend rebuilds each (column, group) LUT set once per row
  * block, so its lutGenerations/generatorAdds are ceil(M / blockRows)
- * TIMES the Reference backend's, while the Packed backend builds each
- * set exactly once and matches Reference. Hardware energy models must
+ * TIMES the Reference backend's, while the Packed and Simd backends
+ * build each set exactly once and match Reference. Hardware energy
+ * models must
  * derive LUT-build counts analytically (as sim/engine_sim does), never
  * from Threaded-backend counters. Read/accumulate/scale/offset counts
  * are identical across backends, and independent of
@@ -144,8 +163,8 @@ MatrixD lutGemm(const BcqTensor &weights, const MatrixD &x,
                 ExecutionContext *ctx = nullptr);
 
 /**
- * Run the LUT-GEMM kernel with pre-packed weight keys (Packed backend
- * only). packed must come from packLutKeys(weights, config.mu); the
+ * Run the LUT-GEMM kernel with pre-packed weight keys (Packed and
+ * Simd backends). packed must come from packLutKeys(weights, config.mu); the
  * pre-packing is validated against the tensor's shape. Use this for
  * repeated-inference scenarios: keys depend only on the weights, so
  * packing once amortizes the layout pass across every call (pair it

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the LUT-GEMM hot loops and the
+ * reference vector stage.
+ *
+ * The Simd LUT-GEMM backend and the vectorized reference_ops paths do
+ * not branch on the ISA themselves: they fetch a SimdKernels table
+ * once per call and invoke function pointers. The table is selected
+ * at runtime from what the binary was compiled with (compile-time
+ * guards: the AVX2/NEON translation units are only built when CMake
+ * enables them) intersected with what the host CPU executes (CPUID /
+ * mandatory-NEON detection), optionally narrowed by the FIGLUT_SIMD
+ * environment variable or the programmatic override below.
+ *
+ * Bit-identity contract: every kernel's per-element arithmetic and
+ * accumulation order is fixed by the scalar implementation in
+ * simd.cpp, and each ISA implementation reproduces it exactly —
+ * vector lanes only evaluate independent elements (or the fixed
+ * kSimdReduceLanes-strided partial sums) in the same order, with the
+ * same IEEE-754 double operations and the same round-to-binary32 step
+ * where the contract calls for one. The build disables FP contraction
+ * (-ffp-contract=off) so no path fuses a multiply-add the others
+ * split. The differential suites in tests/core/test_simd_gemm.cpp and
+ * tests/runtime/test_reference_ops.cpp pin every ISA against the
+ * scalar table.
+ */
+
+#ifndef FIGLUT_CORE_SIMD_H
+#define FIGLUT_CORE_SIMD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace figlut {
+
+/** Instruction sets a SimdKernels table can be implemented with. */
+enum class SimdIsa
+{
+    Scalar, ///< portable C++ (the bit-identity reference)
+    Avx2,   ///< x86-64 AVX2 gather kernels
+    Neon,   ///< aarch64 NEON kernels
+};
+
+/** Stable numeric code for JSON records ("simd_isa" fields). */
+int simdIsaCode(SimdIsa isa);
+
+/** Lower-case name ("scalar", "avx2", "neon"). */
+const char *simdIsaName(SimdIsa isa);
+
+/** Parse a name as accepted by FIGLUT_SIMD ("auto" is not an ISA). */
+bool parseSimdIsa(const std::string &name, SimdIsa *out);
+
+/** True when this binary contains kernels for the ISA. */
+bool simdIsaCompiled(SimdIsa isa);
+
+/** True when the ISA is compiled in AND the host CPU executes it. */
+bool simdIsaSupported(SimdIsa isa);
+
+/** Best supported ISA, ignoring every override. */
+SimdIsa detectSimdIsa();
+
+/**
+ * The ISA the dispatcher will actually use: the programmatic override
+ * if one is set, else the FIGLUT_SIMD environment variable
+ * (scalar|avx2|neon|auto, read once), else detectSimdIsa(). Requests
+ * for an unsupported ISA are clamped down to Scalar — dispatch can
+ * never select code the binary lacks or the CPU rejects, which is
+ * what keeps the scalar fallback a guarantee rather than a
+ * convention.
+ */
+SimdIsa activeSimdIsa();
+
+/**
+ * Force the dispatcher to an ISA (clamped to supported ones; returns
+ * the ISA actually selected). Takes precedence over FIGLUT_SIMD.
+ * Intended for tests and benchmarks that compare ISAs in-process; not
+ * thread-safe against concurrently running kernels.
+ */
+SimdIsa setSimdIsaOverride(SimdIsa isa);
+
+/** Drop the programmatic override (environment selection returns). */
+void clearSimdIsaOverride();
+
+/**
+ * Piecewise-linear GELU table (the LUT-segmented transcendental idiom
+ * of the PIM VPU): `segments` uniform segments over [lo, hi], knot
+ * values plus per-segment slopes. Inputs above hi use the identity
+ * tail (GELU(x) -> x), inputs below lo clamp to value[0] (GELU -> 0).
+ */
+struct GeluLutTable
+{
+    std::vector<double> value; ///< segments + 1 knot values
+    std::vector<double> slope; ///< per-segment linear slope
+    double lo = 0.0;
+    double hi = 0.0;
+    double step = 0.0;
+    double invStep = 0.0;
+    int segments = 0;
+};
+
+/** Logical lanes of the fixed strided-reduction contract. */
+inline constexpr std::size_t kSimdReduceLanes = 4;
+
+/**
+ * The dispatch table. All kernels follow the scalar implementations
+ * bit for bit (see the file comment); `n` may be any length including
+ * 0 — ISA implementations handle the sub-vector tail with the scalar
+ * ops in the contract's order.
+ */
+struct SimdKernels
+{
+    SimdIsa isa = SimdIsa::Scalar;
+
+    /**
+     * RAC accumulate over one group's whole chunk span in
+     * FpArith::Fp32, the paper's accumulate precision. For every row
+     * r < n, chunks are walked in order with the partial sum held in
+     * a register:
+     *
+     *   psum[r] = roundToBinary32(
+     *       psum[r] + lut[c * lutStride + keys[c * keyStride + r]])
+     *   for c = 0, 1, ..., chunks-1
+     *
+     * The per-add rounding is the IEEE double->float->double
+     * round-trip, which equals the softfloat RNE rounding fpAdd()
+     * applies (proven by the 4-backend differential suite). Spanning
+     * all chunks per call — rather than one kernel call per chunk —
+     * is what lets every ISA keep the accumulator out of memory for
+     * the whole walk; per-row accumulation order is chunk-sequential
+     * either way, so outputs cannot differ.
+     */
+    void (*accumFpSpanFp32)(double *psum, const double *lut,
+                            std::size_t lutStride,
+                            const std::uint32_t *keys,
+                            std::size_t keyStride, std::size_t chunks,
+                            std::size_t n);
+
+    /** The same span walk with plain double adds (FpArith::Exact). */
+    void (*accumFpSpanExact)(double *psum, const double *lut,
+                             std::size_t lutStride,
+                             const std::uint32_t *keys,
+                             std::size_t keyStride, std::size_t chunks,
+                             std::size_t n);
+
+    /** The same span walk with exact int64 adds — the FIGLUT-I RAC. */
+    void (*accumIntSpan)(std::int64_t *psum, const std::int64_t *lut,
+                         std::size_t lutStride,
+                         const std::uint32_t *keys,
+                         std::size_t keyStride, std::size_t chunks,
+                         std::size_t n);
+
+    /** out[i] = a[i] + b[i]. */
+    void (*addFlat)(double *out, const double *a, const double *b,
+                    std::size_t n);
+
+    /** v[i] = v[i] / denom (true division, not reciprocal multiply). */
+    void (*divFlat)(double *v, double denom, std::size_t n);
+
+    /**
+     * max over v[0..n) (n >= 1). Exactly the sequential fold for
+     * finite inputs; when +0 and -0 compete the returned zero's sign
+     * may differ per ISA, which callers must not depend on (the
+     * softmax shift x - max is unaffected).
+     */
+    double (*maxFlat)(const double *v, std::size_t n);
+
+    /**
+     * Sum of v[0..n) in the fixed kSimdReduceLanes-strided order:
+     * lane l accumulates v[l], v[l + 4], ... sequentially, and the
+     * lanes combine as ((l0 + l1) + l2) + l3. Same value on every
+     * ISA by construction.
+     */
+    double (*sumLanes)(const double *v, std::size_t n);
+
+    /** Sum of (v[i] - mean)^2 in the same strided-lane order. */
+    double (*sumSqDevLanes)(const double *v, double mean, std::size_t n);
+
+    /** out[i] = (v[i] - mean) * invStd. */
+    void (*normalizeFlat)(double *out, const double *v, double mean,
+                          double invStd, std::size_t n);
+
+    /**
+     * Piecewise-linear GELU: identity above table.hi, clamped-PWL
+     * interpolation elsewhere. Bit-identical across ISAs; the
+     * approximation error vs the exact tanh GELU is bounded by the
+     * table resolution (see DESIGN.md).
+     */
+    void (*geluLutFlat)(double *out, const double *v, std::size_t n,
+                        const GeluLutTable &table);
+};
+
+/** Kernels of the active ISA (see activeSimdIsa()). */
+const SimdKernels &simdKernels();
+
+/**
+ * Kernels of a specific ISA; falls back to the scalar table when the
+ * ISA is not supported in this binary/host.
+ */
+const SimdKernels &simdKernelsFor(SimdIsa isa);
+
+} // namespace figlut
+
+#endif // FIGLUT_CORE_SIMD_H

@@ -51,6 +51,7 @@
 #include "core/lut_generator.h"
 #include "core/lut_key.h"
 #include "core/parallel.h"
+#include "core/simd.h"
 
 #include "arch/area_model.h"
 #include "arch/bank_conflict.h"

@@ -29,7 +29,10 @@ namespace figlut {
 /** Host execution of the GEMM kernels (core/lut_gemm.h knobs). */
 struct ExecOptions
 {
-    LutGemmBackend backend = LutGemmBackend::Packed;
+    /** Simd is bit-identical to Packed (and Reference) with the same
+     *  closed-form counters, so the fastest backend is the default;
+     *  dispatch degrades to the scalar table on non-SIMD hosts. */
+    LutGemmBackend backend = LutGemmBackend::Simd;
     int threads = 0;    ///< workers, <= 0 = hardware concurrency
     int blockRows = 64; ///< rows per M-tile work item
     ActFormat actFormat = ActFormat::FP16;
@@ -38,6 +41,14 @@ struct ExecOptions
     int alignFracBits = 24;
     bool useHalfLut = true;
     bool useGeneratorTree = true;
+
+    /**
+     * Execute the FFN GELU with the piecewise-linear LUT kernel
+     * (referenceGeluLut) instead of the exact tanh GELU. Vectorized
+     * and bit-identical across ISAs, but an approximation (abs error
+     * < 1e-5; see DESIGN.md) — hence opt-in, default off.
+     */
+    bool lutGelu = false;
 };
 
 /** The kernel configuration these options select for LUT group size mu. */

@@ -1,8 +1,10 @@
 #include "runtime/reference_ops.h"
 
 #include <cmath>
+#include <vector>
 
 #include "common/logging.h"
+#include "core/simd.h"
 
 namespace figlut {
 
@@ -13,21 +15,24 @@ referenceLayerNorm(const MatrixD &x, double eps)
     const std::size_t batch = x.cols();
     if (h == 0)
         fatal("layer norm needs a non-empty input");
+    const SimdKernels &k = simdKernels();
     MatrixD out(h, batch);
+    // Columns of the row-major h x B matrix are strided; stage each
+    // one contiguously so the flat kernels apply. The reductions use
+    // the fixed kSimdReduceLanes-strided order on every ISA, so the
+    // result does not depend on which table is active.
+    std::vector<double> col(h), norm(h);
     for (std::size_t b = 0; b < batch; ++b) {
-        double mean = 0.0;
         for (std::size_t r = 0; r < h; ++r)
-            mean += x(r, b);
-        mean /= static_cast<double>(h);
-        double var = 0.0;
-        for (std::size_t r = 0; r < h; ++r) {
-            const double d = x(r, b) - mean;
-            var += d * d;
-        }
-        var /= static_cast<double>(h);
+            col[r] = x(r, b);
+        const double mean = k.sumLanes(col.data(), h) /
+                            static_cast<double>(h);
+        const double var = k.sumSqDevLanes(col.data(), mean, h) /
+                           static_cast<double>(h);
         const double inv = 1.0 / std::sqrt(var + eps);
+        k.normalizeFlat(norm.data(), col.data(), mean, inv, h);
         for (std::size_t r = 0; r < h; ++r)
-            out(r, b) = (x(r, b) - mean) * inv;
+            out(r, b) = norm[r];
     }
     return out;
 }
@@ -37,31 +42,86 @@ referenceSoftmaxInPlace(double *v, std::size_t n)
 {
     if (n == 0)
         return;
-    double mx = v[0];
-    for (std::size_t i = 1; i < n; ++i)
-        mx = std::max(mx, v[i]);
+    const SimdKernels &k = simdKernels();
+    const double mx = k.maxFlat(v, n);
+    // exp and the running sum stay scalar: the sum is a sequential
+    // fold here (score counts are small), and there is no vector exp
+    // under the bit-identity contract.
     double sum = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
         v[i] = std::exp(v[i] - mx);
         sum += v[i];
     }
-    for (std::size_t i = 0; i < n; ++i)
-        v[i] /= sum;
+    k.divFlat(v, sum, n);
 }
+
+namespace {
+
+// tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi) (x + c x^3))) —
+// matches the VPU costing. Shared by the exact elementwise GELU and
+// the knot sampling of the piecewise-linear table below.
+double
+geluScalar(double v)
+{
+    constexpr double kSqrt2OverPi = 0.7978845608028654;
+    constexpr double kCubicCoeff = 0.044715;
+    return 0.5 * v *
+           (1.0 + std::tanh(kSqrt2OverPi * (v + kCubicCoeff * v * v * v)));
+}
+
+/**
+ * The LUT-segmented GELU table: 2048 uniform segments over [-8, 8]
+ * (step 2^-7, so knot positions and invStep are exact), knots sampled
+ * from the tanh GELU. |GELU''| < 1.2 everywhere, so the per-segment
+ * chord error is under 1.2/8 * step^2 < 1e-5; outside the range GELU
+ * is within 1e-14 of its clamp/identity asymptotes. DESIGN.md records
+ * the substitution and the 1e-4 acceptance tolerance.
+ */
+const GeluLutTable &
+geluLutTable()
+{
+    static const GeluLutTable table = [] {
+        GeluLutTable t;
+        t.segments = 2048;
+        t.lo = -8.0;
+        t.hi = 8.0;
+        t.step = (t.hi - t.lo) / static_cast<double>(t.segments);
+        t.invStep = 1.0 / t.step;
+        t.value.resize(static_cast<std::size_t>(t.segments) + 1);
+        t.slope.resize(static_cast<std::size_t>(t.segments));
+        for (int i = 0; i <= t.segments; ++i)
+            t.value[static_cast<std::size_t>(i)] =
+                geluScalar(t.lo + static_cast<double>(i) * t.step);
+        for (int i = 0; i < t.segments; ++i)
+            t.slope[static_cast<std::size_t>(i)] =
+                (t.value[static_cast<std::size_t>(i) + 1] -
+                 t.value[static_cast<std::size_t>(i)]) *
+                t.invStep;
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
 
 MatrixD
 referenceGelu(const MatrixD &x)
 {
-    // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi) (x + c x^3))).
-    constexpr double kSqrt2OverPi = 0.7978845608028654;
-    constexpr double kCubicCoeff = 0.044715;
+    // Deliberately scalar: tanh dominates the cost and has no vector
+    // equivalent under the bit-identity contract. referenceGeluLut()
+    // below is the vectorized (approximate, opt-in) alternative.
     MatrixD out(x.rows(), x.cols());
-    for (std::size_t i = 0; i < x.size(); ++i) {
-        const double v = x.at(i);
-        out.at(i) =
-            0.5 * v *
-            (1.0 + std::tanh(kSqrt2OverPi * (v + kCubicCoeff * v * v * v)));
-    }
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out.at(i) = geluScalar(x.at(i));
+    return out;
+}
+
+MatrixD
+referenceGeluLut(const MatrixD &x)
+{
+    const GeluLutTable &table = geluLutTable();
+    MatrixD out(x.rows(), x.cols());
+    simdKernels().geluLutFlat(out.data(), x.data(), x.size(), table);
     return out;
 }
 
@@ -72,8 +132,7 @@ referenceResidualAdd(const MatrixD &a, const MatrixD &b)
         fatal("residual add shape mismatch: ", a.rows(), "x", a.cols(),
               " vs ", b.rows(), "x", b.cols());
     MatrixD out(a.rows(), a.cols());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        out.at(i) = a.at(i) + b.at(i);
+    simdKernels().addFlat(out.data(), a.data(), b.data(), a.size());
     return out;
 }
 

@@ -5,11 +5,17 @@
  * These are the non-GEMM operations a decoder layer executes around
  * the weight GEMMs: layer norm, KV-cache attention, GELU, residual
  * adds. The accelerator prices them as VPU op counts (sim/vpu.h); the
- * runtime Session executes them with these functions. They are
- * deliberately straightforward double-precision loops — deterministic
- * and exactly reproducible — so a hand-rolled per-layer reference can
- * be compared bit-for-bit against Session output (the differential
- * suite in tests/runtime/test_session.cpp does exactly that).
+ * runtime Session executes them with these functions. They are plain
+ * double-precision operations — deterministic and exactly reproducible
+ * — so a hand-rolled per-layer reference can be compared bit-for-bit
+ * against Session output (the differential suite in
+ * tests/runtime/test_session.cpp does exactly that). The elementwise
+ * and reduction stages route through the runtime-dispatched SIMD
+ * kernels of core/simd.h, whose bit-identity contract (fixed
+ * kSimdReduceLanes-strided reduction order, identical per-element
+ * arithmetic on every ISA) keeps results independent of the host CPU;
+ * tests/runtime/test_reference_ops.cpp pins every ISA against the
+ * scalar table.
  */
 
 #ifndef FIGLUT_RUNTIME_REFERENCE_OPS_H
@@ -34,6 +40,16 @@ void referenceSoftmaxInPlace(double *v, std::size_t n);
 
 /** GELU (tanh approximation, matching the VPU costing) elementwise. */
 MatrixD referenceGelu(const MatrixD &x);
+
+/**
+ * Piecewise-linear LUT GELU (the PIM LUT-segmented transcendental
+ * idiom): 2048 uniform segments over [-8, 8], identity tail above,
+ * executed by the dispatched SIMD kernels. Bit-identical across ISAs
+ * but NOT bit-identical to referenceGelu — absolute error is bounded
+ * by the table resolution (< 1e-5; see DESIGN.md). Opt-in via
+ * ExecOptions::lutGelu; the exact tanh GELU stays the default.
+ */
+MatrixD referenceGeluLut(const MatrixD &x);
 
 /** Elementwise a + b; shapes must match. */
 MatrixD referenceResidualAdd(const MatrixD &a, const MatrixD &b);

@@ -11,13 +11,14 @@ namespace serve {
 
 namespace {
 
-/** Only the Packed backend consumes pre-packed keys; skip the
- *  materialization (roughly q bytes per weight) for the others. */
+/** Only the Packed and Simd backends consume pre-packed keys; skip
+ *  the materialization (roughly q bytes per weight) for the others. */
 ModelOptions
 modelOptionsFor(const EngineOptions &options)
 {
     ModelOptions model = options.model;
-    model.packKeys = options.exec.backend == LutGemmBackend::Packed;
+    model.packKeys = options.exec.backend == LutGemmBackend::Packed ||
+                     options.exec.backend == LutGemmBackend::Simd;
     return model;
 }
 
@@ -451,9 +452,10 @@ Engine::step()
     auto runGemm = [&](const BcqTensor &w, const PackedLutKeys &keys,
                        const MatrixD &in) {
         ++stats.gemmCalls;
-        // The pre-packed overload is Packed-only; the other backends
-        // gather keys from the bit planes themselves.
-        if (gemmCfg.backend == LutGemmBackend::Packed)
+        // The pre-packed overload serves the Packed and Simd backends;
+        // the others gather keys from the bit planes themselves.
+        if (gemmCfg.backend == LutGemmBackend::Packed ||
+            gemmCfg.backend == LutGemmBackend::Simd)
             return lutGemm(w, in, gemmCfg, keys, &stats.counters, &ctx_);
         return lutGemm(w, in, gemmCfg, &stats.counters, &ctx_);
     };
@@ -503,7 +505,8 @@ Engine::step()
                 ffn = runGemm(layer.weights(op), layer.keys(op), ln);
                 break;
               case LayerOp::Gelu:
-                ffn = referenceGelu(ffn);
+                ffn = options_.exec.lutGelu ? referenceGeluLut(ffn)
+                                            : referenceGelu(ffn);
                 break;
               case LayerOp::Fc2:
                 proj = runGemm(layer.weights(op), layer.keys(op), ffn);

@@ -175,7 +175,8 @@ class Engine
   public:
     /**
      * Validate the architecture and every execution knob, then build
-     * the engine: materialize + quantize + (for the Packed backend)
+     * the engine: materialize + quantize + (for the Packed and Simd
+     * backends)
      * key-pack all layers — the one-time cost. Returns InvalidArgument
      * with an actionable message instead of constructing on bad input.
      */
