@@ -101,9 +101,12 @@ runMeasured(const LoadConfig &config,
         }
         for (const serve::RequestId id : step.decodedIds)
             run.requests[indexOf.at(id)].tokenTimesS.push_back(nowS);
-        // Governance-only steps (every column shed/evicted/expired)
-        // decode nothing and are not recorded, matching the replay.
-        if (!step.decodedIds.empty()) {
+        // Governance-only steps (every working column shed/evicted/
+        // expired) do nothing and are not recorded, matching the
+        // replay. Pure-prefill steps are real work and are recorded.
+        if (step.prefillTokens + step.decodeTokens > 0) {
+            run.prefillTokens += step.prefillTokens;
+            run.decodeTokens += step.decodeTokens;
             run.queueDepth.push_back(step.queueDepth);
             run.stepSeconds.push_back(step.seconds);
         }
@@ -141,6 +144,7 @@ runSimulated(const LoadConfig &config,
     options.hasOffset = config.engine.model.useOffset;
     options.kvBudgetBytes = config.engine.kvBudgetBytes;
     options.kvBlockTokens = config.engine.kvBlockTokens;
+    options.prefillChunkTokens = config.engine.prefillChunkTokens;
     options.policy = config.engine.policy;
     options.faults = config.engine.faults;
     const ReplayResult result =
@@ -164,6 +168,8 @@ runSimulated(const LoadConfig &config,
     }
     run.queueDepth = result.queueDepth;
     run.stepSeconds = result.stepSeconds;
+    run.prefillTokens = result.prefillTokens;
+    run.decodeTokens = result.decodeTokens;
     return run;
 }
 

@@ -35,10 +35,11 @@ struct LoadConfig
     /** The served (and replayed) model architecture. */
     OptConfig model;
     /** Engine knobs: quantization, exec backend, maxBatch/maxQueue,
-     *  KV budget, degradation policy, fault injector. The governance
-     *  knobs (kvBudgetBytes, kvBlockTokens, policy, faults) are
-     *  forwarded verbatim to the simulated replay so both drivers run
-     *  the identical admission/eviction schedule. */
+     *  KV budget, degradation policy, fault injector, prefill
+     *  chunking. The scheduling knobs (kvBudgetBytes, kvBlockTokens,
+     *  prefillChunkTokens, policy, faults) are forwarded verbatim to
+     *  the simulated replay so both drivers run the identical
+     *  admission/prefill/eviction schedule. */
     serve::EngineOptions engine;
     /** Per-request deadline in seconds applied to every trace
      *  request; 0 = no deadline. */

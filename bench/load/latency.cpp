@@ -102,7 +102,7 @@ summarizeRun(const LoadRun &run, const SloSpec &slo)
     LoadSummary summary;
     summary.requests = run.requests.size();
 
-    PercentileEstimator ttft, itl;
+    PercentileEstimator ttft, itl, queueWait;
     double firstArrival = 0.0, lastToken = 0.0;
     bool any = false;
     std::size_t tokens = 0, goodTokens = 0;
@@ -120,6 +120,7 @@ summarizeRun(const LoadRun &run, const SloSpec &slo)
             continue;
         ++summary.completed;
         ttft.add(outcome.ttftS * 1e3);
+        queueWait.add(outcome.queueS * 1e3);
         for (std::size_t t = 1; t < outcome.tokens(); ++t)
             itl.add((outcome.tokenTimesS[t] -
                      outcome.tokenTimesS[t - 1]) *
@@ -144,6 +145,9 @@ summarizeRun(const LoadRun &run, const SloSpec &slo)
     }
     summary.ttftMs = summarizeLatency(ttft);
     summary.itlMs = summarizeLatency(itl);
+    summary.queueMs = summarizeLatency(queueWait);
+    summary.prefillTokens = run.prefillTokens;
+    summary.decodeTokens = run.decodeTokens;
     if (any && lastToken > firstArrival) {
         summary.makespanS = lastToken - firstArrival;
         summary.tokensPerS =

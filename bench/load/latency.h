@@ -81,9 +81,12 @@ struct RequestOutcome
     /** Times the request was evicted and re-queued; its token times
      *  only reflect the final, surviving life. */
     std::size_t evictions = 0;
-    /** Submit to the start of the first decoding step. */
+    /** Submit to the start of the first step that worked on this
+     *  request (prefill or decode). */
     double queueS = 0.0;
-    /** Submit to the first token (queue wait + first step). */
+    /** Submit to the first token: queue wait + every prefill step +
+     *  the first decode step. Strictly exceeds queueS for any
+     *  non-empty prompt. */
     double ttftS = 0.0;
     /** Completion time of each decoded token (absolute seconds). */
     std::vector<double> tokenTimesS;
@@ -101,6 +104,11 @@ struct LoadRun
     std::vector<RequestOutcome> requests; ///< trace order
     std::vector<std::size_t> queueDepth;  ///< per step, after admission
     std::vector<double> stepSeconds;      ///< per step duration
+    /** Prompt tokens prefilled across all steps (eviction re-prefills
+     *  counted again — recompute is real work). */
+    std::size_t prefillTokens = 0;
+    /** Decode tokens completed across all steps. */
+    std::size_t decodeTokens = 0;
 };
 
 /** Latency SLO the goodput accounting scores requests against. */
@@ -129,8 +137,15 @@ struct LoadSummary
     double shedRate = 0.0;         ///< shed / requests
     double deadlineMissRate = 0.0; ///< deadlineMissed / requests
     double evictRate = 0.0;        ///< evictions / requests
-    LatencySummary ttftMs; ///< across completed requests
-    LatencySummary itlMs;  ///< across all inter-token gaps
+    LatencySummary ttftMs;  ///< across completed requests
+    LatencySummary itlMs;   ///< across all inter-token gaps
+    /** Pre-compute wait (queueS) across completed requests; the gap
+     *  between this and ttftMs is the prefill cost long prompts pay. */
+    LatencySummary queueMs;
+    /** Prompt tokens prefilled across the run (LoadRun passthrough). */
+    std::size_t prefillTokens = 0;
+    /** Decode tokens completed across the run. */
+    std::size_t decodeTokens = 0;
     /** First arrival to last token completion. */
     double makespanS = 0.0;
     /** Decoded tokens / makespan. */

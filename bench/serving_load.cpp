@@ -17,6 +17,15 @@
  * same budget/policy/injector, so the shed/evict/deadline schedules
  * stay measured-vs-simulated comparable.
  *
+ * The `longdoc-ttft` pseudo-scenario is the honest-TTFT drill: three
+ * runs at pinned prompt lengths (longdoc-p16/-p64/-p160) whose
+ * records must show median TTFT strictly above both the queue wait
+ * and the per-token latency, growing with prompt length, in the
+ * measured and simulated columns alike (check_bench_json.py enforces
+ * it). Pairs with --prefill-chunk, which bounds the prompt tokens
+ * one fused step may compute (EngineOptions::prefillChunkTokens,
+ * forwarded to the replay).
+ *
  * Outputs:
  *  - console tables (one row per scenario per source),
  *  - --json <path>: BENCH_serving_load-style records via bench_util.h
@@ -66,6 +75,7 @@ struct CliOptions
     LutGemmBackend backend = LutGemmBackend::Simd;
     double kvBudgetMb = 0.0; ///< 0 = unbounded (non-overload runs)
     std::size_t blockTokens = 16;
+    std::size_t prefillChunk = 0; ///< per-step prefill budget (0 = all)
     std::string policy = "shed-newest";
     double deadlineMs = 0.0; ///< 0 = no deadline
     std::size_t faultEvery = 0; ///< 0 = no injected faults
@@ -81,9 +91,11 @@ printUsage()
     std::cout
         << "serving_load: trace-driven serving latency harness\n"
            "  --scenario NAME   poisson-short-chat | bursty-short-chat"
-           " | mixed-long-doc | overload | all\n"
+           " | mixed-long-doc | overload | longdoc-ttft | all\n"
            "                    (default all; overload = KV-budget "
-           "pressure sweep, not in all)\n"
+           "pressure sweep, longdoc-ttft =\n"
+           "                    pinned-prompt-length prefill sweep; "
+           "neither is in all)\n"
            "  --requests N      arrivals per scenario (default 48)\n"
            "  --rate R          mean arrivals/s (0 = scenario default)\n"
            "  --seed S          trace seed (default 42)\n"
@@ -100,6 +112,10 @@ printUsage()
            "                    sweeps its own computed budgets)\n"
            "  --block-tokens B  KV arena paging granularity "
            "(default 16)\n"
+           "  --prefill-chunk N per-step prompt-prefill token budget "
+           "across the batch\n"
+           "                    (0 = whole remaining prompts in one "
+           "step)\n"
            "  --policy P        shed-newest | evict-idle "
            "(default shed-newest)\n"
            "  --deadline-ms X   per-request deadline (0 = none)\n"
@@ -187,6 +203,9 @@ parseArgs(int argc, char **argv, CliOptions &cli)
             cli.kvBudgetMb = std::atof(argv[++i]);
         } else if (flag == "--block-tokens") {
             cli.blockTokens =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (flag == "--prefill-chunk") {
+            cli.prefillChunk =
                 static_cast<std::size_t>(std::atoll(argv[++i]));
         } else if (flag == "--policy") {
             cli.policy = argv[++i];
@@ -304,6 +323,22 @@ main(int argc, char **argv)
     std::vector<ScenarioSpec> scenarios;
     if (cli.scenario == "all") {
         scenarios = builtinScenarios();
+    } else if (cli.scenario == "longdoc-ttft") {
+        // The prefill-cost sweep: pinned prompt lengths isolate the
+        // prompt-compute contribution to TTFT — across these records
+        // TTFT must grow with the prompt while queue wait and ITL stay
+        // comparable (scripts/check_bench_json.py checks the ordering
+        // on each record).
+        for (const std::size_t prompt :
+             {std::size_t{16}, std::size_t{64}, std::size_t{160}}) {
+            ScenarioSpec spec;
+            spec.name = "longdoc-p" + std::to_string(prompt);
+            spec.arrivals = ArrivalKind::Poisson;
+            spec.ratePerS = 24.0;
+            spec.prompt = {prompt, prompt};
+            spec.output = {8, 16};
+            scenarios.push_back(std::move(spec));
+        }
     } else {
         const ScenarioSpec *spec = scenarioByName(cli.scenario);
         if (spec == nullptr) {
@@ -326,6 +361,7 @@ main(int argc, char **argv)
     config.engine.maxBatch = cli.maxBatch;
     config.engine.maxQueue = cli.maxQueue;
     config.engine.kvBlockTokens = cli.blockTokens;
+    config.engine.prefillChunkTokens = cli.prefillChunk;
     config.engine.policy = policy;
     config.deadlineS = cli.deadlineMs / 1e3;
     config.hw.engine = EngineKind::FIGLUT_I;
@@ -395,7 +431,8 @@ main(int argc, char **argv)
               << cli.slo.itlMs << "ms\n"
               << "governance: policy "
               << serve::degradationPolicyName(policy)
-              << ", blockTokens " << cli.blockTokens << ", deadline "
+              << ", blockTokens " << cli.blockTokens
+              << ", prefillChunk " << cli.prefillChunk << ", deadline "
               << cli.deadlineMs << "ms, fault-every " << cli.faultEvery
               << "\n\n";
 
@@ -479,8 +516,13 @@ main(int argc, char **argv)
             {"kv_budget_mb", static_cast<double>(job.kvBudgetBytes) /
                                  (1024.0 * 1024.0)},
             {"kv_block_tokens", static_cast<double>(cli.blockTokens)},
+            {"prefill_chunk_tokens",
+             static_cast<double>(cli.prefillChunk)},
             {"fault_every", static_cast<double>(cli.faultEvery)},
             {"deadline_ms", cli.deadlineMs},
+            {"prefill_tokens", static_cast<double>(m.prefillTokens)},
+            {"decode_tokens", static_cast<double>(m.decodeTokens)},
+            {"queue_ms_p50", m.queueMs.p50},
             {"ttft_ms_p50", m.ttftMs.p50},
             {"ttft_ms_p95", m.ttftMs.p95},
             {"ttft_ms_p99", m.ttftMs.p99},
@@ -494,6 +536,10 @@ main(int argc, char **argv)
             {"queue_depth_max", m.queueDepthMax},
             {"goodput_tok_per_s", m.goodputTokPerS},
             {"ms_per_step_mean", m.msPerStepMean},
+            {"sim_prefill_tokens",
+             static_cast<double>(s.prefillTokens)},
+            {"sim_decode_tokens", static_cast<double>(s.decodeTokens)},
+            {"sim_queue_ms_p50", s.queueMs.p50},
             {"sim_ttft_ms_p50", s.ttftMs.p50},
             {"sim_ttft_ms_p95", s.ttftMs.p95},
             {"sim_ttft_ms_p99", s.ttftMs.p99},

@@ -43,12 +43,19 @@ SERVING_LOAD_KEYS = (
     "deadline_miss_rate",
     "kv_budget_mb",
     "kv_block_tokens",
+    "prefill_chunk_tokens",
     "fault_every",
     "deadline_ms",
+    "prefill_tokens",
+    "decode_tokens",
+    "queue_ms_p50",
     "queue_depth_mean",
     "queue_depth_max",
     "goodput_tok_per_s",
     "ms_per_step_mean",
+    "sim_prefill_tokens",
+    "sim_decode_tokens",
+    "sim_queue_ms_p50",
     "sim_ttft_ms_p50",
     "sim_itl_ms_p50",
     "sim_shed_rate",
@@ -108,6 +115,42 @@ def check_record(index, record):
             if not is_finite_number(record.get(key)):
                 problems.append(
                     "%s: missing serving_load metric %r" % (name, key)
+                )
+
+    if name.startswith("serving_load/longdoc-"):
+        # Long-document prefill sanity: every request computes a long
+        # prompt before its first token, so median TTFT must strictly
+        # exceed both the pre-compute queue wait and the per-token
+        # decode latency — in the measured run and the simulated
+        # replay alike. Flat TTFT here means prefill went synthetic
+        # (free) again.
+        for prefix in ("", "sim_"):
+            ttft = record.get(prefix + "ttft_ms_p50")
+            itl = record.get(prefix + "itl_ms_p50")
+            queue = record.get(prefix + "queue_ms_p50")
+            prefill = record.get(prefix + "prefill_tokens")
+            if not (is_finite_number(prefill) and prefill > 0):
+                problems.append(
+                    "%s: longdoc record prefilled no tokens (%s)"
+                    % (name, prefix + "prefill_tokens")
+                )
+            if (
+                is_finite_number(ttft)
+                and is_finite_number(itl)
+                and not ttft > itl
+            ):
+                problems.append(
+                    "%s: %sttft_ms_p50 %r not above %sitl_ms_p50 %r"
+                    % (name, prefix, ttft, prefix, itl)
+                )
+            if (
+                is_finite_number(ttft)
+                and is_finite_number(queue)
+                and not ttft > queue
+            ):
+                problems.append(
+                    "%s: %sttft_ms_p50 %r not above %squeue_ms_p50 %r"
+                    % (name, prefix, ttft, prefix, queue)
                 )
 
     if name.startswith("stream/") and not (

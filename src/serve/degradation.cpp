@@ -113,5 +113,26 @@ planStepReservations(KvArena &arena, DegradationPolicy policy,
     return plan;
 }
 
+std::vector<std::size_t>
+planPrefillChunks(const std::vector<std::size_t> &remainingPrompt,
+                  std::size_t chunkTokens)
+{
+    std::vector<std::size_t> work(remainingPrompt.size(), 0);
+    std::size_t budget = chunkTokens == 0
+                             ? static_cast<std::size_t>(-1)
+                             : chunkTokens;
+    for (std::size_t i = 0; i < remainingPrompt.size(); ++i) {
+        if (remainingPrompt[i] == 0) {
+            work[i] = 1; // decode columns ride along, budget-free
+            continue;
+        }
+        const std::size_t chunk =
+            remainingPrompt[i] < budget ? remainingPrompt[i] : budget;
+        work[i] = chunk;
+        budget -= chunk;
+    }
+    return work;
+}
+
 } // namespace serve
 } // namespace figlut

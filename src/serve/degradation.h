@@ -102,6 +102,25 @@ ReservationPlan planStepReservations(
     KvArena &arena, DegradationPolicy policy,
     const std::vector<ReservationItem> &items);
 
+/**
+ * Per-request work assignment of one fused step, shared by
+ * serve::Engine and sim::replayTrace so both schedule the identical
+ * mixed prefill/decode batch.
+ *
+ * remainingPrompt[i] is the prompt tokens batch item i still has to
+ * prefill (0 = the item is decoding). Returns workTokens[i]: always 1
+ * for a decoding item; for a prefilling item, the chunk it computes
+ * this step — the requests share a per-step prefill budget of
+ * chunkTokens (0 = unbounded, whole remaining prompts), consumed in
+ * batch order, so a prefilling item late in the batch can be assigned
+ * 0 and must stall this step (no columns, no reservation). Decode
+ * columns never consume the budget: chunking bounds prompt work per
+ * step precisely so live decoders cannot be starved by long prompts.
+ */
+std::vector<std::size_t> planPrefillChunks(
+    const std::vector<std::size_t> &remainingPrompt,
+    std::size_t chunkTokens);
+
 } // namespace serve
 } // namespace figlut
 

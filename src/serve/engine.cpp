@@ -23,11 +23,14 @@ modelOptionsFor(const EngineOptions &options)
 }
 
 /**
- * One live column's exact share of a fused step's kernel counters.
+ * One fused-batch column's exact share of a step's kernel counters.
  * Every closed form (core/lut_gemm.cpp) is linear in the batch columns
  * with no cross-column or per-call constant term, so the totals divide
  * evenly; a remainder would mean the accounting gained a cross-column
- * term and per-request attribution is no longer exact.
+ * term and per-request attribution is no longer exact. A request's
+ * share is this times the columns it contributed (one decode column,
+ * or its prefill chunk) — equal-per-request splits would misbill
+ * mixed prefill/decode steps.
  */
 LutGemmCounters
 perColumnShare(const LutGemmCounters &total, std::size_t columns)
@@ -46,6 +49,29 @@ perColumnShare(const LutGemmCounters &total, std::size_t columns)
     share.scaleMuls = split(total.scaleMuls);
     share.offsetOps = split(total.offsetOps);
     return share;
+}
+
+LutGemmCounters
+scaleCounters(const LutGemmCounters &share, std::size_t columns)
+{
+    LutGemmCounters scaled;
+    scaled.lutGenerations = share.lutGenerations * columns;
+    scaled.generatorAdds = share.generatorAdds * columns;
+    scaled.lutReads = share.lutReads * columns;
+    scaled.racAccumulates = share.racAccumulates * columns;
+    scaled.scaleMuls = share.scaleMuls * columns;
+    scaled.offsetOps = share.offsetOps * columns;
+    return scaled;
+}
+
+bool
+countersEqual(const LutGemmCounters &a, const LutGemmCounters &b)
+{
+    return a.lutGenerations == b.lutGenerations &&
+           a.generatorAdds == b.generatorAdds &&
+           a.lutReads == b.lutReads &&
+           a.racAccumulates == b.racAccumulates &&
+           a.scaleMuls == b.scaleMuls && a.offsetOps == b.offsetOps;
 }
 
 void
@@ -152,15 +178,21 @@ Engine::find(RequestId id) const
 std::size_t
 Engine::contextTokens(const Request &req) const
 {
-    // Before the prompt is materialized (queued, or re-queued after an
-    // eviction) the count is analytic; once the arena sequence holds
-    // the tokens, it is authoritative.
-    if (!req.promptWritten)
-        return (req.promptDropped ? 0 : req.options.promptTokens) +
-               req.lifeTokens;
+    // The arena sequence is authoritative while it exists; otherwise
+    // (queued, or re-queued after an eviction) the analytic count is
+    // the per-life bookkeeping. Unlike the synthetic-prompt era this
+    // is honest: prompt entries exist only once prefill computed them.
     if (req.seq != KvArena::kInvalidSeq)
         return arena_.tokens(req.seq);
-    return req.lifeTokens;
+    return req.prefillDone + req.lifeTokens;
+}
+
+std::size_t
+Engine::remainingPrompt(const Request &req) const
+{
+    const std::size_t prompt =
+        req.promptDropped ? 0 : req.options.promptTokens;
+    return prompt > req.prefillDone ? prompt - req.prefillDone : 0;
 }
 
 Result<RequestId>
@@ -186,9 +218,9 @@ Engine::submit(const RequestOptions &request)
     req.options = request;
     req.submitTimeS = clock_->now();
     // The initial hidden state comes first in the request's RNG
-    // stream; the synthetic prompt KV follows, but is materialized
-    // lazily into the arena at the request's first decode step (see
-    // writePromptIfNeeded) so queued traffic holds no KV bytes.
+    // stream; the prompt embeddings follow, but are materialized
+    // lazily at the request's first work step (see prepareLife) so
+    // queued traffic holds no prompt or KV bytes.
     Rng rng(request.seed);
     req.hidden = syntheticActivations(model_.config().hidden, 1, rng);
     if (direct) {
@@ -278,41 +310,67 @@ Engine::sweepDeadlines(double nowS, std::vector<RequestId> &expired)
 }
 
 void
-Engine::reserveStep(StepStats &stats)
+Engine::reserveStep(StepStats &stats, std::vector<std::size_t> &work,
+                    double nowS)
 {
-    // Build the reservation view of the live batch, in column order.
+    // Work assignment first: each live request's column count this
+    // step — its prefill chunk out of the shared per-step budget, or
+    // one decode column (serve/degradation.h).
+    std::vector<std::size_t> remaining;
+    remaining.reserve(active_.size());
+    for (const RequestId id : active_)
+        remaining.push_back(remainingPrompt(requests_.at(id)));
+    const std::vector<std::size_t> assigned =
+        planPrefillChunks(remaining, options_.prefillChunkTokens);
+
+    // The reservation view covers the working requests only: a
+    // stalled prefill (chunk budget exhausted this step) needs no new
+    // tokens and keeps its held blocks — it is neither a requester
+    // nor a victim this step.
     std::vector<ReservationItem> items;
+    std::vector<std::size_t> itemToActive;
     items.reserve(active_.size());
-    for (const RequestId id : active_) {
-        Request &req = requests_.at(id);
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+        if (assigned[i] == 0)
+            continue;
+        Request &req = requests_.at(active_[i]);
         if (req.seq == KvArena::kInvalidSeq)
             req.seq = arena_.createSequence();
         ReservationItem item;
         item.seq = req.seq;
-        item.needTokens = contextTokens(req) + 1;
+        item.needTokens = contextTokens(req) + assigned[i];
         item.lastActivityS = req.lastActivityS;
         item.admitSeq = req.admitSeq;
         items.push_back(item);
+        itemToActive.push_back(i);
     }
     const ReservationPlan plan =
         planStepReservations(arena_, options_.policy, items);
 
     // The planner already released every victim's sequence; apply the
     // request-side transitions here.
+    std::vector<char> dropped(active_.size(), 0);
     std::vector<RequestId> evicted;
     for (const std::size_t idx : plan.evicted) {
-        const RequestId id = active_[idx];
+        const std::size_t slot = itemToActive[idx];
+        const RequestId id = active_[slot];
         Request &req = requests_.at(id);
         req.seq = KvArena::kInvalidSeq;
         req.state = RequestState::Preempted;
         req.stats.preemptions += 1;
         req.lifeTokens = 0;
-        req.promptWritten = false;
+        req.prefillDone = 0;
+        req.promptEmbeds = MatrixD();
+        req.lifeReady = false;
+        req.restartPending = true;
+        req.requeuedAtS = nowS;
+        dropped[slot] = 1;
         evicted.push_back(id);
         stats.evictedIds.push_back(id);
     }
     for (const std::size_t idx : plan.shed) {
-        const RequestId id = active_[idx];
+        const std::size_t slot = itemToActive[idx];
+        const RequestId id = active_[slot];
         Request &req = requests_.at(id);
         req.seq = KvArena::kInvalidSeq;
         req.state = RequestState::Shed;
@@ -320,17 +378,24 @@ Engine::reserveStep(StepStats &stats)
             "request ", id, " shed: KV budget of ",
             options_.kvBudgetBytes, " bytes cannot back its next token ",
             "(policy ", degradationPolicyName(options_.policy), ")");
+        dropped[slot] = 1;
         stats.shedIds.push_back(id);
     }
 
-    // The decode set keeps its batch order; evicted requests rejoin
-    // the queue FRONT in admission order, ahead of never-admitted
-    // traffic (they already waited once).
-    std::vector<RequestId> decode;
-    decode.reserve(plan.decode.size());
-    for (const std::size_t idx : plan.decode)
-        decode.push_back(active_[idx]);
-    active_ = std::move(decode);
+    // Survivors keep their batch order (stalled prefills stay live
+    // with zero columns this step); evicted requests rejoin the queue
+    // FRONT in admission order, ahead of never-admitted traffic (they
+    // already waited once).
+    std::vector<RequestId> keep;
+    keep.reserve(active_.size());
+    work.clear();
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+        if (dropped[i])
+            continue;
+        keep.push_back(active_[i]);
+        work.push_back(assigned[i]);
+    }
+    active_ = std::move(keep);
     std::sort(evicted.begin(), evicted.end(),
               [this](RequestId a, RequestId b) {
                   return requests_.at(a).admitSeq >
@@ -343,36 +408,25 @@ Engine::reserveStep(StepStats &stats)
 }
 
 void
-Engine::writePromptIfNeeded(Request &req)
+Engine::prepareLife(Request &req)
 {
-    if (req.promptWritten)
+    if (req.lifeReady)
         return;
     const std::size_t h = model_.config().hidden;
     // Replay the submit-time RNG stream: hidden state first, then the
-    // prompt K/V per (layer, token). On a preemption restart the
-    // redrawn hidden replaces the evicted life's progress (the
-    // from-scratch recompute); on a first admission the request still
-    // holds that exact draw (or a provideInput override, which must
-    // win), so the redraw is discarded.
+    // prompt embeddings. On a preemption restart the redrawn hidden
+    // replaces the evicted life's progress (the from-scratch
+    // recompute); on a first admission the request still holds that
+    // exact draw (or a provideInput override, which must win), so the
+    // redraw is discarded.
     Rng rng(req.options.seed);
     MatrixD first = syntheticActivations(h, 1, rng);
     if (req.stats.preemptions > 0)
         req.hidden = std::move(first);
-    if (!req.promptDropped) {
-        for (std::size_t l = 0; l < model_.layers(); ++l) {
-            for (std::size_t t = 0; t < req.options.promptTokens; ++t) {
-                const MatrixD k = syntheticActivations(h, 1, rng);
-                const MatrixD v = syntheticActivations(h, 1, rng);
-                const KvArena::TokenSlot slot =
-                    arena_.appendToken(req.seq, l);
-                for (std::size_t r = 0; r < h; ++r) {
-                    slot.k[r] = k(r, 0);
-                    slot.v[r] = v(r, 0);
-                }
-            }
-        }
-    }
-    req.promptWritten = true;
+    const std::size_t prompt = remainingPrompt(req);
+    if (prompt > 0)
+        req.promptEmbeds = syntheticActivations(h, prompt, rng);
+    req.lifeReady = true;
 }
 
 Result<StepStats>
@@ -403,13 +457,26 @@ Engine::step()
         return stats;
     }
 
-    // KV reservation pass: after this, every surviving column has its
-    // next token block-backed, so the numeric step cannot fail.
-    reserveStep(stats);
-    if (active_.empty()) {
-        // Governance dropped every column (all shed, or the whole
-        // batch evicted and re-queued). Refill and report the empty
-        // step; the next step decodes the re-admitted traffic.
+    // Work assignment + KV reservation pass: after this, every
+    // assigned column has its arena slot block-backed, so the numeric
+    // step cannot fail.
+    std::vector<std::size_t> work;
+    reserveStep(stats, work, t0);
+    std::vector<Request *> live;
+    std::vector<RequestId> liveIds;
+    std::vector<std::size_t> columns;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+        if (work[i] == 0)
+            continue;
+        live.push_back(&requests_.at(active_[i]));
+        liveIds.push_back(active_[i]);
+        columns.push_back(work[i]);
+    }
+    if (live.empty()) {
+        // Governance dropped every working column (all shed, or every
+        // budget-holding request evicted and re-queued, leaving at
+        // most stalled prefills). Refill and report the empty step;
+        // the next step re-assigns the chunk budget.
         stats.admitted += admitFromQueue(t0);
         stats.queueDepth = queue_.size();
         stats.kvBlocksInUse = arena_.blocksInUse();
@@ -419,33 +486,60 @@ Engine::step()
 
     const OptConfig &cfg = model_.config();
     const std::size_t h = cfg.hidden;
-    const std::size_t b = active_.size();
+    const std::size_t b = live.size();
     stats.liveRequests = b;
 
-    std::vector<Request *> live;
-    live.reserve(b);
-    for (const RequestId id : active_)
-        live.push_back(&requests_.at(id));
-    stats.decodedIds = active_;
+    // First work step of a life: replay the seed (restart hidden
+    // redraw + prompt embeddings). First work step ever: everything
+    // before this instant was waiting (queue + admitted-but-idle), not
+    // compute. A restarted life instead books its renewed wait into
+    // restartSeconds.
+    std::vector<char> prefilling(b, 0);
+    std::vector<std::size_t> held(b, 0);
+    for (std::size_t w = 0; w < b; ++w) {
+        Request &req = *live[w];
+        prepareLife(req);
+        if (!req.everWorked) {
+            req.stats.queueSeconds = t0 - req.submitTimeS;
+            req.everWorked = true;
+        }
+        if (req.restartPending) {
+            req.stats.restartSeconds += t0 - req.requeuedAtS;
+            req.restartPending = false;
+        }
+        prefilling[w] = remainingPrompt(req) > 0 ? 1 : 0;
+        held[w] = contextTokens(req);
+    }
 
-    // First decode step of a request's first life: materialize its
-    // synthetic prompt into the freshly reserved sequence. Restarts
-    // after eviction rebuild prompt + hidden the same way.
-    for (Request *req : live)
-        writePromptIfNeeded(*req);
-
-    // First fused step for a request: everything before this instant
-    // was waiting (queue + admitted-but-idle), not decoding.
-    for (Request *req : live)
-        if (req->stats.tokensDecoded == 0)
-            req->stats.queueSeconds = t0 - req->submitTimeS;
-
-    // Gather: one hidden column per live request, admission order, so
-    // every layer GEMM below runs once over the whole live batch.
-    MatrixD x(h, b);
-    for (std::size_t c = 0; c < b; ++c)
-        for (std::size_t r = 0; r < h; ++r)
-            x(r, c) = live[c]->hidden(r, 0);
+    // Gather: each working request's columns are contiguous in the
+    // fused batch — its next prefill chunk (prompt embedding columns)
+    // while its prompt is unfinished, its one decode column (the
+    // latest hidden state) after — so every layer GEMM below runs
+    // once over the whole mixed-width batch.
+    std::size_t W = 0;
+    for (const std::size_t c : columns)
+        W += c;
+    MatrixD x(h, W);
+    std::size_t base = 0;
+    for (std::size_t w = 0; w < b; ++w) {
+        Request &req = *live[w];
+        if (prefilling[w]) {
+            for (std::size_t j = 0; j < columns[w]; ++j)
+                for (std::size_t r = 0; r < h; ++r)
+                    x(r, base + j) =
+                        req.promptEmbeds(r, req.prefillDone + j);
+            stats.prefillIds.push_back(liveIds[w]);
+            stats.prefillTokens += columns[w];
+        } else {
+            for (std::size_t r = 0; r < h; ++r)
+                x(r, base) = req.hidden(r, 0);
+            stats.decodedIds.push_back(liveIds[w]);
+            stats.decodeTokens += 1;
+        }
+        for (std::size_t j = 0; j < columns[w]; ++j)
+            stats.columnContexts.push_back(held[w] + j + 1);
+        base += columns[w];
+    }
 
     const LutGemmConfig gemmCfg =
         makeGemmConfig(options_.exec, options_.model.mu);
@@ -463,9 +557,11 @@ Engine::step()
     // Same per-column arithmetic as a batch-1 Session step: the GEMM
     // and every vector op treat columns independently, so each request
     // is bit-identical to running alone (the differential suite pins
-    // this).
+    // this) — and a prefill chunked any which way is bit-identical to
+    // the whole prompt in one step (the prefill suite pins that).
     MatrixD ln, qkv, attn, proj, ffn;
-    std::vector<std::vector<KvTokenRef>> views(b);
+    std::vector<std::vector<KvTokenRef>> views(W);
+    std::vector<KvTokenRef> full;
     for (std::size_t l = 0; l < model_.layers(); ++l) {
         const QuantizedLayer &layer = model_.layer(l);
         for (const LayerOp op : layerOps_) {
@@ -478,18 +574,32 @@ Engine::step()
                 qkv = runGemm(layer.weights(op), layer.keys(op), ln);
                 break;
               case LayerOp::Attention: {
-                MatrixD q(h, b);
-                for (std::size_t c = 0; c < b; ++c) {
-                    // This token's K/V go straight into the reserved
-                    // arena slot — the slab doubles attention reads.
-                    const KvArena::TokenSlot slot =
-                        arena_.appendToken(live[c]->seq, l);
-                    for (std::size_t r = 0; r < h; ++r) {
-                        q(r, c) = qkv(r, c);
-                        slot.k[r] = qkv(h + r, c);
-                        slot.v[r] = qkv(2 * h + r, c);
+                MatrixD q(h, W);
+                std::size_t c0 = 0;
+                for (std::size_t w = 0; w < b; ++w) {
+                    // Every column's K/V go straight into reserved
+                    // arena slots — then each column attends causally
+                    // over the prefix ending at itself: position
+                    // held + j sees held + j + 1 entries. For a decode
+                    // column that prefix is the full sequence, exactly
+                    // the old decode attention.
+                    for (std::size_t j = 0; j < columns[w]; ++j) {
+                        const std::size_t c = c0 + j;
+                        const KvArena::TokenSlot slot =
+                            arena_.appendToken(live[w]->seq, l);
+                        for (std::size_t r = 0; r < h; ++r) {
+                            q(r, c) = qkv(r, c);
+                            slot.k[r] = qkv(h + r, c);
+                            slot.v[r] = qkv(2 * h + r, c);
+                        }
                     }
-                    arena_.tokenRefs(live[c]->seq, l, views[c]);
+                    arena_.tokenRefs(live[w]->seq, l, full);
+                    for (std::size_t j = 0; j < columns[w]; ++j)
+                        views[c0 + j].assign(
+                            full.begin(),
+                            full.begin() +
+                                (full.size() - columns[w] + j + 1));
+                    c0 += columns[w];
                 }
                 attn = referenceDecodeAttention(q, views, cfg.heads);
                 break;
@@ -519,27 +629,51 @@ Engine::step()
     stats.seconds = t1 - t0;
 
     // Scatter + per-request accounting, then retire exhausted budgets.
-    const LutGemmCounters share = perColumnShare(stats.counters, b);
+    // Counter shares are token-weighted: each request gets the
+    // per-column share times the columns it contributed, and the
+    // shares must reassemble to the step total exactly.
+    const LutGemmCounters share = perColumnShare(stats.counters, W);
+    LutGemmCounters reassembled;
     std::vector<RequestId> retired;
-    for (std::size_t c = 0; c < b; ++c) {
-        Request &req = *live[c];
-        for (std::size_t r = 0; r < h; ++r)
-            req.hidden(r, 0) = x(r, c);
-        req.stats.tokensDecoded += 1;
-        req.lifeTokens += 1;
-        if (req.stats.tokensDecoded == 1)
-            req.stats.ttftSeconds = t1 - req.submitTimeS;
+    base = 0;
+    for (std::size_t w = 0; w < b; ++w) {
+        Request &req = *live[w];
+        const LutGemmCounters reqShare = scaleCounters(share, columns[w]);
+        accumulate(req.stats.counters, reqShare);
+        accumulate(reassembled, reqShare);
         req.stats.gemmCalls += stats.gemmCalls;
-        accumulate(req.stats.counters, share);
         req.stats.decodeSeconds += stats.seconds;
         req.lastActivityS = t0;
-        if (req.options.maxTokens > 0 &&
-            req.lifeTokens >= req.options.maxTokens) {
-            req.state = RequestState::Finished;
-            retireSequence(req, /*retain=*/true);
-            retired.push_back(active_[c]);
+        if (prefilling[w]) {
+            req.prefillDone += columns[w];
+            req.stats.prefillTokens += columns[w];
+            req.stats.prefillSeconds += stats.seconds;
+            if (remainingPrompt(req) == 0) {
+                // Prefill complete: the final prompt column's output
+                // is the first decode input; the embeddings are spent.
+                for (std::size_t r = 0; r < h; ++r)
+                    req.hidden(r, 0) = x(r, base + columns[w] - 1);
+                req.promptEmbeds = MatrixD();
+            }
+        } else {
+            for (std::size_t r = 0; r < h; ++r)
+                req.hidden(r, 0) = x(r, base);
+            req.stats.tokensDecoded += 1;
+            req.lifeTokens += 1;
+            if (req.stats.tokensDecoded == 1)
+                req.stats.ttftSeconds = t1 - req.submitTimeS;
+            if (req.options.maxTokens > 0 &&
+                req.lifeTokens >= req.options.maxTokens) {
+                req.state = RequestState::Finished;
+                retireSequence(req, /*retain=*/true);
+                retired.push_back(liveIds[w]);
+            }
         }
+        base += columns[w];
     }
+    FIGLUT_ASSERT(countersEqual(reassembled, stats.counters),
+                  "token-weighted counter shares did not reassemble to ",
+                  "the fused-step total");
     for (const RequestId id : retired)
         removeFromSchedule(id);
     stats.retired = retired.size();
@@ -606,9 +740,12 @@ Engine::resetKv(RequestId id)
     if (req->seq != KvArena::kInvalidSeq)
         arena_.resetSequence(req->seq);
     // The prompt is gone for good, like the old contiguous clear():
-    // a later prompt-materialization pass must not resurrect it.
+    // a later life's prefill must not resurrect it (and a half-done
+    // prefill stops here — the request decodes from its current
+    // hidden state with an empty context).
     req->promptDropped = true;
-    req->promptWritten = true;
+    req->prefillDone = 0;
+    req->promptEmbeds = MatrixD();
     req->lifeTokens = 0;
     return Status::okStatus();
 }
@@ -651,18 +788,31 @@ Engine::workloadTasks() const
     }
     if (next.empty())
         return {};
+    // Mirror step()'s work assignment: each request contributes its
+    // prefill chunk (out of the shared per-step budget) or one decode
+    // column, and the fused GEMM batch is the total column count.
+    std::vector<std::size_t> remaining;
+    remaining.reserve(next.size());
+    for (const Request *req : next)
+        remaining.push_back(remainingPrompt(*req));
+    const std::vector<std::size_t> work =
+        planPrefillChunks(remaining, options_.prefillChunkTokens);
+    // The next step appends before attending, so a column at sequence
+    // position p has the analytic (causal) context length p + 1.
+    std::vector<std::size_t> contextLens;
+    std::size_t W = 0;
+    for (std::size_t i = 0; i < next.size(); ++i) {
+        const std::size_t heldTokens = contextTokens(*next[i]);
+        for (std::size_t j = 0; j < work[i]; ++j)
+            contextLens.push_back(heldTokens + j + 1);
+        W += work[i];
+    }
     WorkloadOptions opts;
-    opts.batch = next.size();
+    opts.batch = W;
     opts.weightBits = options_.model.weightBits;
     opts.includeVector = options_.includeVector;
     opts.groupSize = options_.model.groupSize;
     opts.hasOffset = options_.model.useOffset;
-    // The next step appends before attending, so each column's
-    // analytic context length is its held entries plus one.
-    std::vector<std::size_t> contextLens;
-    contextLens.reserve(next.size());
-    for (const Request *req : next)
-        contextLens.push_back(contextTokens(*req) + 1);
     return decodeStepWorkload(model_.config(), opts, contextLens);
 }
 

@@ -14,13 +14,18 @@
  *         engine.value()->step();   // one fused decode step, all requests
  *     auto done = engine.value()->poll(id.value());
  *
- * step() gathers every live request's hidden column into a single
- * hidden x liveBatch matrix, so each layer's weight GEMM hits the
- * Packed LUT kernel exactly once per step — all requests share the
- * model's pre-packed keys and the engine's one ExecutionContext (the
- * paper's repeated-inference amortization, applied across clients).
- * Attention is ragged: every request attends over its own sequence of
- * the engine's paged KV arena, whose length is that request's age.
+ * step() gathers every working request's columns into a single
+ * hidden x batchWidth matrix — a request still prefilling contributes
+ * its next chunk of prompt embedding columns (bounded per step by
+ * prefillChunkTokens across the batch), a decoding request its one
+ * hidden column — so each layer's weight GEMM hits the Packed LUT
+ * kernel exactly once per step: all requests share the model's
+ * pre-packed keys and the engine's one ExecutionContext (the paper's
+ * repeated-inference amortization, applied across clients). Attention
+ * is ragged and causal: every column attends over its own sequence of
+ * the engine's paged KV arena up to and including itself, so a
+ * request's prompt is *computed* — real K/V written by real QKV
+ * projections, real TTFT cost — before its first token decodes.
  * Requests admit up to maxBatch; excess submits wait in a FIFO queue
  * (up to maxQueue) and join as slots retire — continuous batching,
  * not lock-step epochs.
@@ -89,6 +94,18 @@ struct EngineOptions
     std::size_t maxBatch = 8;
     /** Waiting requests beyond maxBatch; submits past this rejected. */
     std::size_t maxQueue = 64;
+    /**
+     * Per-step prefill token budget: how many prompt tokens one fused
+     * step may fold into the GEMM batch alongside the live decode
+     * columns, shared by every prefilling request in batch order
+     * (serve/degradation.h planPrefillChunks). 0 = unbounded — each
+     * request's whole remaining prompt prefills in one step. Bounding
+     * it caps the fused batch width, so long prompts cannot starve
+     * live decoders; chunking never changes results, only scheduling
+     * (chunked and whole-prompt prefill are bit-identical per
+     * request).
+     */
+    std::size_t prefillChunkTokens = 0;
     /** Keep vector kernels in workloadTasks(). */
     bool includeVector = true;
     /**
@@ -130,7 +147,7 @@ struct EngineOptions
 /** Whole-step accounting returned by Engine::step(). */
 struct StepStats
 {
-    /** Requests decoded in this fused step. */
+    /** Requests that did work (prefill or decode) in this fused step. */
     std::size_t liveRequests = 0;
     /**
      * Requests admitted from the queue around this step: into free
@@ -148,15 +165,34 @@ struct StepStats
     double seconds = 0.0;
     /** Requests still waiting after this step's final admission. */
     std::size_t queueDepth = 0;
+    /** Prompt tokens prefilled across the whole fused batch. */
+    std::size_t prefillTokens = 0;
+    /** Decode tokens produced across the whole fused batch (one per
+     *  decoding request). prefillTokens + decodeTokens is the fused
+     *  GEMM batch width; both 0 means the step did no work (and does
+     *  not count toward stepsExecuted()). */
+    std::size_t decodeTokens = 0;
     /**
      * The requests this step decoded one token for, in fused batch
-     * column order — the per-token completion hook load harnesses use
-     * to stamp inter-token latencies without polling every id. Empty
-     * (with ok status) when deadline sweeps or the reservation pass
-     * left nothing to decode — such steps do not count toward
-     * stepsExecuted().
+     * order — the per-token completion hook load harnesses use to
+     * stamp inter-token latencies without polling every id. Empty
+     * (with ok status) when deadline sweeps, the reservation pass, or
+     * the prefill chunk budget left nothing to decode (a pure-prefill
+     * step has work but no decoded ids).
      */
     std::vector<RequestId> decodedIds;
+    /** Requests this step prefilled prompt tokens for, batch order. */
+    std::vector<RequestId> prefillIds;
+    /**
+     * Analytic context length of every fused GEMM column, in gather
+     * order (each working request's columns are contiguous): a prompt
+     * column at sequence position p reports p + 1 (its causal
+     * window), a decode column its full context. Exactly the
+     * contextLens decodeStepWorkload() prices this step with — the
+     * hook the replay-equivalence tests use to score the executed
+     * step without reconstructing the chunk schedule.
+     */
+    std::vector<std::size_t> columnContexts;
     /** Requests shed terminally by the reservation pass this step. */
     std::vector<RequestId> shedIds;
     /** Requests evicted (Preempted, re-queued) this step. */
@@ -207,16 +243,20 @@ class Engine
     Status provideInput(RequestId id, const MatrixD &hidden);
 
     /**
-     * One fused decode step over all live requests: sweep deadlines,
-     * admit from the queue into free slots, run the KV reservation
-     * pass (shedding or evicting through the degradation policy when
-     * the budget or an injected fault denies blocks), gather hidden
-     * columns, run every layer's GEMMs once over the whole batch
-     * (pre-packed keys, shared context) with ragged paged-KV
-     * attention, append one KV entry per (request, layer), then
-     * retire requests that reached their token budget.
-     * FailedPrecondition when no request is live or queued; ok with
-     * empty decodedIds when governance dropped every live column.
+     * One fused step over all live requests: sweep deadlines, admit
+     * from the queue into free slots, assign each live request its
+     * work — a prefill chunk (bounded by prefillChunkTokens across
+     * the batch) while its prompt is unfinished, one decode column
+     * after — run the KV reservation pass over the working requests
+     * (shedding or evicting through the degradation policy when the
+     * budget or an injected fault denies blocks), gather prompt/
+     * hidden columns, run every layer's GEMMs once over the whole
+     * mixed-width batch (pre-packed keys, shared context) with
+     * ragged causal paged-KV attention, append one KV entry per
+     * (column, layer), then retire requests that reached their token
+     * budget. FailedPrecondition when no request is live or queued;
+     * ok with zero prefillTokens + decodeTokens when governance
+     * dropped every working column.
      */
     Result<StepStats> step();
 
@@ -249,18 +289,20 @@ class Engine
     std::size_t liveRequests() const { return active_.size(); }
     /** Requests waiting for a slot. */
     std::size_t queuedRequests() const { return queue_.size(); }
-    /** Fused steps executed so far (steps that decoded tokens). */
+    /** Fused steps executed so far (steps that did prefill or decode
+     *  work; empty governance-only steps are not counted). */
     std::size_t stepsExecuted() const { return stepsExecuted_; }
     /** The paged KV arena backing every live request. */
     const KvArena &arena() const { return arena_; }
 
     /**
-     * The KernelTask list of the *next* fused step: GEMMs at the batch
-     * width the step will decode (live requests plus the queued ones
-     * it will admit into free slots), attention priced at each
-     * request's actual context length (kvLength + 1, the entries the
-     * step will attend over) — so sim::Accelerator scores exactly the
-     * workload step() executes. Empty when nothing is live or queued.
+     * The KernelTask list of the *next* fused step: GEMMs at the
+     * mixed prefill/decode batch width the step will run (live
+     * requests plus the queued ones it will admit into free slots,
+     * each contributing its prefill chunk or one decode column),
+     * attention priced at every column's causal context — so
+     * sim::Accelerator scores exactly the workload step() executes.
+     * Empty when nothing is live or queued.
      */
     std::vector<KernelTask> workloadTasks() const;
 
@@ -290,8 +332,25 @@ class Engine
         /** Tokens decoded in the current life (reset by eviction;
          *  drives retirement, unlike the cumulative stats count). */
         std::size_t lifeTokens = 0;
-        /** Prompt KV already materialized into the arena sequence. */
-        bool promptWritten = false;
+        /** Prompt tokens prefilled in the current life (reset by
+         *  eviction; the restart recomputes them bit-identically). */
+        std::size_t prefillDone = 0;
+        /** Prompt embeddings (hidden x promptTokens), drawn from the
+         *  seed at the life's first work step and released once the
+         *  last chunk is computed — only requests mid-prefill hold
+         *  them. */
+        MatrixD promptEmbeds;
+        /** This life's seed replay (hidden redraw + prompt embedding
+         *  draw) has happened. */
+        bool lifeReady = false;
+        /** Some step has done work (prefill or decode) for this
+         *  request — queueSeconds is stamped exactly once, then. */
+        bool everWorked = false;
+        /** An eviction is awaiting its restartSeconds stamp. */
+        bool restartPending = false;
+        /** Step-start time of the eviction that re-queued this
+         *  request (the restartSeconds base). */
+        double requeuedAtS = 0.0;
         /** resetKv() dropped the prompt for good. */
         bool promptDropped = false;
         /** Definite terminal outcome (see RequestSnapshot::terminal). */
@@ -309,12 +368,20 @@ class Engine
     void removeFromSchedule(RequestId id);
     /** Drop expired requests (active first, then queued). */
     void sweepDeadlines(double nowS, std::vector<RequestId> &expired);
-    /** Reservation pass over the live batch; returns the decode set. */
-    void reserveStep(StepStats &stats);
-    /** Materialize the synthetic prompt KV into the arena on the
-     *  request's first decode step (or restart after eviction). */
-    void writePromptIfNeeded(Request &req);
-    /** KV entries the request holds (prompt + decode this life). */
+    /** Prompt tokens the request still has to prefill this life. */
+    std::size_t remainingPrompt(const Request &req) const;
+    /** Work assignment + reservation pass over the live batch: on
+     *  return active_ holds the surviving requests (stalled prefills
+     *  included) and work[i] their column counts this step (0 =
+     *  stalled). nowS is the step-start time (the restartSeconds base
+     *  stamped on evictions). */
+    void reserveStep(StepStats &stats, std::vector<std::size_t> &work,
+                     double nowS);
+    /** Replay the request's seed at the first work step of a life:
+     *  redraw the hidden state (a restart's from-scratch recompute)
+     *  and materialize the prompt embeddings the prefill consumes. */
+    void prepareLife(Request &req);
+    /** KV entries the request holds (prefilled + decoded this life). */
     std::size_t contextTokens(const Request &req) const;
     /** Release the arena sequence, materializing into retainedKv
      *  first when asked. */

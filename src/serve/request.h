@@ -46,20 +46,24 @@ struct RequestOptions
      */
     std::size_t maxTokens = 16;
     /**
-     * Seed of the request's synthetic initial hidden state
-     * (model/synthetic.h; the stand-in for a real prompt embedding).
-     * Each step's output feeds the next step unless the client
-     * overrides it with Engine::provideInput().
+     * Seed of the request's synthetic inputs (model/synthetic.h): the
+     * initial hidden state (used directly when promptTokens == 0) and
+     * the prompt embedding matrix the prefill phase runs through the
+     * model. Each decode step's output feeds the next step unless the
+     * client overrides it with Engine::provideInput().
      */
     std::uint64_t seed = Rng::kDefaultSeed;
     /**
-     * Prompt length in tokens. The engine seeds the request's KV
-     * arena sequence with this many synthetic K/V entries per layer
-     * (drawn from `seed`, after the hidden state) — the stand-in for
-     * a real prefill until the prompt path lands (ROADMAP item 2).
-     * Decode attention and the workloadTasks() context pricing both
-     * see the prompt, so long-prompt traffic costs more per step, as
-     * it should.
+     * Prompt length in tokens. Before its first decode step the
+     * request goes through a *computed prefill*: its synthetic prompt
+     * embeddings (hidden x promptTokens, drawn from `seed` after the
+     * hidden state) run through every layer with causal attention,
+     * writing real K/V — the QKV projection outputs — into the arena,
+     * and the final prompt column's output becomes the first decode
+     * input. Prefill work is scheduled in chunks
+     * (EngineOptions::prefillChunkTokens) alongside live decode
+     * columns, billed in StepStats and the workloadTasks() pricing, so
+     * long-prompt traffic pays real TTFT cost, as it should.
      */
     std::size_t promptTokens = 0;
     /**
@@ -98,13 +102,19 @@ struct RequestStats
 {
     /** Decode steps this request has executed. */
     std::size_t tokensDecoded = 0;
+    /** Prompt tokens this request has prefilled, cumulative across
+     *  lives (an evicted request prefills its prompt again). */
+    std::size_t prefillTokens = 0;
     /** Weight GEMMs this request has ridden through (4 per layer). */
     std::size_t gemmCalls = 0;
     /**
-     * This request's exact share of the fused-step kernel counters:
+     * This request's exact share of the fused-step kernel counters,
+     * weighted by the columns (tokens) it contributed to each step:
      * every LutGemmCounters closed form is linear in the batch columns
-     * with no cross-column terms, so an even split over the live batch
-     * is exact (the differential suite pins it against a batch-1 run).
+     * with no cross-column terms, so a per-column split scaled by the
+     * request's column count is exact (the differential suite pins it
+     * against a batch-1 run, and the scatter path asserts the shares
+     * reassemble to the step total).
      */
     LutGemmCounters counters;
     /** Fused steps that ran while this request sat in the queue. */
@@ -113,19 +123,33 @@ struct RequestStats
     std::size_t preemptions = 0;
     /**
      * Seconds from submit() to the *start* of the first fused step
-     * that decoded this request: the full pre-decode wait, covering
-     * both queue time and any admitted-but-idle gap until the driver's
-     * next step() call. 0 until the first decode step begins.
+     * that did any work (prefill or decode) for this request: the
+     * full pre-compute wait, covering both queue time and any
+     * admitted-but-idle gap until the driver's next step() call.
+     * Stamped exactly once, at the request's first-ever compute step;
+     * 0 until then. Post-preemption waits land in restartSeconds.
      */
     double queueSeconds = 0.0;
     /**
+     * Re-admission wait accumulated across preemptions: for each
+     * eviction, the seconds from the evicting step's start to the
+     * start of the first step that worked on the restarted life.
+     * 0 for never-preempted requests.
+     */
+    double restartSeconds = 0.0;
+    /**
      * Time to first token: seconds from submit() to the end of the
-     * first fused step that decoded this request (queueSeconds plus
-     * that step's duration). 0 until the first token lands.
+     * first fused step that decoded this request — queueSeconds plus
+     * every prefill step in between plus that step's duration. 0
+     * until the first token lands.
      */
     double ttftSeconds = 0.0;
-    /** Seconds inside the fused steps this request joined. */
+    /** Seconds inside the fused steps this request joined (prefill
+     *  steps included). */
     double decodeSeconds = 0.0;
+    /** Seconds inside the fused steps that prefilled prompt tokens
+     *  for this request (a subset of decodeSeconds). */
+    double prefillSeconds = 0.0;
 };
 
 /** Point-in-time copy of a request's externally visible state. */

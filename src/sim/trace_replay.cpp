@@ -14,6 +14,9 @@ struct Slot
 {
     /** Tokens decoded in the current life (reset by eviction). */
     std::size_t decoded = 0;
+    /** Prompt tokens prefilled in the current life (reset by
+     *  eviction: the restarted life prefills from scratch). */
+    std::size_t prefilled = 0;
     /** Shadow-arena sequence while live (reservation-only). */
     KvArena::SeqId seq = KvArena::kInvalidSeq;
     /** Step-start time of the last decoding step (admission time
@@ -167,65 +170,113 @@ replayTrace(const OptConfig &model, const HwConfig &hw,
         if (active.empty())
             continue; // empty governance step: nothing recorded
 
+        // Work assignment, as Engine::reserveStep(): each live
+        // request's prefill chunk out of the shared per-step budget,
+        // or one decode column.
+        std::vector<std::size_t> remaining;
+        remaining.reserve(active.size());
+        for (const std::size_t i : active)
+            remaining.push_back(trace[i].promptTokens -
+                                slots[i].prefilled);
+        const std::vector<std::size_t> assigned =
+            serve::planPrefillChunks(remaining,
+                                     options.prefillChunkTokens);
+
         // Reservation pass against the shadow arena — the exact
-        // planner the engine runs, on the same items in the same
-        // batch order.
+        // planner the engine runs, on the same items (working
+        // requests only; a stalled prefill neither reserves nor is a
+        // victim) in the same batch order.
         std::vector<serve::ReservationItem> items;
+        std::vector<std::size_t> itemToActive;
         items.reserve(active.size());
-        for (const std::size_t i : active) {
+        for (std::size_t a = 0; a < active.size(); ++a) {
+            if (assigned[a] == 0)
+                continue;
+            const std::size_t i = active[a];
             if (slots[i].seq == KvArena::kInvalidSeq)
                 slots[i].seq = arena.createSequence();
             serve::ReservationItem item;
             item.seq = slots[i].seq;
             item.needTokens =
-                trace[i].promptTokens + slots[i].decoded + 1;
+                slots[i].prefilled + slots[i].decoded + assigned[a];
             item.lastActivityS = slots[i].lastActivityS;
             item.admitSeq = slots[i].admitSeq;
             items.push_back(item);
+            itemToActive.push_back(a);
         }
         const serve::ReservationPlan plan =
             serve::planStepReservations(arena, options.policy, items);
+        std::vector<char> dropped(active.size(), 0);
         std::vector<std::size_t> evicted;
         for (const std::size_t idx : plan.evicted) {
-            const std::size_t i = active[idx];
+            const std::size_t a = itemToActive[idx];
+            const std::size_t i = active[a];
             slots[i].seq = KvArena::kInvalidSeq; // planner released it
             slots[i].decoded = 0;
+            slots[i].prefilled = 0;
             result.requests[i].evictions += 1;
             result.requests[i].tokenTimesS.clear();
+            dropped[a] = 1;
             evicted.push_back(i);
         }
         for (const std::size_t idx : plan.shed) {
-            const std::size_t i = active[idx];
+            const std::size_t a = itemToActive[idx];
+            const std::size_t i = active[a];
             slots[i].seq = KvArena::kInvalidSeq;
             slots[i].terminal = true;
             result.requests[i].shed = true;
             result.requests[i].tokenTimesS.clear();
+            dropped[a] = 1;
         }
-        std::vector<std::size_t> decode;
-        decode.reserve(plan.decode.size());
-        for (const std::size_t idx : plan.decode)
-            decode.push_back(active[idx]);
-        active = std::move(decode);
+        std::vector<std::size_t> keep;
+        std::vector<std::size_t> work;
+        keep.reserve(active.size());
+        for (std::size_t a = 0; a < active.size(); ++a) {
+            if (dropped[a])
+                continue;
+            keep.push_back(active[a]);
+            work.push_back(assigned[a]);
+        }
+        active = std::move(keep);
         std::sort(evicted.begin(), evicted.end(),
                   [&](std::size_t a, std::size_t b) {
                       return slots[a].admitSeq > slots[b].admitSeq;
                   });
         for (const std::size_t i : evicted)
             queue.push_front(i);
-        if (active.empty()) {
+
+        // The working subset: requests with columns this step. Empty
+        // only when governance dropped every budget-holding request
+        // (stalled prefills may survive with zero columns).
+        std::vector<std::size_t> batch;
+        std::vector<std::size_t> batchWork;
+        for (std::size_t a = 0; a < active.size(); ++a) {
+            if (work[a] == 0)
+                continue;
+            batch.push_back(active[a]);
+            batchWork.push_back(work[a]);
+        }
+        if (batch.empty()) {
             admitFromQueue(t0);
-            continue; // all columns shed/evicted: nothing recorded
+            continue; // governance-empty step: nothing recorded
         }
 
-        // One fused step: price the ragged-context batch on the
-        // accelerator, advance virtual time, decode one token each.
-        const std::vector<std::size_t> batch = active;
-        workload.batch = batch.size();
+        // One fused step: price the ragged mixed prefill/decode batch
+        // on the accelerator, advance virtual time, then complete each
+        // column's bookkeeping — a prompt column at sequence position
+        // p attends causally over p + 1 entries, a decode column over
+        // its full context, exactly the engine's columnContexts.
         std::vector<std::size_t> contextLens;
-        contextLens.reserve(batch.size());
-        for (const std::size_t i : batch)
-            contextLens.push_back(trace[i].promptTokens +
-                                  slots[i].decoded + 1);
+        std::size_t width = 0;
+        for (std::size_t w = 0; w < batch.size(); ++w) {
+            const std::size_t i = batch[w];
+            const std::size_t heldTokens =
+                slots[i].prefilled + slots[i].decoded;
+            for (std::size_t j = 0; j < batchWork[w]; ++j)
+                contextLens.push_back(heldTokens + j + 1);
+            width += batchWork[w];
+        }
+        workload.batch = width;
         const std::vector<KernelTask> tasks =
             decodeStepWorkload(model, workload, contextLens);
         const double stepS = accelerator.runWorkload(tasks).seconds;
@@ -236,10 +287,17 @@ replayTrace(const OptConfig &model, const HwConfig &hw,
                 slots[i].everStamped = true;
             }
         simT += stepS;
-        for (const std::size_t i : batch) {
-            slots[i].decoded += 1;
+        for (std::size_t w = 0; w < batch.size(); ++w) {
+            const std::size_t i = batch[w];
             slots[i].lastActivityS = t0;
-            result.requests[i].tokenTimesS.push_back(simT);
+            if (slots[i].prefilled < trace[i].promptTokens) {
+                slots[i].prefilled += batchWork[w];
+                result.prefillTokens += batchWork[w];
+            } else {
+                slots[i].decoded += 1;
+                result.decodeTokens += 1;
+                result.requests[i].tokenTimesS.push_back(simT);
+            }
         }
         for (const std::size_t i : batch)
             if (slots[i].decoded >= trace[i].outputTokens)

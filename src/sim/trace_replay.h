@@ -8,14 +8,17 @@
  * replayTrace() consumes the same arrival trace a measured
  * serving_load run drives through serve::Engine and mirrors the
  * engine's scheduling policy exactly — FIFO admission up to maxBatch,
- * a bounded wait queue with load-shed beyond maxQueue, one token per
- * live request per step, retirement at the output budget — but each
- * step advances a virtual clock by the Accelerator-scored duration of
- * that step's ragged-context KernelTask list (the same
- * decodeStepWorkload() mapping Engine::workloadTasks() emits). The
- * result is per-request latency in *simulated* seconds, directly
- * comparable against the measured run: same trace, same schedule
- * shape, modeled hardware instead of the host.
+ * a bounded wait queue with load-shed beyond maxQueue, chunked prompt
+ * prefill before the first token (the shared planPrefillChunks()
+ * budget, so prefill steps cost simulated time exactly as they cost
+ * the engine wall time), one token per decoding request per step,
+ * retirement at the output budget — but each step advances a virtual
+ * clock by the Accelerator-scored duration of that step's
+ * ragged-context KernelTask list (the same decodeStepWorkload()
+ * mapping Engine::workloadTasks() emits). The result is per-request
+ * latency in *simulated* seconds, directly comparable against the
+ * measured run: same trace, same schedule shape, modeled hardware
+ * instead of the host.
  *
  * The memory governance is mirrored too: a bounded kvBudgetBytes runs
  * the replay against a shadow KvArena (same block geometry, same
@@ -57,7 +60,8 @@ namespace figlut {
 struct ReplayRequest
 {
     double arrivalS = 0.0;         ///< submit time, seconds from start
-    std::size_t promptTokens = 0;  ///< synthetic prompt KV length
+    std::size_t promptTokens = 0;  ///< prompt length (prefilled before
+                                   ///< the first decoded token)
     std::size_t outputTokens = 1;  ///< decode budget (must be >= 1)
     /** Seconds after arrival by which the request must finish; 0 =
      *  no deadline (mirrors RequestOptions::deadlineS). */
@@ -77,6 +81,9 @@ struct ReplayOptions
     std::size_t kvBudgetBytes = 0;
     /** Arena paging granularity, as EngineOptions::kvBlockTokens. */
     std::size_t kvBlockTokens = 16;
+    /** Per-step prefill token budget shared across the batch, as
+     *  EngineOptions::prefillChunkTokens (0 = unbounded). */
+    std::size_t prefillChunkTokens = 0;
     /** Degradation policy under budget pressure. */
     serve::DegradationPolicy policy =
         serve::DegradationPolicy::ShedNewest;
@@ -97,11 +104,16 @@ struct ReplayRequestResult
     /** Dropped past its deadline (terminal). */
     bool deadlineMiss = false;
     /** Times the request was evicted and re-queued (its token times
-     *  only reflect the final, surviving life). */
+     *  only reflect the final, surviving life — which prefills the
+     *  prompt again from scratch). */
     std::size_t evictions = 0;
-    /** Arrival to the start of the first decoding step (0 if shed). */
+    /** Arrival to the start of the first step that worked on this
+     *  request — prefill or decode (0 if shed before any work). */
     double queueS = 0.0;
-    /** Virtual completion time of each decoded token, oldest first. */
+    /** Virtual completion time of each *decoded* token, oldest first
+     *  (prefill steps advance the clock but complete no token, so
+     *  tokenTimesS[0] - arrivalS is the honest simulated TTFT:
+     *  queue wait + every prefill step + the first decode step). */
     std::vector<double> tokenTimesS;
 };
 
@@ -110,9 +122,15 @@ struct ReplayResult
 {
     /** Per-request outcomes, in trace order. */
     std::vector<ReplayRequestResult> requests;
-    /** Fused steps that decoded tokens (empty governance-only steps
-     *  are not counted, matching Engine::stepsExecuted()). */
+    /** Fused steps that did work — prefill or decode (empty
+     *  governance-only steps are not counted, matching
+     *  Engine::stepsExecuted()). */
     std::size_t steps = 0;
+    /** Prompt tokens prefilled across all steps (re-prefills after an
+     *  eviction counted again, matching the engine's recompute). */
+    std::size_t prefillTokens = 0;
+    /** Decode tokens completed across all steps. */
+    std::size_t decodeTokens = 0;
     /** Simulated duration of each step, in execution order. */
     std::vector<double> stepSeconds;
     /** Wait-queue depth after each step's final admission. */

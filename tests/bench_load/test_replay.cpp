@@ -134,15 +134,19 @@ TEST(TraceReplayTest, IdleGapJumpsToNextArrival)
  * stepped through the same trace and advanced by the identical
  * accelerator score per step, reproduces replayTrace() bit for bit —
  * shed set, queue-depth series, queue waits, and every token
- * completion time.
+ * completion time. Parameterized by the prefill chunk budget so the
+ * chunked schedule (prompts split across steps, decode columns
+ * interleaved) is pinned with the same rigor as the whole-prompt one.
  */
-TEST(TraceReplayTest, MatchesEngineOnVirtualClock)
+void
+expectEngineMatchesReplay(std::size_t prefillChunkTokens)
 {
     const OptConfig model = tinyModel();
     const HwConfig hw = testHw();
     ReplayOptions options;
     options.maxBatch = 2;
     options.maxQueue = 2;
+    options.prefillChunkTokens = prefillChunkTokens;
     const auto trace = contendedTrace();
     const auto replay = replayTrace(model, hw, options, trace);
 
@@ -151,6 +155,7 @@ TEST(TraceReplayTest, MatchesEngineOnVirtualClock)
     engineOptions.clock = &clock;
     engineOptions.maxBatch = options.maxBatch;
     engineOptions.maxQueue = options.maxQueue;
+    engineOptions.prefillChunkTokens = options.prefillChunkTokens;
     engineOptions.model.weightBits = options.weightBits;
     engineOptions.model.groupSize = options.groupSize;
     engineOptions.model.useOffset = options.hasOffset;
@@ -197,24 +202,21 @@ TEST(TraceReplayTest, MatchesEngineOnVirtualClock)
 
         const auto stats = engine.step();
         ASSERT_TRUE(stats.ok()) << stats.status().toString();
-        // Price this exact fused batch the way the replay does:
-        // ragged context lengths in batch-column order.
-        std::vector<std::size_t> contextLens;
-        for (const serve::RequestId id : stats.value().decodedIds) {
-            const std::size_t i = indexOf.at(id);
-            contextLens.push_back(trace[i].promptTokens +
-                                  tokenTimes[i].size() + 1);
-        }
-        workload.batch = contextLens.size();
+        const serve::StepStats &step = stats.value();
+        // Price this exact fused batch the way the replay does: the
+        // executed step's own per-column causal context lengths
+        // (prefill chunks included), in gather order.
+        ASSERT_FALSE(step.columnContexts.empty());
+        workload.batch = step.columnContexts.size();
         const double stepS =
             accelerator
-                .runWorkload(
-                    decodeStepWorkload(model, workload, contextLens))
+                .runWorkload(decodeStepWorkload(model, workload,
+                                                step.columnContexts))
                 .seconds;
         clock.advance(stepS);
-        for (const serve::RequestId id : stats.value().decodedIds)
+        for (const serve::RequestId id : step.decodedIds)
             tokenTimes[indexOf.at(id)].push_back(clock.now());
-        queueDepth.push_back(stats.value().queueDepth);
+        queueDepth.push_back(step.queueDepth);
     }
 
     // Bit-identical schedule: shed set, queue depths, token times.
@@ -232,6 +234,18 @@ TEST(TraceReplayTest, MatchesEngineOnVirtualClock)
                          replay.requests[i].queueS)
             << i;
     }
+}
+
+TEST(TraceReplayTest, MatchesEngineOnVirtualClock)
+{
+    expectEngineMatchesReplay(/*prefillChunkTokens=*/0);
+}
+
+TEST(TraceReplayTest, MatchesEngineWithChunkedPrefill)
+{
+    // Chunk 2 splits every contendedTrace() prompt (3..8 tokens)
+    // across several steps and stalls late prefills behind the budget.
+    expectEngineMatchesReplay(/*prefillChunkTokens=*/2);
 }
 
 /**
@@ -353,21 +367,16 @@ TEST(TraceReplayTest, GovernedReplayMatchesEngineOnVirtualClock)
             tokenTimes[i].clear();
             deadlineMiss[i] = true;
         }
-        // Governance-only steps decode nothing, advance no time, and
-        // are not recorded — exactly like the replay's `continue`.
-        if (step.decodedIds.empty())
+        // Governance-only steps do no work, advance no time, and are
+        // not recorded — exactly like the replay's `continue`. A
+        // pure-prefill step IS work and is priced like any other.
+        if (step.prefillTokens + step.decodeTokens == 0)
             continue;
-        std::vector<std::size_t> contextLens;
-        for (const serve::RequestId id : step.decodedIds) {
-            const std::size_t i = indexOf.at(id);
-            contextLens.push_back(trace[i].promptTokens +
-                                  tokenTimes[i].size() + 1);
-        }
-        workload.batch = contextLens.size();
+        workload.batch = step.columnContexts.size();
         const double stepS =
             accelerator
-                .runWorkload(
-                    decodeStepWorkload(model, workload, contextLens))
+                .runWorkload(decodeStepWorkload(model, workload,
+                                                step.columnContexts))
                 .seconds;
         clock.advance(stepS);
         for (const serve::RequestId id : step.decodedIds)
