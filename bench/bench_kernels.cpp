@@ -230,6 +230,8 @@ BM_LutGemmSimd(benchmark::State &state)
         static_cast<int64_t>(state.iterations() * m * n * batch));
     state.counters["simd_isa"] = benchmark::Counter(
         static_cast<double>(simdIsaCode(activeSimdIsa())));
+    state.counters["threads"] = benchmark::Counter(
+        static_cast<double>(resolveThreadCount(threads)));
     setLutReadRate(state, perCall);
 }
 BENCHMARK(BM_LutGemmSimd)
@@ -389,6 +391,11 @@ BM_EngineStep(benchmark::State &state)
             static_cast<double>(state.iterations()) / decodeSeconds);
     state.counters["live_requests"] =
         benchmark::Counter(static_cast<double>(live));
+    // The engine's fused GEMMs run on its ExecutionContext at the
+    // default worker count; echo it so a trajectory point is
+    // interpretable on hosts of different widths.
+    state.counters["threads"] = benchmark::Counter(
+        static_cast<double>(resolveThreadCount(opts.exec.threads)));
     setLutReadRate(state, perStep);
 }
 BENCHMARK(BM_EngineStep)

@@ -2,7 +2,10 @@
 
 namespace figlut {
 
-ExecutionContext::ExecutionContext(int threads) : threads_(threads) {}
+ExecutionContext::ExecutionContext(int threads, CpuSet affinity)
+    : threads_(threads), affinity_(std::move(affinity))
+{
+}
 
 ExecutionContext::~ExecutionContext() = default;
 
@@ -15,7 +18,7 @@ ExecutionContext::pool(int workers)
         // Join the old workers before spawning the replacements so
         // thread_local worker scratch is released, not leaked.
         pool_.reset();
-        pool_ = std::make_unique<ThreadPool>(want);
+        pool_ = std::make_unique<ThreadPool>(want, affinity_);
         ++poolSpawns_;
     }
     return *pool_;

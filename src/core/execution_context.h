@@ -45,8 +45,12 @@ class ExecutionContext
     /**
      * @param threads default worker budget for pool() requests that do
      *                not name a count; <= 0 = hardware concurrency.
+     * @param affinity optional CPU set every spawned pool worker pins
+     *                 to (empty = unpinned). Used by the shard layer
+     *                 to keep a worker group on one NUMA node; pinning
+     *                 failures are silent and never affect results.
      */
-    explicit ExecutionContext(int threads = 0);
+    explicit ExecutionContext(int threads = 0, CpuSet affinity = {});
     ~ExecutionContext();
 
     ExecutionContext(const ExecutionContext &) = delete;
@@ -54,6 +58,9 @@ class ExecutionContext
 
     /** Configured default worker budget (<= 0 = hardware). */
     int threads() const { return threads_; }
+
+    /** CPU set pool workers pin to (empty = unpinned). */
+    const CpuSet &affinity() const { return affinity_; }
 
     /**
      * The owned pool, spawned lazily with at least `workers` threads
@@ -117,6 +124,7 @@ class ExecutionContext
     };
 
     int threads_;
+    CpuSet affinity_;
     std::unique_ptr<ThreadPool> pool_;
     uint64_t poolSpawns_ = 0;
     Slot slot_;

@@ -917,37 +917,28 @@ runSimdBackend(const LutGemmKernel &kernel, const PackedLutKeys &pk,
  * Closed-form operation counts: every counter is an exact function of
  * the shapes and the backend's traversal, so the fast path derives
  * them after the loops instead of paying per-read increments. The
- * differential tests prove these equal the instrumented counts.
+ * differential tests prove these equal the instrumented counts. The
+ * math lives in the public addLutGemmClosedFormCounters() so the
+ * shard layer can apply the identical accounting without a kernel;
+ * the kernel's independently-derived geometry cross-checks it here.
  */
 void
 addClosedFormCounters(const BcqTensor &w, const LutGemmConfig &config,
                       std::size_t m, std::size_t batch,
                       const LutGemmKernel &kernel, LutGemmCounters &cnt)
 {
-    const auto rows64 = static_cast<uint64_t>(m);
-    const auto batch64 = static_cast<uint64_t>(batch);
-    const auto chunks64 = static_cast<uint64_t>(kernel.totalChunks());
-    const auto groups64 = static_cast<uint64_t>(kernel.groups());
-    const auto bits64 = static_cast<uint64_t>(w.bits);
-
-    // LUT-build passes over the (batch, group) table sets: Reference
-    // and Packed build each set once; Threaded rebuilds per row block.
-    uint64_t passes = 1;
-    if (config.backend == LutGemmBackend::Threaded) {
-        passes = (rows64 +
-                  static_cast<uint64_t>(config.blockRows) - 1) /
-                 static_cast<uint64_t>(config.blockRows);
-    }
-    const uint64_t builds = passes * batch64 * chunks64;
-    cnt.lutGenerations += builds;
-    cnt.generatorAdds += builds * kernel.addsPerGeneration();
-
-    const uint64_t reads = rows64 * bits64 * chunks64 * batch64;
-    cnt.lutReads += reads;
-    cnt.racAccumulates += reads;
-    cnt.scaleMuls += rows64 * bits64 * groups64 * batch64;
-    if (w.hasOffset)
-        cnt.offsetOps += rows64 * groups64 * batch64;
+    FIGLUT_ASSERT(m == w.rows, "closed-form counters row mismatch");
+    LutGemmCounters before = cnt;
+    addLutGemmClosedFormCounters(w, config, batch, cnt);
+    // The standalone form recomputes the chunk geometry; a divergence
+    // from the kernel's would silently skew every downstream energy
+    // model, so re-derive one term and compare.
+    const uint64_t reads = static_cast<uint64_t>(m) *
+                           static_cast<uint64_t>(w.bits) *
+                           static_cast<uint64_t>(kernel.totalChunks()) *
+                           static_cast<uint64_t>(batch);
+    FIGLUT_ASSERT(cnt.lutReads - before.lutReads == reads,
+                  "closed-form counters disagree with kernel geometry");
 }
 
 MatrixD
@@ -1127,6 +1118,56 @@ validateLutGemmConfig(const LutGemmConfig &config)
             ", got ", config.threads, " (<= 0 selects the hardware ",
             "concurrency)");
     return Status::okStatus();
+}
+
+void
+addLutGemmClosedFormCounters(const BcqTensor &weights,
+                             const LutGemmConfig &config,
+                             std::size_t batch,
+                             LutGemmCounters &counters)
+{
+    // Chunk geometry, identical to the LutGemmKernel constructor: per
+    // group, columns [c0, c1) split into ceil((c1 - c0) / mu) chunks.
+    const std::size_t groups = weights.groupsPerRow();
+    std::size_t totalChunks = 0;
+    for (std::size_t g = 0; g < groups; ++g) {
+        const std::size_t c0 = g * weights.groupSize;
+        const std::size_t c1 =
+            std::min(weights.cols, c0 + weights.groupSize);
+        totalChunks +=
+            (c1 - c0 + static_cast<std::size_t>(config.mu) - 1) /
+            static_cast<std::size_t>(config.mu);
+    }
+    const uint64_t addsPerGeneration =
+        (config.useGeneratorTree && config.mu >= 2)
+            ? lutGeneratorAdderCount(config.mu).treeAdds
+            : static_cast<uint64_t>(lutEntries(config.mu)) *
+                  static_cast<uint64_t>(config.mu - 1);
+
+    const auto rows64 = static_cast<uint64_t>(weights.rows);
+    const auto batch64 = static_cast<uint64_t>(batch);
+    const auto chunks64 = static_cast<uint64_t>(totalChunks);
+    const auto groups64 = static_cast<uint64_t>(groups);
+    const auto bits64 = static_cast<uint64_t>(weights.bits);
+
+    // LUT-build passes over the (batch, group) table sets: Reference
+    // and Packed build each set once; Threaded rebuilds per row block.
+    uint64_t passes = 1;
+    if (config.backend == LutGemmBackend::Threaded) {
+        passes =
+            (rows64 + static_cast<uint64_t>(config.blockRows) - 1) /
+            static_cast<uint64_t>(config.blockRows);
+    }
+    const uint64_t builds = passes * batch64 * chunks64;
+    counters.lutGenerations += builds;
+    counters.generatorAdds += builds * addsPerGeneration;
+
+    const uint64_t reads = rows64 * bits64 * chunks64 * batch64;
+    counters.lutReads += reads;
+    counters.racAccumulates += reads;
+    counters.scaleMuls += rows64 * bits64 * groups64 * batch64;
+    if (weights.hasOffset)
+        counters.offsetOps += rows64 * groups64 * batch64;
 }
 
 MatrixD

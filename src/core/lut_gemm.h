@@ -142,6 +142,26 @@ struct LutGemmCounters
 };
 
 /**
+ * Accumulate the closed-form operation counts of one lutGemm(weights,
+ * x, config) call with a B-column activation matrix into `counters`,
+ * without running the kernel. This is the exact accounting the fast
+ * (non-instrumented) path applies after its loops: an analytic
+ * function of the tensor shape, the group/chunk geometry, and the
+ * backend's traversal (Threaded rebuilds LUT sets per row block).
+ *
+ * The shard layer uses it to keep counters execution-invariant: a
+ * row-sharded run would otherwise rebuild each (column, group) LUT
+ * set once per shard, inflating lutGenerations/generatorAdds by the
+ * shard count. ShardedExecutor discards the per-shard counts and adds
+ * this full-tensor closed form exactly once, so counters are
+ * bit-identical to the unsharded call by construction.
+ */
+void addLutGemmClosedFormCounters(const BcqTensor &weights,
+                                  const LutGemmConfig &config,
+                                  std::size_t batch,
+                                  LutGemmCounters &counters);
+
+/**
  * Run the LUT-GEMM kernel.
  *
  * @param weights  BCQ tensor, M x N

@@ -37,6 +37,12 @@ struct WorkloadOptions
     std::size_t groupSize = 0;
     /** BCQ offset / uniform zero-point term present. */
     bool hasOffset = true;
+    /**
+     * Worker groups each GEMM is row-sharded across (stamped onto the
+     * emitted GEMM tasks; 1 = unsharded). Shards > 1 makes the
+     * Accelerator price one interconnect combine per GEMM.
+     */
+    int shards = 1;
 };
 
 /**

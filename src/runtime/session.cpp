@@ -101,6 +101,10 @@ Session::workloadOptions() const
     opts.includeVector = options_.includeVector;
     opts.groupSize = options_.quant.groupSize;
     opts.hasOffset = options_.quant.useOffset;
+    // The engine resolved the shard count (knob or FIGLUT_SHARDS) at
+    // construction; mirror it so the scored workload prices the same
+    // per-GEMM combines the executed one pays.
+    opts.shards = engine_->shards();
     return opts;
 }
 

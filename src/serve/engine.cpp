@@ -5,6 +5,9 @@
 #include "common/logging.h"
 #include "model/synthetic.h"
 #include "runtime/reference_ops.h"
+#include "shard/numa.h"
+#include "shard/shard_plan.h"
+#include "shard/sharded_executor.h"
 
 namespace figlut {
 namespace serve {
@@ -151,6 +154,19 @@ Engine::Engine(const OptConfig &model, const EngineOptions &options)
       arena_(arenaOptionsFor(model, options), options.faults)
 {
     options_.model.packKeys = model_.options().packKeys;
+    // Resolve the shard count once (explicit knob, else FIGLUT_SHARDS,
+    // else 1) and normalize it back into the stored options so every
+    // downstream consumer — workloadTasks(), simulate(), callers
+    // reading options() — sees the resolved value. shards == 1 keeps
+    // the unsharded path byte-for-byte: no plan, no extra threads.
+    shards_ = resolveShardCount(options_.exec.shards);
+    options_.exec.shards = shards_;
+    if (shards_ > 1) {
+        shardPlan_ = std::make_unique<ShardPlan>(model_, shards_);
+        shardExec_ = std::make_unique<ShardedExecutor>(
+            *shardPlan_, options_.exec.threads,
+            shardCpuSets(detectNumaTopology(), shards_));
+    }
     // Only the semantic op order is needed to drive the numeric step;
     // the analytic view is rebuilt per call because the live batch and
     // its context lengths change between steps.
@@ -160,6 +176,8 @@ Engine::Engine(const OptConfig &model, const EngineOptions &options)
     for (const auto &spec : layerSpecs(model_.config(), opOrder))
         layerOps_.push_back(spec.op);
 }
+
+Engine::~Engine() = default;
 
 Engine::Request *
 Engine::find(RequestId id)
@@ -543,15 +561,22 @@ Engine::step()
 
     const LutGemmConfig gemmCfg =
         makeGemmConfig(options_.exec, options_.model.mu);
-    auto runGemm = [&](const BcqTensor &w, const PackedLutKeys &keys,
-                       const MatrixD &in) {
+    auto runGemm = [&](std::size_t l, LayerOp op, const MatrixD &in) {
         ++stats.gemmCalls;
+        // Sharded path: the executor runs the plan's row slices on its
+        // worker groups and concatenates — bit-identical output and
+        // canonical (shard-invariant) counters by construction.
+        if (shardExec_ != nullptr)
+            return shardExec_->run(l, op, in, gemmCfg, &stats.counters);
+        const QuantizedLayer &layer = model_.layer(l);
         // The pre-packed overload serves the Packed and Simd backends;
         // the others gather keys from the bit planes themselves.
         if (gemmCfg.backend == LutGemmBackend::Packed ||
             gemmCfg.backend == LutGemmBackend::Simd)
-            return lutGemm(w, in, gemmCfg, keys, &stats.counters, &ctx_);
-        return lutGemm(w, in, gemmCfg, &stats.counters, &ctx_);
+            return lutGemm(layer.weights(op), in, gemmCfg,
+                           layer.keys(op), &stats.counters, &ctx_);
+        return lutGemm(layer.weights(op), in, gemmCfg, &stats.counters,
+                       &ctx_);
     };
 
     // Same per-column arithmetic as a batch-1 Session step: the GEMM
@@ -563,7 +588,6 @@ Engine::step()
     std::vector<std::vector<KvTokenRef>> views(W);
     std::vector<KvTokenRef> full;
     for (std::size_t l = 0; l < model_.layers(); ++l) {
-        const QuantizedLayer &layer = model_.layer(l);
         for (const LayerOp op : layerOps_) {
             switch (op) {
               case LayerOp::LayerNorm1:
@@ -571,7 +595,7 @@ Engine::step()
                 ln = referenceLayerNorm(x);
                 break;
               case LayerOp::QkvProj:
-                qkv = runGemm(layer.weights(op), layer.keys(op), ln);
+                qkv = runGemm(l, op, ln);
                 break;
               case LayerOp::Attention: {
                 MatrixD q(h, W);
@@ -605,21 +629,21 @@ Engine::step()
                 break;
               }
               case LayerOp::OutProj:
-                proj = runGemm(layer.weights(op), layer.keys(op), attn);
+                proj = runGemm(l, op, attn);
                 break;
               case LayerOp::Residual1:
               case LayerOp::Residual2:
                 x = referenceResidualAdd(x, proj);
                 break;
               case LayerOp::Fc1:
-                ffn = runGemm(layer.weights(op), layer.keys(op), ln);
+                ffn = runGemm(l, op, ln);
                 break;
               case LayerOp::Gelu:
                 ffn = options_.exec.lutGelu ? referenceGeluLut(ffn)
                                             : referenceGelu(ffn);
                 break;
               case LayerOp::Fc2:
-                proj = runGemm(layer.weights(op), layer.keys(op), ffn);
+                proj = runGemm(l, op, ffn);
                 break;
             }
         }
@@ -813,6 +837,7 @@ Engine::workloadTasks() const
     opts.includeVector = options_.includeVector;
     opts.groupSize = options_.model.groupSize;
     opts.hasOffset = options_.model.useOffset;
+    opts.shards = shards_;
     return decodeStepWorkload(model_.config(), opts, contextLens);
 }
 

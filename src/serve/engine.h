@@ -78,6 +78,10 @@
 #include "sim/accelerator.h"
 
 namespace figlut {
+
+class ShardPlan;
+class ShardedExecutor;
+
 namespace serve {
 
 /** Weight materialization options, owned by the engine (one-time). */
@@ -221,10 +225,16 @@ class Engine
 
     Engine(const Engine &) = delete;
     Engine &operator=(const Engine &) = delete;
+    /** Out of line: unique_ptr members of incomplete shard types. */
+    ~Engine();
 
     const QuantizedModel &model() const { return model_; }
     const EngineOptions &options() const { return options_; }
     ExecutionContext &context() { return ctx_; }
+    /** Worker groups each fused GEMM is row-sharded across (resolved
+     *  from ExecOptions::shards / FIGLUT_SHARDS at construction;
+     *  1 = the unsharded single-context path). */
+    int shards() const { return shards_; }
 
     /**
      * Submit a new request. Admitted immediately when a batch slot is
@@ -390,6 +400,13 @@ class Engine
     QuantizedModel model_;
     EngineOptions options_;
     ExecutionContext ctx_;
+    /** Resolved shard count (>= 1; normalized into options_.exec). */
+    int shards_ = 1;
+    /** Row-partition of every GEMM operand (null when shards_ == 1). */
+    std::unique_ptr<ShardPlan> shardPlan_;
+    /** NUMA-aware worker groups running the plan (null when
+     *  shards_ == 1: the unsharded path keeps using ctx_). */
+    std::unique_ptr<ShardedExecutor> shardExec_;
     /** Fallback time source when EngineOptions::clock is null. */
     SteadyClock ownedClock_;
     const EngineClock *clock_ = nullptr;

@@ -1,0 +1,119 @@
+#include "shard/numa.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace figlut {
+namespace {
+
+/** Highest node id probed in sysfs; nodes above this are ignored. */
+constexpr int kMaxProbedNode = 255;
+
+} // namespace
+
+std::size_t
+NumaTopology::totalCpus() const
+{
+    std::size_t total = 0;
+    for (const NumaNode &node : nodes)
+        total += node.cpus.size();
+    return total;
+}
+
+CpuSet
+parseCpuList(const std::string &text)
+{
+    CpuSet cpus;
+    std::stringstream stream(text);
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+        const auto dash = item.find('-');
+        try {
+            if (dash == std::string::npos) {
+                cpus.push_back(std::stoi(item));
+            } else {
+                const int lo = std::stoi(item.substr(0, dash));
+                const int hi = std::stoi(item.substr(dash + 1));
+                for (int cpu = lo; cpu <= hi; ++cpu)
+                    cpus.push_back(cpu);
+            }
+        } catch (...) {
+            // Malformed fragment: skip it, keep what parsed.
+        }
+    }
+    std::sort(cpus.begin(), cpus.end());
+    cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+    return cpus;
+}
+
+NumaTopology
+detectNumaTopology()
+{
+    NumaTopology topology;
+#if defined(__linux__)
+    for (int id = 0; id <= kMaxProbedNode; ++id) {
+        const std::string path = "/sys/devices/system/node/node" +
+                                 std::to_string(id) + "/cpulist";
+        std::ifstream file(path);
+        if (!file.is_open())
+            continue;
+        std::string line;
+        std::getline(file, line);
+        CpuSet cpus = parseCpuList(line);
+        if (!cpus.empty())
+            topology.nodes.push_back({id, std::move(cpus)});
+    }
+#endif
+    if (topology.nodes.empty()) {
+        // Non-Linux or sysfs unavailable: one node over all CPUs.
+        const int hw = resolveThreadCount(0);
+        NumaNode node;
+        node.cpus.reserve(static_cast<std::size_t>(hw));
+        for (int cpu = 0; cpu < hw; ++cpu)
+            node.cpus.push_back(cpu);
+        topology.nodes.push_back(std::move(node));
+    }
+    return topology;
+}
+
+std::vector<CpuSet>
+shardCpuSets(const NumaTopology &topology, int shards)
+{
+    std::vector<CpuSet> sets;
+    if (shards <= 0)
+        return sets;
+    sets.reserve(static_cast<std::size_t>(shards));
+    if (topology.nodeCount() >= 2) {
+        for (int s = 0; s < shards; ++s)
+            sets.push_back(
+                topology
+                    .nodes[static_cast<std::size_t>(s) %
+                           topology.nodeCount()]
+                    .cpus);
+        return sets;
+    }
+    static const CpuSet kNoCpus;
+    const CpuSet &cpus =
+        topology.nodes.empty() ? kNoCpus : topology.nodes[0].cpus;
+    const std::size_t n = cpus.size();
+    const auto count = static_cast<std::size_t>(shards);
+    for (std::size_t s = 0; s < count; ++s) {
+        if (n == 0) {
+            sets.emplace_back(); // nothing known: leave unpinned
+        } else if (n < count) {
+            sets.push_back({cpus[s % n]});
+        } else {
+            const std::size_t lo = s * n / count;
+            const std::size_t hi = (s + 1) * n / count;
+            sets.emplace_back(cpus.begin() +
+                                  static_cast<std::ptrdiff_t>(lo),
+                              cpus.begin() +
+                                  static_cast<std::ptrdiff_t>(hi));
+        }
+    }
+    return sets;
+}
+
+} // namespace figlut

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * NUMA topology detection and shard -> CPU-set placement.
+ *
+ * Sharded execution (shard/sharded_executor.h) wants each worker
+ * group's threads co-located with the memory its key slab lives in.
+ * On Linux the node layout is read from
+ * /sys/devices/system/node/node<N>/cpulist; everywhere else (or when
+ * sysfs is absent) the machine is treated as one node spanning every
+ * logical CPU. Placement is then pure arithmetic: with multiple nodes
+ * each shard takes a whole node (round-robin when shards > nodes);
+ * with one node the CPU list is partitioned into near-equal contiguous
+ * slices so worker groups at least avoid sharing cores. Pinning is an
+ * optimization only — every fallback path leaves threads unpinned and
+ * results are independent of placement.
+ */
+
+#ifndef FIGLUT_SHARD_NUMA_H
+#define FIGLUT_SHARD_NUMA_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+
+namespace figlut {
+
+/** One NUMA node: its OS id and the logical CPUs it owns. */
+struct NumaNode
+{
+    int id = 0;
+    CpuSet cpus;
+};
+
+/** The machine's node layout as seen by the shard planner. */
+struct NumaTopology
+{
+    std::vector<NumaNode> nodes;
+
+    std::size_t nodeCount() const { return nodes.size(); }
+
+    /** Total logical CPUs across all nodes. */
+    std::size_t totalCpus() const;
+};
+
+/**
+ * Parse a Linux sysfs cpulist string ("0-3,8,10-11") into a sorted
+ * CPU set. Malformed fragments are skipped; an unparseable string
+ * yields an empty set.
+ */
+CpuSet parseCpuList(const std::string &text);
+
+/**
+ * Detect the node layout. Linux: one NumaNode per
+ * /sys/devices/system/node/node<N> with a readable cpulist. Fallback
+ * (non-Linux, sysfs missing or empty): a single node 0 covering CPUs
+ * [0, hardware_concurrency).
+ */
+NumaTopology detectNumaTopology();
+
+/**
+ * Plan one CPU set per shard. Multiple nodes: shard i pins to node
+ * (i mod nodes) — worker groups land whole-node and shards beyond the
+ * node count share. One node: its CPU list is split into `shards`
+ * near-equal contiguous slices; with fewer CPUs than shards each
+ * shard gets one CPU round-robin. shards <= 0 returns an empty plan.
+ */
+std::vector<CpuSet> shardCpuSets(const NumaTopology &topology,
+                                 int shards);
+
+} // namespace figlut
+
+#endif // FIGLUT_SHARD_NUMA_H

@@ -1,0 +1,162 @@
+#include "shard/shard_plan.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace figlut {
+namespace {
+
+/** Copy rows [r0, r1) of a matrix into a fresh (r1-r0) x cols one. */
+template <typename T>
+Matrix<T>
+sliceMatrixRows(const Matrix<T> &src, std::size_t r0, std::size_t r1)
+{
+    Matrix<T> out(r1 - r0, src.cols());
+    for (std::size_t r = r0; r < r1; ++r)
+        for (std::size_t c = 0; c < src.cols(); ++c)
+            out(r - r0, c) = src(r, c);
+    return out;
+}
+
+} // namespace
+
+std::vector<ShardRowRange>
+planShardRows(std::size_t rows, int shards)
+{
+    FIGLUT_ASSERT(shards >= 1, "planShardRows needs shards >= 1");
+    const auto count = static_cast<std::size_t>(shards);
+    std::vector<ShardRowRange> ranges;
+    ranges.reserve(count);
+    for (std::size_t s = 0; s < count; ++s)
+        ranges.push_back({s * rows / count, (s + 1) * rows / count});
+    return ranges;
+}
+
+BcqTensor
+sliceBcqRows(const BcqTensor &tensor, std::size_t r0, std::size_t r1)
+{
+    FIGLUT_ASSERT(r0 <= r1 && r1 <= tensor.rows,
+                  "BCQ row slice out of range");
+    BcqTensor out;
+    out.rows = r1 - r0;
+    out.cols = tensor.cols;
+    out.bits = tensor.bits;
+    out.groupSize = tensor.groupSize;
+    out.hasOffset = tensor.hasOffset;
+    out.planes.reserve(tensor.planes.size());
+    for (const auto &plane : tensor.planes)
+        out.planes.push_back(sliceMatrixRows(plane, r0, r1));
+    out.alphas.reserve(tensor.alphas.size());
+    for (const auto &alpha : tensor.alphas)
+        out.alphas.push_back(sliceMatrixRows(alpha, r0, r1));
+    if (tensor.offsets.size() > 0)
+        out.offsets = sliceMatrixRows(tensor.offsets, r0, r1);
+    return out;
+}
+
+PackedLutKeys
+slicePackedKeysRows(const PackedLutKeys &keys, std::size_t r0,
+                    std::size_t r1)
+{
+    FIGLUT_ASSERT(r0 <= r1 && r1 <= keys.rows,
+                  "packed-key row slice out of range");
+    PackedLutKeys out;
+    out.mu = keys.mu;
+    out.bits = keys.bits;
+    out.rows = r1 - r0;
+    out.cols = keys.cols;
+    out.groupSize = keys.groupSize;
+    out.groups = keys.groups;
+    out.totalChunks = keys.totalChunks;
+    out.groupChunkStart = keys.groupChunkStart;
+    const std::size_t outRows = out.rows;
+    out.keys.resize(static_cast<std::size_t>(keys.bits) *
+                    keys.totalChunks * outRows);
+    // Rows are the innermost index, so each (plane, chunk) slice is
+    // one contiguous block copy.
+    for (int plane = 0; plane < keys.bits; ++plane) {
+        for (std::size_t chunk = 0; chunk < keys.totalChunks; ++chunk) {
+            const uint32_t *src = keys.chunkKeys(plane, chunk) + r0;
+            uint32_t *dst =
+                out.keys.data() +
+                (static_cast<std::size_t>(plane) * out.totalChunks +
+                 chunk) *
+                    outRows;
+            std::copy(src, src + outRows, dst);
+        }
+    }
+    return out;
+}
+
+std::size_t
+gemmOperandIndex(LayerOp op)
+{
+    switch (op) {
+      case LayerOp::QkvProj:
+        return 0;
+      case LayerOp::OutProj:
+        return 1;
+      case LayerOp::Fc1:
+        return 2;
+      case LayerOp::Fc2:
+        return 3;
+      default:
+        fatal("gemmOperandIndex: LayerOp is not a GEMM operand");
+    }
+}
+
+ShardPlan::ShardPlan(const QuantizedModel &model, int shards)
+    : shards_(shards)
+{
+    FIGLUT_ASSERT(shards >= 1, "ShardPlan needs shards >= 1");
+    const LayerOp gemmOps[4] = {LayerOp::QkvProj, LayerOp::OutProj,
+                                LayerOp::Fc1, LayerOp::Fc2};
+    layers_.resize(model.layers());
+    for (std::size_t l = 0; l < model.layers(); ++l) {
+        const QuantizedLayer &layer = model.layer(l);
+        for (const LayerOp op : gemmOps) {
+            ShardedOperand &sharded =
+                layers_[l].ops[gemmOperandIndex(op)];
+            const BcqTensor &weights = layer.weights(op);
+            const PackedLutKeys &keys = layer.keys(op);
+            const bool hasKeys = keys.rows > 0;
+            sharded.ranges = planShardRows(weights.rows, shards);
+            sharded.tensors.reserve(sharded.ranges.size());
+            if (hasKeys)
+                sharded.keys.reserve(sharded.ranges.size());
+            for (const ShardRowRange &range : sharded.ranges) {
+                sharded.tensors.push_back(
+                    sliceBcqRows(weights, range.begin, range.end));
+                if (hasKeys)
+                    sharded.keys.push_back(slicePackedKeysRows(
+                        keys, range.begin, range.end));
+            }
+        }
+    }
+}
+
+const ShardedOperand &
+ShardPlan::operand(std::size_t layer, LayerOp op) const
+{
+    FIGLUT_ASSERT(layer < layers_.size(),
+                  "ShardPlan layer index out of range");
+    return layers_[layer].ops[gemmOperandIndex(op)];
+}
+
+std::size_t
+ShardPlan::storageBytes() const
+{
+    std::size_t bytes = 0;
+    for (const LayerShards &layer : layers_) {
+        for (const ShardedOperand &op : layer.ops) {
+            for (const BcqTensor &tensor : op.tensors)
+                bytes += tensor.storageBits() / 8;
+            for (const PackedLutKeys &keys : op.keys)
+                bytes += keys.keyBytes();
+        }
+    }
+    return bytes;
+}
+
+} // namespace figlut

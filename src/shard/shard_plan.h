@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Row-wise shard partitioning of a quantized model.
+ *
+ * A ShardPlan slices every layer GEMM operand of a QuantizedModel —
+ * the BcqTensor and, when the model materialized them, its
+ * PackedLutKeys — into N contiguous row ranges, built exactly once at
+ * plan construction (the sharded analogue of QuantizedModel's
+ * one-time quantize/pack pass). Each shard's slice is a complete,
+ * self-consistent operand: column geometry (cols, groupSize, groups,
+ * chunk layout) is untouched, only the output rows change, so a
+ * per-shard lutGemm() call is an ordinary kernel invocation and every
+ * output row is computed by exactly one shard with the unsharded
+ * accumulation order. That is the whole bit-identity argument — see
+ * DESIGN.md, "Sharded execution".
+ *
+ * Key slabs slice cheaply: PackedLutKeys stores [plane][chunk][row]
+ * with rows innermost, so a row range is one contiguous copy per
+ * (plane, chunk).
+ */
+
+#ifndef FIGLUT_SHARD_SHARD_PLAN_H
+#define FIGLUT_SHARD_SHARD_PLAN_H
+
+#include <cstddef>
+#include <vector>
+
+#include "model/workload.h"
+#include "quant/bcq.h"
+#include "quant/packing.h"
+#include "runtime/quantized_model.h"
+
+namespace figlut {
+
+/** Half-open output-row range [begin, end) owned by one shard. */
+struct ShardRowRange
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t size() const { return end - begin; }
+    bool empty() const { return begin == end; }
+};
+
+/**
+ * Split [0, rows) into `shards` contiguous near-equal ranges (sizes
+ * differ by at most one; with shards > rows the tail ranges are
+ * empty). Ranges are disjoint and cover [0, rows) in order.
+ */
+std::vector<ShardRowRange> planShardRows(std::size_t rows, int shards);
+
+/** Row slice [r0, r1) of a BCQ tensor (planes, alphas, offsets). */
+BcqTensor sliceBcqRows(const BcqTensor &tensor, std::size_t r0,
+                       std::size_t r1);
+
+/**
+ * Row slice [r0, r1) of pre-packed LUT keys. Chunk geometry fields
+ * are copied unchanged; only rows and the key payload shrink. The
+ * result is bit-identical to packLutKeys(sliceBcqRows(...), mu).
+ */
+PackedLutKeys slicePackedKeysRows(const PackedLutKeys &keys,
+                                  std::size_t r0, std::size_t r1);
+
+/** Per-shard row slices of one layer GEMM operand. */
+struct ShardedOperand
+{
+    std::vector<ShardRowRange> ranges;
+    std::vector<BcqTensor> tensors;
+    /** Empty when the model was built without packed keys. */
+    std::vector<PackedLutKeys> keys;
+
+    std::size_t shards() const { return ranges.size(); }
+};
+
+/**
+ * All per-shard operand slices of a quantized model, built once.
+ *
+ * The plan holds copies of the sliced weights/keys (each output row's
+ * data lives in exactly one shard's slab — first-touch by that
+ * shard's worker group places it on the right node), so it is
+ * independent of the source model's lifetime after construction.
+ */
+class ShardPlan
+{
+  public:
+    /**
+     * Slice every GEMM operand of `model` into `shards` row ranges.
+     * shards must be >= 1; shards == 1 is a valid degenerate plan
+     * (whole-operand "slices"), though the executor is normally only
+     * engaged for shards >= 2.
+     */
+    ShardPlan(const QuantizedModel &model, int shards);
+
+    int shards() const { return shards_; }
+    std::size_t layers() const { return layers_.size(); }
+
+    /** Sliced operand of a GEMM step; fatal for non-GEMM ops. */
+    const ShardedOperand &operand(std::size_t layer, LayerOp op) const;
+
+    /** Total bytes held by the sliced tensors + key slabs. */
+    std::size_t storageBytes() const;
+
+  private:
+    /** The four GEMM operands of one layer, indexed by gemmOperandIndex. */
+    struct LayerShards
+    {
+        ShardedOperand ops[4];
+    };
+
+    int shards_ = 1;
+    std::vector<LayerShards> layers_;
+};
+
+/** Dense 0..3 index of a GEMM LayerOp; fatal for vector ops. */
+std::size_t gemmOperandIndex(LayerOp op);
+
+} // namespace figlut
+
+#endif // FIGLUT_SHARD_SHARD_PLAN_H

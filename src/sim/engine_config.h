@@ -67,6 +67,31 @@ struct ExecConfig
     void validate() const;
 };
 
+/**
+ * Interconnect cost model for sharded execution, in the spirit of
+ * HPCC's b_eff effective-bandwidth methodology: one combine (the
+ * activation broadcast to remote worker groups + the gather of their
+ * output rows) costs latencyS + bytes / bandwidthBytesPerS. Both
+ * parameters are calibrated from measurement — bench_stream's
+ * cross-pool transfer reports them directly (xpool_latency_s /
+ * xpool_bw_bytes_per_s; see BUILDING.md "Comm-model calibration") —
+ * and the defaults below carry the dev-host calibration so simulated
+ * shard sweeps are honest out of the box.
+ */
+struct InterconnectConfig
+{
+    /** Per-combine fixed cost: cross-group handshake + wakeup.
+     *  Default = the best mutex/condvar handoff half round trip
+     *  bench_stream's xpool probe measured on the reference host. */
+    double latencyS = 1.0e-6;
+    /** Effective cross-group bandwidth for combine traffic. Default =
+     *  the xpool cross-pool copy rate on the reference host. */
+    double bandwidthBytesPerS = 2.0e10;
+
+    /** Validate invariants; throws FatalError on bad input. */
+    void validate() const;
+};
+
 /** Engine hardware configuration. */
 struct HwConfig
 {
@@ -88,6 +113,8 @@ struct HwConfig
     int fixedWeightBits = 4;
     TechParams tech = TechParams::default28nm();
     ExecConfig exec; ///< host execution of the functional kernels
+    /** Combine pricing for sharded GEMM tasks (shards > 1). */
+    InterconnectConfig interconnect;
 
     /** True for the bit-serial engines (iFPU, FIGLUT). */
     bool bitSerial() const;

@@ -72,6 +72,7 @@ replayTrace(const OptConfig &model, const HwConfig &hw,
     workload.includeVector = options.includeVector;
     workload.groupSize = options.groupSize;
     workload.hasOffset = options.hasOffset;
+    workload.shards = options.shards;
 
     // The shadow arena: same geometry, budget, and injector as the
     // engine's, but only ever reserve/release — no token is written,

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Tests for the shard partitioning layer: FIGLUT_SHARDS resolution,
+ * row-range planning, BCQ/packed-key row slicing (the slice must be
+ * bit-identical to re-packing the sliced tensor), NUMA topology
+ * parsing, CPU-set placement shapes, and ShardPlan coverage over a
+ * quantized model.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "model/synthetic.h"
+#include "quant/bcq.h"
+#include "quant/packing.h"
+#include "runtime/exec_options.h"
+#include "runtime/quantized_model.h"
+#include "shard/numa.h"
+#include "shard/shard_plan.h"
+
+namespace figlut {
+namespace {
+
+/**
+ * MUST RUN FIRST IN THIS BINARY: resolveShardCount() reads
+ * FIGLUT_SHARDS exactly once per process (mirroring FIGLUT_SIMD), so
+ * the env override is pinned before anything else resolves it.
+ */
+TEST(ShardEnv, FiglutShardsEnvOverridesAutoOnce)
+{
+    ASSERT_EQ(setenv("FIGLUT_SHARDS", "3", 1), 0);
+    EXPECT_EQ(resolveShardCount(0), 3);
+    EXPECT_EQ(resolveShardCount(-5), 3);
+    // An explicit request always wins over the environment.
+    EXPECT_EQ(resolveShardCount(2), 2);
+    EXPECT_EQ(resolveShardCount(1), 1);
+    // Read-once semantics: later env changes are ignored.
+    ASSERT_EQ(setenv("FIGLUT_SHARDS", "7", 1), 0);
+    EXPECT_EQ(resolveShardCount(0), 3);
+    ASSERT_EQ(unsetenv("FIGLUT_SHARDS"), 0);
+    EXPECT_EQ(resolveShardCount(0), 3);
+    // Requests are clamped to the hard bound.
+    EXPECT_EQ(resolveShardCount(kMaxShards + 100), kMaxShards);
+}
+
+TEST(PlanShardRows, CoversDisjointNearEqual)
+{
+    for (const std::size_t rows :
+         {std::size_t{1}, std::size_t{7}, std::size_t{64},
+          std::size_t{97}}) {
+        for (const int shards : {1, 2, 3, 8}) {
+            const auto ranges = planShardRows(rows, shards);
+            ASSERT_EQ(ranges.size(), static_cast<std::size_t>(shards));
+            std::size_t covered = 0, lo = rows, hi = 0;
+            for (const ShardRowRange &r : ranges) {
+                EXPECT_LE(r.begin, r.end);
+                covered += r.size();
+                lo = std::min(lo, r.size());
+                hi = std::max(hi, r.size());
+            }
+            EXPECT_EQ(covered, rows);
+            EXPECT_LE(hi - lo, 1u) << "rows " << rows << " shards "
+                                   << shards;
+            // Contiguous in order: each range starts where the
+            // previous ended.
+            EXPECT_EQ(ranges.front().begin, 0u);
+            for (std::size_t s = 1; s < ranges.size(); ++s)
+                EXPECT_EQ(ranges[s].begin, ranges[s - 1].end);
+            EXPECT_EQ(ranges.back().end, rows);
+        }
+    }
+}
+
+TEST(PlanShardRows, MoreShardsThanRowsLeavesEmptyTails)
+{
+    const auto ranges = planShardRows(3, 8);
+    ASSERT_EQ(ranges.size(), 8u);
+    std::size_t nonEmpty = 0;
+    for (const ShardRowRange &r : ranges)
+        nonEmpty += r.empty() ? 0 : 1;
+    EXPECT_EQ(nonEmpty, 3u);
+    EXPECT_EQ(ranges.back().end, 3u);
+}
+
+BcqTensor
+randomTensor(std::size_t m, std::size_t n, int bits, std::size_t group,
+             bool offset, uint64_t seed)
+{
+    Rng rng(seed);
+    const auto w = syntheticWeights(m, n, rng);
+    BcqConfig cfg;
+    cfg.bits = bits;
+    cfg.groupSize = group;
+    cfg.useOffset = offset;
+    cfg.iterations = 2;
+    return quantizeBcq(w, cfg);
+}
+
+TEST(SliceBcqRows, MatchesSourceElementwise)
+{
+    const auto t = randomTensor(23, 20, 3, 8, true, 77);
+    const std::size_t r0 = 5, r1 = 17;
+    const BcqTensor s = sliceBcqRows(t, r0, r1);
+    EXPECT_EQ(s.rows, r1 - r0);
+    EXPECT_EQ(s.cols, t.cols);
+    EXPECT_EQ(s.bits, t.bits);
+    EXPECT_EQ(s.groupSize, t.groupSize);
+    EXPECT_EQ(s.hasOffset, t.hasOffset);
+    ASSERT_EQ(s.planes.size(), t.planes.size());
+    for (std::size_t p = 0; p < s.planes.size(); ++p)
+        for (std::size_t r = 0; r < s.rows; ++r)
+            for (std::size_t c = 0; c < s.cols; ++c)
+                EXPECT_EQ(s.planes[p](r, c), t.planes[p](r0 + r, c));
+    for (std::size_t p = 0; p < s.alphas.size(); ++p)
+        for (std::size_t r = 0; r < s.rows; ++r)
+            for (std::size_t g = 0; g < s.alphas[p].cols(); ++g)
+                EXPECT_EQ(s.alphas[p](r, g), t.alphas[p](r0 + r, g));
+    for (std::size_t r = 0; r < s.rows; ++r)
+        for (std::size_t g = 0; g < s.offsets.cols(); ++g)
+            EXPECT_EQ(s.offsets(r, g), t.offsets(r0 + r, g));
+}
+
+/** The load-bearing slicing identity: slicing pre-packed keys must be
+ *  bit-identical to packing the sliced tensor — the executor's
+ *  per-shard kernel inputs are exactly what an unsharded build of the
+ *  slice would produce. */
+TEST(SlicePackedKeysRows, IdenticalToRepackingTheSlice)
+{
+    const int mu = 4;
+    for (const uint64_t seed : {11u, 12u, 13u}) {
+        const auto t = randomTensor(31, 24, 2, 12, seed % 2 == 0, seed);
+        const PackedLutKeys full = packLutKeys(t, mu);
+        for (const auto &[r0, r1] :
+             {std::pair<std::size_t, std::size_t>{0, 31},
+              {0, 10},
+              {10, 21},
+              {21, 31},
+              {30, 31}}) {
+            const PackedLutKeys sliced =
+                slicePackedKeysRows(full, r0, r1);
+            const PackedLutKeys repacked =
+                packLutKeys(sliceBcqRows(t, r0, r1), mu);
+            EXPECT_EQ(sliced.mu, repacked.mu);
+            EXPECT_EQ(sliced.bits, repacked.bits);
+            EXPECT_EQ(sliced.rows, repacked.rows);
+            EXPECT_EQ(sliced.cols, repacked.cols);
+            EXPECT_EQ(sliced.groupSize, repacked.groupSize);
+            EXPECT_EQ(sliced.groups, repacked.groups);
+            EXPECT_EQ(sliced.totalChunks, repacked.totalChunks);
+            EXPECT_EQ(sliced.groupChunkStart, repacked.groupChunkStart);
+            EXPECT_EQ(sliced.keys, repacked.keys)
+                << "seed " << seed << " rows [" << r0 << ", " << r1
+                << ")";
+        }
+    }
+}
+
+TEST(ParseCpuList, HandlesRangesSinglesAndGarbage)
+{
+    EXPECT_EQ(parseCpuList("0-3,8,10-11"),
+              (CpuSet{0, 1, 2, 3, 8, 10, 11}));
+    EXPECT_EQ(parseCpuList("5"), (CpuSet{5}));
+    EXPECT_EQ(parseCpuList("3,1,2,2"), (CpuSet{1, 2, 3}));
+    EXPECT_EQ(parseCpuList(""), CpuSet{});
+    EXPECT_EQ(parseCpuList("abc"), CpuSet{});
+    // Malformed fragments are skipped, valid ones survive.
+    EXPECT_EQ(parseCpuList("1,x,4-5"), (CpuSet{1, 4, 5}));
+}
+
+TEST(DetectNumaTopology, ReportsAtLeastOneNodeWithCpus)
+{
+    const NumaTopology topo = detectNumaTopology();
+    ASSERT_GE(topo.nodeCount(), 1u);
+    EXPECT_GE(topo.totalCpus(), 1u);
+    for (const NumaNode &node : topo.nodes)
+        EXPECT_FALSE(node.cpus.empty());
+}
+
+NumaTopology
+syntheticTopology(const std::vector<CpuSet> &nodes)
+{
+    NumaTopology topo;
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        topo.nodes.push_back(
+            {static_cast<int>(i), nodes[i]});
+    return topo;
+}
+
+TEST(ShardCpuSets, SingleNodeSplitsContiguously)
+{
+    const auto topo = syntheticTopology({{0, 1, 2, 3, 4, 5, 6, 7}});
+    const auto sets = shardCpuSets(topo, 3);
+    ASSERT_EQ(sets.size(), 3u);
+    std::size_t total = 0;
+    for (const CpuSet &s : sets) {
+        EXPECT_FALSE(s.empty());
+        total += s.size();
+    }
+    EXPECT_EQ(total, 8u);
+    // Contiguous, in order, no overlap.
+    EXPECT_LT(sets[0].back(), sets[1].front());
+    EXPECT_LT(sets[1].back(), sets[2].front());
+}
+
+TEST(ShardCpuSets, MultiNodeAssignsWholeNodesRoundRobin)
+{
+    const auto topo =
+        syntheticTopology({{0, 1, 2, 3}, {4, 5, 6, 7}});
+    const auto sets = shardCpuSets(topo, 4);
+    ASSERT_EQ(sets.size(), 4u);
+    EXPECT_EQ(sets[0], (CpuSet{0, 1, 2, 3}));
+    EXPECT_EQ(sets[1], (CpuSet{4, 5, 6, 7}));
+    EXPECT_EQ(sets[2], (CpuSet{0, 1, 2, 3}));
+    EXPECT_EQ(sets[3], (CpuSet{4, 5, 6, 7}));
+}
+
+TEST(ShardCpuSets, FewerCpusThanShardsRoundRobinsSingles)
+{
+    const auto topo = syntheticTopology({{0, 1}});
+    const auto sets = shardCpuSets(topo, 3);
+    ASSERT_EQ(sets.size(), 3u);
+    EXPECT_EQ(sets[0], (CpuSet{0}));
+    EXPECT_EQ(sets[1], (CpuSet{1}));
+    EXPECT_EQ(sets[2], (CpuSet{0}));
+}
+
+TEST(ShardCpuSets, NonPositiveShardsYieldEmptyPlan)
+{
+    const auto topo = syntheticTopology({{0, 1}});
+    EXPECT_TRUE(shardCpuSets(topo, 0).empty());
+    EXPECT_TRUE(shardCpuSets(topo, -2).empty());
+}
+
+TEST(GemmOperandIndex, DenseAndStable)
+{
+    EXPECT_EQ(gemmOperandIndex(LayerOp::QkvProj), 0u);
+    EXPECT_EQ(gemmOperandIndex(LayerOp::OutProj), 1u);
+    EXPECT_EQ(gemmOperandIndex(LayerOp::Fc1), 2u);
+    EXPECT_EQ(gemmOperandIndex(LayerOp::Fc2), 3u);
+}
+
+TEST(ShardPlan, SlicesEveryOperandOfEveryLayer)
+{
+    OptConfig model;
+    model.name = "OPT-shard-test";
+    model.hidden = 16;
+    model.layers = 2;
+    model.heads = 2;
+    model.ffn = 32;
+    QuantizedModelOptions qopts;
+    qopts.weightBits = 2;
+    qopts.bcqIterations = 0;
+    qopts.packKeys = true;
+    const QuantizedModel quantized(model, qopts);
+
+    const ShardPlan plan(quantized, 3);
+    EXPECT_EQ(plan.shards(), 3);
+    ASSERT_EQ(plan.layers(), quantized.layers());
+    EXPECT_GT(plan.storageBytes(), 0u);
+    const LayerOp gemms[] = {LayerOp::QkvProj, LayerOp::OutProj,
+                             LayerOp::Fc1, LayerOp::Fc2};
+    for (std::size_t l = 0; l < plan.layers(); ++l) {
+        for (const LayerOp op : gemms) {
+            const ShardedOperand &operand = plan.operand(l, op);
+            const BcqTensor &whole = quantized.layer(l).weights(op);
+            ASSERT_EQ(operand.shards(), 3u);
+            ASSERT_EQ(operand.tensors.size(), 3u);
+            ASSERT_EQ(operand.keys.size(), 3u);
+            std::size_t rows = 0;
+            for (std::size_t s = 0; s < 3; ++s) {
+                EXPECT_EQ(operand.tensors[s].rows,
+                          operand.ranges[s].size());
+                EXPECT_EQ(operand.keys[s].rows,
+                          operand.ranges[s].size());
+                EXPECT_EQ(operand.tensors[s].cols, whole.cols);
+                rows += operand.ranges[s].size();
+            }
+            EXPECT_EQ(rows, whole.rows);
+        }
+    }
+}
+
+TEST(ShardPlan, DegenerateSingleShardIsWholeOperand)
+{
+    OptConfig model;
+    model.name = "OPT-shard-test";
+    model.hidden = 8;
+    model.layers = 1;
+    model.heads = 2;
+    model.ffn = 16;
+    QuantizedModelOptions qopts;
+    qopts.weightBits = 2;
+    qopts.bcqIterations = 0;
+    qopts.packKeys = false; // unpacked models slice weights only
+    const QuantizedModel quantized(model, qopts);
+
+    const ShardPlan plan(quantized, 1);
+    const ShardedOperand &qkv = plan.operand(0, LayerOp::QkvProj);
+    ASSERT_EQ(qkv.shards(), 1u);
+    EXPECT_EQ(qkv.ranges[0].begin, 0u);
+    EXPECT_EQ(qkv.ranges[0].end, quantized.layer(0).qkv.rows);
+    EXPECT_TRUE(qkv.keys.empty());
+}
+
+} // namespace
+} // namespace figlut

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * The interconnect cost model and its replay pin. The Accelerator
+ * prices one combine per row-sharded GEMM (b_eff style: latency +
+ * bytes over effective bandwidth, calibrated by bench_stream's xpool
+ * probe); these tests pin the closed form, its monotonicity in the
+ * shard count, and — the load-bearing one — that a *sharded*
+ * serve::Engine driven on a VirtualClock and priced with the sharded
+ * workload reproduces sim::replayTrace(shards = N) bit for bit.
+ */
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "figlut/figlut.h"
+
+namespace figlut {
+namespace {
+
+OptConfig
+tinyModel()
+{
+    OptConfig model;
+    model.name = "OPT-shard-replay-test";
+    model.hidden = 64;
+    model.layers = 1;
+    model.heads = 2;
+    model.ffn = 128;
+    return model;
+}
+
+HwConfig
+testHw()
+{
+    HwConfig hw;
+    hw.engine = EngineKind::FIGLUT_I;
+    return hw;
+}
+
+KernelTask
+gemmTask(std::size_t m, std::size_t n, std::size_t batch, int shards)
+{
+    GemmShape shape;
+    shape.m = m;
+    shape.n = n;
+    shape.batch = batch;
+    shape.weightBits = 4;
+    KernelTask task = KernelTask::makeGemm("gemm", shape);
+    task.shards = shards;
+    return task;
+}
+
+TEST(InterconnectModel, UnshardedGemmPaysNoCombine)
+{
+    const Accelerator acc(testHw());
+    const auto result = acc.runWorkload({gemmTask(64, 64, 4, 1)});
+    EXPECT_EQ(result.commCycles, 0.0);
+    EXPECT_EQ(result.commBytes, 0.0);
+}
+
+TEST(InterconnectModel, CombinePricesLatencyPlusBytesOverBandwidth)
+{
+    const HwConfig hw = testHw();
+    const Accelerator acc(hw);
+    const std::size_t m = 64, n = 48, batch = 4;
+    const int shards = 3;
+    const auto result =
+        acc.runWorkload({gemmTask(m, n, batch, shards)});
+
+    // Closed form: broadcast the activation panel to shards-1 remote
+    // groups, gather their (shards-1)/shards share of the output rows.
+    const double store = storageBits(hw.actFormat) / 8.0;
+    const double remote = shards - 1;
+    const double bytes =
+        (static_cast<double>(n) * batch * remote +
+         static_cast<double>(m) * batch * remote / shards) *
+        store;
+    const double commS =
+        hw.interconnect.latencyS +
+        bytes / hw.interconnect.bandwidthBytesPerS;
+    EXPECT_DOUBLE_EQ(result.commBytes, bytes);
+    EXPECT_DOUBLE_EQ(result.commCycles,
+                     commS * hw.tech.freqMhz * 1e6);
+
+    // The combine is additive on top of the identical compute.
+    const auto unsharded = acc.runWorkload({gemmTask(m, n, batch, 1)});
+    EXPECT_DOUBLE_EQ(result.gemmCycles, unsharded.gemmCycles);
+    EXPECT_DOUBLE_EQ(result.totalCycles,
+                     unsharded.totalCycles + result.commCycles);
+}
+
+TEST(InterconnectModel, CombineCostGrowsWithShardCount)
+{
+    const Accelerator acc(testHw());
+    double lastComm = 0.0;
+    for (const int shards : {1, 2, 4, 8}) {
+        const auto result =
+            acc.runWorkload({gemmTask(128, 128, 8, shards)});
+        EXPECT_GE(result.commCycles, lastComm) << shards;
+        if (shards > 1) {
+            EXPECT_GT(result.commCycles, lastComm) << shards;
+        }
+        lastComm = result.commCycles;
+    }
+}
+
+TEST(InterconnectModel, ValidationRejectsNonsense)
+{
+    HwConfig hw = testHw();
+    hw.interconnect.latencyS = -1.0;
+    EXPECT_THROW(hw.validate(), FatalError);
+    hw = testHw();
+    hw.interconnect.bandwidthBytesPerS = 0.0;
+    EXPECT_THROW(hw.validate(), FatalError);
+}
+
+TEST(ShardReplay, ShardedReplayIsSlowerThanUnsharded)
+{
+    ReplayOptions options;
+    options.maxBatch = 2;
+    options.maxQueue = 4;
+    const std::vector<ReplayRequest> trace{
+        {0.0, 4, 3}, {0.0, 6, 2}, {1e-4, 3, 2}};
+    const auto base =
+        replayTrace(tinyModel(), testHw(), options, trace);
+    options.shards = 4;
+    const auto sharded =
+        replayTrace(tinyModel(), testHw(), options, trace);
+    // Same schedule shape, strictly more simulated time per step: the
+    // comm term prices in, compute does not change.
+    ASSERT_EQ(sharded.steps, base.steps);
+    EXPECT_GT(sharded.endS, base.endS);
+    for (std::size_t s = 0; s < base.stepSeconds.size(); ++s)
+        EXPECT_GT(sharded.stepSeconds[s], base.stepSeconds[s]) << s;
+}
+
+/**
+ * The sharded twin of the replay pin: a serve::Engine actually
+ * executing its GEMMs through the ShardedExecutor (shards = 2),
+ * driven on a VirtualClock advanced by the sharded workload's
+ * accelerator score (combine term included), reproduces
+ * replayTrace(shards = 2) bit for bit — shed set, queue depths, and
+ * every token completion time in *simulated* seconds.
+ */
+TEST(ShardReplay, ShardedEngineOnVirtualClockMatchesShardedReplay)
+{
+    const OptConfig model = tinyModel();
+    const HwConfig hw = testHw();
+    ReplayOptions options;
+    options.maxBatch = 2;
+    options.maxQueue = 2;
+    options.prefillChunkTokens = 2; // chunked prefill, sharded too
+    options.shards = 2;
+    const std::vector<ReplayRequest> trace{
+        {0.0, 4, 3}, {0.0, 6, 2}, {0.0, 5, 1}, {1e-4, 3, 2},
+        {2e-3, 8, 3},
+    };
+    const auto replay = replayTrace(model, hw, options, trace);
+
+    serve::VirtualClock clock;
+    serve::EngineOptions engineOptions;
+    engineOptions.clock = &clock;
+    engineOptions.maxBatch = options.maxBatch;
+    engineOptions.maxQueue = options.maxQueue;
+    engineOptions.prefillChunkTokens = options.prefillChunkTokens;
+    engineOptions.model.weightBits = options.weightBits;
+    engineOptions.model.groupSize = options.groupSize;
+    engineOptions.model.useOffset = options.hasOffset;
+    engineOptions.model.bcqIterations = 1;
+    engineOptions.includeVector = options.includeVector;
+    engineOptions.exec.shards = options.shards;
+    auto created = serve::Engine::create(model, engineOptions);
+    ASSERT_TRUE(created.ok()) << created.status().toString();
+    serve::Engine &engine = *created.value();
+    ASSERT_EQ(engine.shards(), options.shards);
+
+    const Accelerator accelerator(hw);
+    WorkloadOptions workload;
+    workload.weightBits = options.weightBits;
+    workload.includeVector = options.includeVector;
+    workload.groupSize = options.groupSize;
+    workload.hasOffset = options.hasOffset;
+    workload.shards = options.shards;
+
+    std::vector<bool> shed(trace.size(), false);
+    std::vector<std::vector<double>> tokenTimes(trace.size());
+    std::vector<std::size_t> queueDepth;
+    std::unordered_map<serve::RequestId, std::size_t> indexOf;
+
+    std::size_t next = 0;
+    while (true) {
+        while (next < trace.size() &&
+               trace[next].arrivalS <= clock.now()) {
+            serve::RequestOptions request;
+            request.maxTokens = trace[next].outputTokens;
+            request.promptTokens = trace[next].promptTokens;
+            request.seed = 100 + next;
+            const auto id = engine.submit(request);
+            if (id.ok())
+                indexOf.emplace(id.value(), next);
+            else
+                shed[next] = true;
+            ++next;
+        }
+        if (engine.liveRequests() == 0 &&
+            engine.queuedRequests() == 0) {
+            if (next == trace.size())
+                break;
+            clock.set(trace[next].arrivalS);
+            continue;
+        }
+
+        const auto stats = engine.step();
+        ASSERT_TRUE(stats.ok()) << stats.status().toString();
+        const serve::StepStats &step = stats.value();
+        ASSERT_FALSE(step.columnContexts.empty());
+        workload.batch = step.columnContexts.size();
+        const double stepS =
+            accelerator
+                .runWorkload(decodeStepWorkload(model, workload,
+                                                step.columnContexts))
+                .seconds;
+        clock.advance(stepS);
+        for (const serve::RequestId id : step.decodedIds)
+            tokenTimes[indexOf.at(id)].push_back(clock.now());
+        queueDepth.push_back(step.queueDepth);
+    }
+
+    ASSERT_EQ(queueDepth.size(), replay.steps);
+    EXPECT_EQ(queueDepth, replay.queueDepth);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(shed[i], replay.requests[i].shed) << i;
+        EXPECT_EQ(tokenTimes[i], replay.requests[i].tokenTimesS) << i;
+    }
+    for (const auto &[id, i] : indexOf) {
+        const auto snapshot = engine.poll(id);
+        ASSERT_TRUE(snapshot.ok()) << i;
+        EXPECT_DOUBLE_EQ(snapshot.value().stats.queueSeconds,
+                         replay.requests[i].queueS)
+            << i;
+    }
+
+    // And the engine's own analytic pricing agrees: its next-step
+    // tasks carry the shard stamp, so simulate() includes the combine.
+    serve::RequestOptions tail;
+    tail.maxTokens = 1;
+    ASSERT_TRUE(engine.submit(tail).ok());
+    const WorkloadResult scored = engine.simulate(hw);
+    EXPECT_GT(scored.commCycles, 0.0);
+}
+
+} // namespace
+} // namespace figlut
